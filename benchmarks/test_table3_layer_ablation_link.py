@@ -1,0 +1,85 @@
+"""Table III — ablation of GPS layer configurations on link prediction.
+
+Five layer configurations are compared: attention only (Performer or full
+Transformer), the hybrid GatedGCN+attention layers, and GatedGCN alone.  The
+paper's Observation 2: the classic MPNN (GatedGCN) is highly competitive —
+matching or beating the hybrid configurations at a fraction of the runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.core import Trainer, pretrain_link_model
+from repro.core.datasets import build_link_samples
+
+from .conftest import record_result, run_once
+
+CONFIGURATIONS = [
+    ("none", "performer"),
+    ("none", "transformer"),
+    ("gatedgcn", "performer"),
+    ("gatedgcn", "transformer"),
+    ("gatedgcn", "none"),
+]
+
+PAPER_ROWS = [
+    {"mpnn": "none", "attention": "performer", "accuracy": 0.9458, "f1": 0.9602, "auc": 0.9668,
+     "train_time_s": 1663.0, "num_params": 762_390},
+    {"mpnn": "none", "attention": "transformer", "accuracy": 0.9456, "f1": 0.9601, "auc": 0.9187,
+     "train_time_s": 3490.0, "num_params": 778_833},
+    {"mpnn": "gatedgcn", "attention": "performer", "accuracy": 0.9618, "f1": 0.9720, "auc": 0.9774,
+     "train_time_s": 1446.1, "num_params": 752_785},
+    {"mpnn": "gatedgcn", "attention": "transformer", "accuracy": 0.9701, "f1": 0.9780,
+     "auc": 0.9980, "train_time_s": 2832.9, "num_params": 540_337},
+    {"mpnn": "gatedgcn", "attention": "none", "accuracy": 0.9693, "f1": 0.9775, "auc": 0.9848,
+     "train_time_s": 965.6, "num_params": 724_854},
+]
+
+
+def test_table3_gps_layer_ablation_link(benchmark, config, suite):
+    train_design = suite["SSRAM"]
+    test_design = suite["DIGITAL_CLK_GEN"]
+    test_samples = build_link_samples(test_design, config.data, pe_kind=config.model.pe_kind,
+                                      rng=config.data.seed + 1)
+
+    def experiment():
+        rows = []
+        for mpnn, attention in CONFIGURATIONS:
+            variant = config.with_model(mpnn=mpnn, attention=attention)
+            start = time.perf_counter()
+            result = pretrain_link_model([train_design], variant)
+            elapsed = time.perf_counter() - start
+            metrics = Trainer(result.model, task="link", config=variant.train).evaluate(test_samples)
+            rows.append({
+                "mpnn": mpnn,
+                "attention": attention,
+                "accuracy": metrics["accuracy"],
+                "f1": metrics["f1"],
+                "auc": metrics["auc"],
+                "train_time_s": elapsed,
+                "num_params": result.model.num_parameters(),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(rows, title="Table III (measured) — GPS layer ablation, link prediction",
+                       precision=4))
+    print(format_table(PAPER_ROWS, title="Table III (paper)", precision=4))
+    record_result("table3_layer_ablation_link", {"measured": rows, "paper": PAPER_ROWS})
+
+    by_config = {(row["mpnn"], row["attention"]): row for row in rows}
+    best_auc = max(row["auc"] for row in rows)
+    # Observation 2: GatedGCN-only is competitive with the best hybrid configuration.
+    assert by_config[("gatedgcn", "none")]["auc"] >= best_auc - 0.05
+    # Configurations with an MPNN beat pure-attention configurations on average.
+    mpnn_auc = [row["auc"] for row in rows if row["mpnn"] == "gatedgcn"]
+    attn_only_auc = [row["auc"] for row in rows if row["mpnn"] == "none"]
+    assert sum(mpnn_auc) / len(mpnn_auc) >= sum(attn_only_auc) / len(attn_only_auc) - 0.02
+    # GatedGCN-only does not pay the attention overhead: it never costs more than
+    # the slowest attention-based configuration (the paper's 3-5x gap only shows
+    # at full scale, so the runtime check is deliberately loose here).
+    assert by_config[("gatedgcn", "none")]["train_time_s"] <= max(
+        row["train_time_s"] for row in rows if row["attention"] != "none") * 1.2

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The primary build configuration lives in ``pyproject.toml``.  This file exists
+so the package can be installed in editable mode on fully offline machines
+(no ``wheel`` package, no build isolation) via the legacy
+``pip install -e . --no-use-pep517 --no-build-isolation`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""CircuitGPS reproduction: few-shot learning on AMS circuits.
+
+Reproduction of "Few-shot Learning on AMS Circuits and Its Application to
+Parasitic Capacitance Prediction" (DAC 2025).  The package is organised as:
+
+* :mod:`repro.nn`       – numpy autograd + neural-network library,
+* :mod:`repro.netlist`  – SPICE netlists, synthetic designs, layout, parasitics,
+* :mod:`repro.graph`    – heterogeneous circuit graphs, subgraph sampling, PEs,
+* :mod:`repro.models`   – GPS layers, CircuitGPS, ParaGraph and DLPL-Cap baselines,
+* :mod:`repro.core`     – datasets, pre-training, fine-tuning, metrics, pipeline,
+* :mod:`repro.analysis` – energy model and report formatting.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,97 @@
+"""Switching-energy model used to validate predicted capacitances (Fig. 4).
+
+The paper runs SPICE simulations with ground-truth vs. predicted capacitance
+(no parasitic resistance) and compares the resulting energy consumption.  The
+dominant contribution in that setting is dynamic switching energy, which this
+module computes analytically::
+
+    E = sum_over_nets  0.5 * C_net * Vdd^2 * activity
+
+``C_net`` lumps the net's ground capacitance and every coupling capacitance
+attached to the net (or to one of its pins).  Replacing the ground-truth
+coupling values with model predictions and recomputing the sum reproduces the
+comparison of Fig. 4, whose headline number is the mean absolute percentage
+error across the three test designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.datasets import CapacitanceNormalizer, DesignData
+from ..netlist.circuit import Circuit
+from ..netlist.parasitics import NET, PIN
+
+__all__ = ["net_total_capacitances", "switching_energy", "design_energy", "energy_comparison"]
+
+DEFAULT_ACTIVITY = 0.2
+
+
+def _pin_to_net(design: DesignData) -> dict[str, str]:
+    """Map ``device:terminal`` pin names to their net."""
+    mapping: dict[str, str] = {}
+    for device in design.circuit.devices:
+        for terminal, net in device.terminal_items():
+            mapping[f"{device.name}:{terminal}"] = net
+    return mapping
+
+
+def net_total_capacitances(design: DesignData,
+                           coupling_override: dict[tuple, float] | None = None
+                           ) -> dict[str, float]:
+    """Total capacitance per signal net: ground cap plus attached couplings.
+
+    ``coupling_override`` maps a coupling key (as returned by
+    ``CouplingCap.key()``) to a replacement value — used to inject model
+    predictions in place of the extracted ground truth.
+    """
+    pin_net = _pin_to_net(design)
+    totals: dict[str, float] = {}
+    for net, value in design.parasitics.net_ground_caps.items():
+        if Circuit.is_power_rail(net):
+            continue
+        totals[net] = totals.get(net, 0.0) + value
+    for coupling in design.parasitics.couplings:
+        value = coupling.value
+        if coupling_override is not None:
+            value = coupling_override.get(coupling.key(), value)
+        for kind, name in ((coupling.kind_a, coupling.name_a), (coupling.kind_b, coupling.name_b)):
+            net = name if kind == NET else pin_net.get(name)
+            if net is None or Circuit.is_power_rail(net):
+                continue
+            totals[net] = totals.get(net, 0.0) + value
+    return totals
+
+
+def switching_energy(net_caps: dict[str, float], vdd: float = 0.9,
+                     activity: float = DEFAULT_ACTIVITY) -> float:
+    """Dynamic switching energy (joules per cycle) of the given net capacitances."""
+    if vdd <= 0:
+        raise ValueError("vdd must be positive")
+    if not 0 < activity <= 1:
+        raise ValueError("activity must be in (0, 1]")
+    return float(0.5 * vdd ** 2 * activity * sum(net_caps.values()))
+
+
+def design_energy(design: DesignData, coupling_override: dict[tuple, float] | None = None,
+                  vdd: float | None = None, activity: float = DEFAULT_ACTIVITY) -> float:
+    """Switching energy of one design, optionally with predicted couplings."""
+    vdd = vdd if vdd is not None else design.placement.technology.vdd
+    return switching_energy(net_total_capacitances(design, coupling_override), vdd=vdd,
+                            activity=activity)
+
+
+def energy_comparison(design: DesignData, predicted_couplings: dict[tuple, float],
+                      vdd: float | None = None, activity: float = DEFAULT_ACTIVITY) -> dict:
+    """Ground-truth vs. predicted energy for one design (one bar pair of Fig. 4)."""
+    true_energy = design_energy(design, None, vdd=vdd, activity=activity)
+    pred_energy = design_energy(design, predicted_couplings, vdd=vdd, activity=activity)
+    ape = abs(pred_energy - true_energy) / max(true_energy, 1e-30)
+    return {
+        "design": design.name,
+        "energy_true_j": true_energy,
+        "energy_pred_j": pred_energy,
+        "norm_energy_true": 1.0,
+        "norm_energy_pred": pred_energy / max(true_energy, 1e-30),
+        "ape": float(ape),
+    }

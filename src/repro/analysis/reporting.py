@@ -1,0 +1,46 @@
+"""Formatting helpers that render benchmark results as paper-style tables."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_metric", "print_table"]
+
+
+def format_metric(value, precision: int = 3) -> str:
+    """Render a metric value the way the paper's tables do."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    magnitude = abs(value)
+    if magnitude != 0 and (magnitude < 10 ** (-precision) or magnitude >= 10 ** 6):
+        return f"{value:.2e}"
+    return f"{value:.{precision}f}"
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, title: str | None = None,
+                 precision: int = 3) -> str:
+    """Format a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_metric(row.get(col), precision) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: list[dict], columns: list[str] | None = None, title: str | None = None,
+                precision: int = 3) -> None:
+    print(format_table(rows, columns=columns, title=title, precision=precision))

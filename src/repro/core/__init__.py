@@ -1,0 +1,66 @@
+"""Core pipeline: configuration, datasets, training, pre-training, fine-tuning."""
+
+from .config import DataConfig, ExperimentConfig, ModelConfig, TrainConfig
+from .datasets import (
+    CapacitanceNormalizer,
+    DesignData,
+    StatsNormalizer,
+    TEST_DESIGNS,
+    TRAIN_DESIGNS,
+    build_edge_regression_samples,
+    build_link_samples,
+    build_node_regression_samples,
+    load_design_suite,
+)
+from .finetune import FINETUNE_MODES, FinetuneResult, evaluate_regression, finetune_regression
+from .metrics import (
+    accuracy,
+    classification_metrics,
+    f1_score,
+    mae,
+    mape,
+    r2_score,
+    regression_metrics,
+    rmse,
+    roc_auc,
+)
+from .pipeline import CircuitGPSPipeline
+from .pretrain import PretrainResult, build_model, evaluate_zero_shot_link, pretrain_link_model
+from .trainer import BaselineTrainer, Trainer, link_pairs_for_design
+
+__all__ = [
+    "ExperimentConfig",
+    "ModelConfig",
+    "TrainConfig",
+    "DataConfig",
+    "DesignData",
+    "CapacitanceNormalizer",
+    "StatsNormalizer",
+    "load_design_suite",
+    "build_link_samples",
+    "build_edge_regression_samples",
+    "build_node_regression_samples",
+    "TRAIN_DESIGNS",
+    "TEST_DESIGNS",
+    "Trainer",
+    "BaselineTrainer",
+    "link_pairs_for_design",
+    "pretrain_link_model",
+    "evaluate_zero_shot_link",
+    "build_model",
+    "PretrainResult",
+    "finetune_regression",
+    "evaluate_regression",
+    "FinetuneResult",
+    "FINETUNE_MODES",
+    "CircuitGPSPipeline",
+    "accuracy",
+    "f1_score",
+    "roc_auc",
+    "mae",
+    "rmse",
+    "r2_score",
+    "mape",
+    "classification_metrics",
+    "regression_metrics",
+]

@@ -1,0 +1,162 @@
+"""Fine-tuning of the pre-trained meta-learner for capacitance regression.
+
+Section III-E describes two fine-tuning strategies on top of the link-
+prediction meta-learner:
+
+* **head-ft** — freeze the encoders and GPS layers, train only the
+  task-specific regression head (fast convergence),
+* **all-ft**  — continue training all parameters with the pre-trained weights
+  as initialisation (best accuracy).
+
+For comparison, ``mode="scratch"`` trains the same architecture directly on
+the regression task without pre-training (the plain "CircuitGPS" rows in
+Tables VI/VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import Subgraph
+from ..models import CircuitGPS
+from ..utils.logging import MetricLogger
+from ..utils.rng import get_rng, spawn_rng
+from .config import ExperimentConfig
+from .datasets import (
+    CapacitanceNormalizer,
+    DesignData,
+    build_edge_regression_samples,
+    build_node_regression_samples,
+)
+from .pretrain import build_model
+from .trainer import Trainer
+
+__all__ = ["FinetuneResult", "FINETUNE_MODES", "finetune_regression", "evaluate_regression"]
+
+FINETUNE_MODES = ("scratch", "head", "all")
+
+
+@dataclass
+class FinetuneResult:
+    """Outcome of a regression fine-tuning run."""
+
+    model: CircuitGPS
+    trainer: Trainer
+    history: MetricLogger
+    mode: str
+    task: str
+    normalizer: CapacitanceNormalizer
+    train_samples: list[Subgraph] = field(default_factory=list)
+    val_samples: list[Subgraph] = field(default_factory=list)
+    config: ExperimentConfig | None = None
+
+
+def _build_samples(designs: list[DesignData], config: ExperimentConfig, task: str,
+                   pe_kind: str, normalizer: CapacitanceNormalizer, rng) -> list[Subgraph]:
+    samples: list[Subgraph] = []
+    for design in designs:
+        if task == "edge_regression":
+            samples.extend(
+                build_edge_regression_samples(design, config.data, pe_kind=pe_kind,
+                                              normalizer=normalizer, rng=spawn_rng(rng))
+            )
+        else:
+            samples.extend(
+                build_node_regression_samples(design, config.data, pe_kind=pe_kind,
+                                              normalizer=normalizer, rng=spawn_rng(rng))
+            )
+    order = rng.permutation(len(samples))
+    return [samples[i] for i in order]
+
+
+def finetune_regression(designs: list[DesignData], pretrained: CircuitGPS | None = None,
+                        mode: str = "all", task: str = "edge_regression",
+                        config: ExperimentConfig | None = None, pe_kind: str | None = None,
+                        val_fraction: float = 0.1, epochs: int | None = None,
+                        verbose: bool = False, rng=None) -> FinetuneResult:
+    """Fine-tune (or train from scratch) a regression model on ``designs``.
+
+    Parameters
+    ----------
+    designs:
+        Training designs.
+    pretrained:
+        The pre-trained meta-learner.  Required for modes ``"head"`` and
+        ``"all"``; ignored for ``"scratch"``.
+    mode:
+        One of :data:`FINETUNE_MODES`.
+    task:
+        ``"edge_regression"`` (coupling capacitance) or ``"node_regression"``
+        (ground capacitance).
+    """
+    if mode not in FINETUNE_MODES:
+        raise ValueError(f"mode must be one of {FINETUNE_MODES}, got {mode!r}")
+    if task not in ("edge_regression", "node_regression"):
+        raise ValueError(f"task must be a regression task, got {task!r}")
+    if mode != "scratch" and pretrained is None:
+        raise ValueError(f"mode {mode!r} requires a pre-trained model")
+
+    config = config or ExperimentConfig.default()
+    rng = get_rng(rng if rng is not None else config.train.seed + 10)
+    normalizer = CapacitanceNormalizer(config.data.cap_min, config.data.cap_max)
+
+    if mode == "scratch":
+        model = build_model(config, pe_kind=pe_kind, rng=spawn_rng(rng))
+    else:
+        model = build_model(
+            config.with_model(pe_kind=pretrained.pe_kind, dim=pretrained.dim,
+                              num_layers=len(pretrained.layers), mpnn=pretrained.mpnn_type,
+                              attention=pretrained.attention_type,
+                              pe_hidden=pretrained.pe_hidden),
+            rng=spawn_rng(rng),
+        )
+        model.load_state_dict(pretrained.state_dict())
+        model.unfreeze_backbone()
+
+    pe = pe_kind if pe_kind is not None else model.pe_kind
+    samples = _build_samples(designs, config, task, pe, normalizer, rng)
+    num_val = int(round(len(samples) * val_fraction))
+    val_samples = samples[:num_val]
+    train_samples = samples[num_val:]
+
+    if mode == "head":
+        model.freeze_backbone()
+        parameters = model.head_parameters(task)
+    else:
+        parameters = None
+
+    trainer = Trainer(model, task=task, config=config.train, parameters=parameters,
+                      rng=spawn_rng(rng))
+    history = trainer.fit(train_samples, val_samples if val_samples else None,
+                          epochs=epochs, verbose=verbose)
+    return FinetuneResult(model=model, trainer=trainer, history=history, mode=mode, task=task,
+                          normalizer=normalizer, train_samples=train_samples,
+                          val_samples=val_samples, config=config)
+
+
+def evaluate_regression(result_or_model, design: DesignData, task: str = "edge_regression",
+                        config: ExperimentConfig | None = None, pe_kind: str | None = None,
+                        normalizer: CapacitanceNormalizer | None = None,
+                        rng=None) -> dict[str, float]:
+    """Zero-shot regression metrics of a fine-tuned model on an unseen design."""
+    config = config or ExperimentConfig.default()
+    if isinstance(result_or_model, FinetuneResult):
+        model = result_or_model.model
+        normalizer = normalizer or result_or_model.normalizer
+    else:
+        model = result_or_model
+        normalizer = normalizer or CapacitanceNormalizer(config.data.cap_min, config.data.cap_max)
+    pe = pe_kind if pe_kind is not None else model.pe_kind
+    rng = get_rng(rng if rng is not None else config.data.seed + 2)
+    if task == "edge_regression":
+        samples = build_edge_regression_samples(design, config.data, pe_kind=pe,
+                                                normalizer=normalizer, rng=rng)
+    else:
+        samples = build_node_regression_samples(design, config.data, pe_kind=pe,
+                                                normalizer=normalizer, rng=rng)
+    trainer = Trainer(model, task=task, config=config.train)
+    metrics = trainer.evaluate(samples)
+    metrics["num_samples"] = float(len(samples))
+    return metrics

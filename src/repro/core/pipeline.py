@@ -1,0 +1,210 @@
+"""High-level public API: the end-to-end CircuitGPS pipeline.
+
+:class:`CircuitGPSPipeline` glues together design generation, pre-training,
+fine-tuning and zero-shot evaluation so downstream users (and the examples in
+``examples/``) can run the full paper workflow in a few lines::
+
+    pipeline = CircuitGPSPipeline(ExperimentConfig.fast())
+    pipeline.load_designs()
+    pipeline.pretrain()
+    pipeline.finetune(mode="all")
+    print(pipeline.evaluate_link("DIGITAL_CLK_GEN"))
+    print(pipeline.evaluate_regression("DIGITAL_CLK_GEN"))
+
+It can also annotate a user-provided SPICE netlist with predicted coupling
+capacitances via :meth:`predict_couplings`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Link, collate, compute_pe, extract_enclosing_subgraph
+from ..netlist import Circuit
+from ..nn import no_grad
+from ..utils.logging import get_logger
+from ..utils.rng import get_rng
+from ..utils.serialization import load_checkpoint, save_checkpoint
+from .config import ExperimentConfig
+from .datasets import CapacitanceNormalizer, DesignData, load_design_suite
+from .finetune import FinetuneResult, evaluate_regression, finetune_regression
+from .pretrain import PretrainResult, build_model, evaluate_zero_shot_link, pretrain_link_model
+
+__all__ = ["CircuitGPSPipeline"]
+
+logger = get_logger("repro.pipeline")
+
+
+class CircuitGPSPipeline:
+    """End-to-end few-shot learning pipeline for AMS parasitic prediction."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig.default()
+        self.designs: dict[str, DesignData] = {}
+        self.pretrain_result: PretrainResult | None = None
+        self.finetune_results: dict[tuple[str, str], FinetuneResult] = {}
+        self.normalizer = CapacitanceNormalizer(self.config.data.cap_min, self.config.data.cap_max)
+
+    # ------------------------------------------------------------------ #
+    # Data
+    # ------------------------------------------------------------------ #
+    def load_designs(self, names: list[str] | None = None, scale: float | None = None,
+                     seed: int | None = None) -> dict[str, DesignData]:
+        """Generate (or fetch from cache) the design suite."""
+        scale = scale if scale is not None else self.config.data.scale
+        seed = seed if seed is not None else self.config.data.seed
+        self.designs = load_design_suite(scale=scale, seed=seed, names=names)
+        return self.designs
+
+    def add_design(self, design: DesignData) -> None:
+        """Register an externally built design (e.g. from a parsed SPICE file)."""
+        self.designs[design.name] = design
+
+    @property
+    def train_designs(self) -> list[DesignData]:
+        return [d for d in self.designs.values() if d.split == "train"]
+
+    @property
+    def test_designs(self) -> list[DesignData]:
+        return [d for d in self.designs.values() if d.split == "test"]
+
+    def _design(self, name: str) -> DesignData:
+        if name not in self.designs:
+            raise KeyError(f"design {name!r} not loaded; call load_designs() first")
+        return self.designs[name]
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def pretrain(self, verbose: bool = False) -> PretrainResult:
+        """Pre-train the meta-learner on link prediction over the training designs."""
+        if not self.train_designs:
+            raise RuntimeError("no training designs loaded")
+        self.pretrain_result = pretrain_link_model(self.train_designs, self.config,
+                                                   verbose=verbose)
+        return self.pretrain_result
+
+    def finetune(self, mode: str = "all", task: str = "edge_regression",
+                 verbose: bool = False) -> FinetuneResult:
+        """Fine-tune for capacitance regression (``mode`` in scratch/head/all)."""
+        pretrained = None
+        if mode != "scratch":
+            if self.pretrain_result is None:
+                self.pretrain()
+            pretrained = self.pretrain_result.model
+        result = finetune_regression(self.train_designs, pretrained=pretrained, mode=mode,
+                                     task=task, config=self.config, verbose=verbose)
+        self.finetune_results[(task, mode)] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_link(self, design_name: str) -> dict[str, float]:
+        """Zero-shot link-prediction metrics on one (test) design."""
+        if self.pretrain_result is None:
+            raise RuntimeError("pretrain() must run before link evaluation")
+        return evaluate_zero_shot_link(self.pretrain_result, self._design(design_name),
+                                       self.config)
+
+    def evaluate_regression(self, design_name: str, task: str = "edge_regression",
+                            mode: str = "all") -> dict[str, float]:
+        """Zero-shot regression metrics on one (test) design."""
+        key = (task, mode)
+        if key not in self.finetune_results:
+            self.finetune(mode=mode, task=task)
+        return evaluate_regression(self.finetune_results[key], self._design(design_name),
+                                   task=task, config=self.config)
+
+    # ------------------------------------------------------------------ #
+    # Inference on user circuits
+    # ------------------------------------------------------------------ #
+    def predict_couplings(self, circuit: Circuit, candidate_pairs: list[tuple[str, str]],
+                          task: str = "edge_regression", mode: str = "all",
+                          rng=None) -> list[dict]:
+        """Predict coupling existence and capacitance for candidate node pairs.
+
+        ``candidate_pairs`` holds graph-node names: net names or pins written
+        as ``"<device>:<terminal>"``.  Returns one record per pair with the
+        predicted existence probability and (denormalised) capacitance.
+        """
+        from ..graph import netlist_to_graph
+        from ..graph.hetero import LINK_NET_NET, LINK_PIN_NET, LINK_PIN_PIN, NODE_NET
+
+        if self.pretrain_result is None:
+            raise RuntimeError("pretrain() must run before inference")
+        key = (task, mode)
+        if key not in self.finetune_results:
+            self.finetune(mode=mode, task=task)
+        rng = get_rng(rng if rng is not None else 0)
+
+        graph = netlist_to_graph(circuit if circuit.is_flat else circuit.flatten())
+        link_model = self.pretrain_result.model
+        reg_result = self.finetune_results[key]
+        reg_model = reg_result.model
+
+        records = []
+        subgraphs = []
+        for name_a, name_b in candidate_pairs:
+            if not (graph.has_node(name_a) and graph.has_node(name_b)):
+                raise KeyError(f"pair ({name_a!r}, {name_b!r}) not found in circuit graph")
+            a, b = graph.node_index(name_a), graph.node_index(name_b)
+            type_a, type_b = graph.node_types[a], graph.node_types[b]
+            nets = int(type_a == NODE_NET) + int(type_b == NODE_NET)
+            link_type = {2: LINK_NET_NET, 1: LINK_PIN_NET, 0: LINK_PIN_PIN}[nets]
+            link = Link(source=a, target=b, link_type=link_type, label=0.0, capacitance=0.0)
+            subgraph = extract_enclosing_subgraph(
+                graph, link, hops=self.config.data.hops,
+                max_nodes_per_hop=self.config.data.max_nodes_per_hop, rng=rng,
+            )
+            compute_pe(subgraph, link_model.pe_kind)
+            subgraphs.append(subgraph)
+
+        batch = collate(subgraphs)
+        link_model.eval()
+        reg_model.eval()
+        with no_grad():
+            probs = 1.0 / (1.0 + np.exp(-link_model(batch, task="link").data))
+            caps_norm = reg_model(batch, task=task).data
+        for (name_a, name_b), prob, cap_norm in zip(candidate_pairs, probs, caps_norm):
+            records.append({
+                "pair": (name_a, name_b),
+                "coupling_probability": float(prob),
+                "capacitance_normalized": float(np.clip(cap_norm, 0.0, 1.0)),
+                "capacitance_farad": self.normalizer.denormalize(float(np.clip(cap_norm, 0.0, 1.0))),
+            })
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Save the pre-trained meta-learner (and its config) to ``path``."""
+        if self.pretrain_result is None:
+            raise RuntimeError("nothing to save; run pretrain() first")
+        model = self.pretrain_result.model
+        save_checkpoint(path, model.state_dict(),
+                        metadata={"model": model.config(), "experiment": self.config.as_dict()})
+
+    def load(self, path) -> PretrainResult:
+        """Load a meta-learner checkpoint saved by :meth:`save`."""
+        state, metadata = load_checkpoint(path)
+        model_cfg = metadata.get("model", {})
+        config = self.config.with_model(
+            dim=model_cfg.get("dim", self.config.model.dim),
+            num_layers=model_cfg.get("num_layers", self.config.model.num_layers),
+            pe_kind=model_cfg.get("pe_kind", self.config.model.pe_kind),
+            pe_hidden=model_cfg.get("pe_hidden", self.config.model.pe_hidden),
+            mpnn=model_cfg.get("mpnn", self.config.model.mpnn),
+            attention=model_cfg.get("attention", self.config.model.attention),
+        )
+        model = build_model(config)
+        model.load_state_dict(state)
+        from .trainer import Trainer
+        from ..utils.logging import MetricLogger
+
+        trainer = Trainer(model, task="link", config=config.train)
+        self.pretrain_result = PretrainResult(model=model, trainer=trainer,
+                                              history=MetricLogger("loaded"), config=config)
+        self.config = config
+        return self.pretrain_result

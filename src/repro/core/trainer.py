@@ -1,0 +1,312 @@
+"""Training and evaluation loops.
+
+Two trainers are provided:
+
+* :class:`Trainer` — mini-batch training of CircuitGPS on lists of sampled
+  enclosing subgraphs (link prediction, edge regression, node regression).
+* :class:`BaselineTrainer` — full-graph training of the ParaGraph / DLPL-Cap
+  baselines, which (as in the paper) consume the entire circuit graph and the
+  circuit-statistics matrix without any sampling or positional encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import Subgraph, balance_links, batch_iterator, generate_negative_links
+from ..graph.hetero import CircuitGraph, Link
+from ..models import CircuitGPS, DLPLCap, FullGraphEncoder, ParaGraph
+from ..nn import (
+    Adam,
+    BatchNorm1d,
+    CosineSchedule,
+    Tensor,
+    bce_with_logits,
+    clip_grad_norm,
+    mse_loss,
+    no_grad,
+)
+from ..utils.logging import MetricLogger, get_logger
+from ..utils.rng import get_rng
+from .config import DataConfig, TrainConfig
+from .datasets import CapacitanceNormalizer, DesignData
+from .metrics import classification_metrics, regression_metrics
+
+__all__ = ["Trainer", "BaselineTrainer", "link_pairs_for_design"]
+
+logger = get_logger("repro.trainer")
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-values))
+
+
+class Trainer:
+    """Mini-batch trainer for CircuitGPS-style subgraph models."""
+
+    def __init__(self, model: CircuitGPS, task: str = "link",
+                 config: TrainConfig = TrainConfig(), parameters=None, rng=None):
+        if task not in ("link", "edge_regression", "node_regression"):
+            raise ValueError(f"unknown task {task!r}")
+        self.model = model
+        self.task = task
+        self.config = config
+        self.rng = get_rng(rng if rng is not None else config.seed)
+        params = list(parameters) if parameters is not None else list(model.parameters())
+        self.parameters = [p for p in params if p.requires_grad]
+        self.optimizer = Adam(self.parameters, lr=config.lr, weight_decay=config.weight_decay)
+        self.history = MetricLogger(name=f"{task}-train")
+
+    # ------------------------------------------------------------------ #
+    def _loss(self, batch) -> tuple:
+        predictions = self.model(batch, task=self.task)
+        if self.task == "link":
+            loss = bce_with_logits(predictions, batch.labels)
+        else:
+            loss = mse_loss(predictions, batch.targets)
+        return loss, predictions
+
+    def fit(self, train_samples: list[Subgraph], val_samples: list[Subgraph] | None = None,
+            epochs: int | None = None, verbose: bool = False) -> MetricLogger:
+        """Train for ``epochs`` epochs; returns the metric history."""
+        epochs = epochs if epochs is not None else self.config.epochs
+        steps_per_epoch = max(1, int(np.ceil(len(train_samples) / self.config.batch_size)))
+        schedule = CosineSchedule(
+            self.optimizer,
+            total_steps=epochs * steps_per_epoch,
+            warmup_steps=self.config.warmup_epochs * steps_per_epoch,
+            min_lr=self.config.min_lr,
+        )
+        self.model.train()
+        for epoch in range(epochs):
+            losses = []
+            for batch in batch_iterator(train_samples, self.config.batch_size, rng=self.rng):
+                loss, _ = self._loss(batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.parameters, self.config.grad_clip)
+                self.optimizer.step()
+                schedule.step()
+                losses.append(loss.item())
+            row = {"loss": float(np.mean(losses))}
+            if val_samples:
+                row.update({f"val_{k}": v for k, v in self.evaluate(val_samples).items()})
+                self.model.train()
+            self.history.log(epoch, **row)
+            if verbose:
+                logger.info("epoch %d: %s", epoch, row)
+        self.recalibrate_batchnorm(train_samples)
+        return self.history
+
+    def recalibrate_batchnorm(self, samples: list[Subgraph]) -> None:
+        """Re-estimate BatchNorm running statistics on the training set.
+
+        Training runs are short (tens of steps), so the exponential running
+        averages used at evaluation time lag far behind the batch statistics
+        seen during training, which mis-calibrates logits and regressed
+        values.  After fitting, one streaming pass recomputes the running
+        mean/variance as the *cumulative* average over the training batches.
+        """
+        batchnorms = [m for m in self.model.modules() if isinstance(m, BatchNorm1d)]
+        if not batchnorms or not samples:
+            return
+        saved_momentum = [bn.momentum for bn in batchnorms]
+        for bn in batchnorms:
+            bn.running_mean = np.zeros_like(bn.running_mean)
+            bn.running_var = np.ones_like(bn.running_var)
+        self.model.train()
+        with no_grad():
+            for step, batch in enumerate(
+                batch_iterator(samples, self.config.batch_size, shuffle=False)
+            ):
+                for bn in batchnorms:
+                    bn.momentum = 1.0 / (step + 1)
+                self.model(batch, task=self.task)
+        for bn, momentum in zip(batchnorms, saved_momentum):
+            bn.momentum = momentum
+
+    def predict(self, samples: list[Subgraph]) -> np.ndarray:
+        """Scores (probabilities for link, normalised capacitances for regression)."""
+        self.model.eval()
+        outputs = []
+        with no_grad():
+            for batch in batch_iterator(samples, max(self.config.batch_size, 128), shuffle=False):
+                predictions = self.model(batch, task=self.task)
+                outputs.append(predictions.data.copy())
+        values = np.concatenate(outputs) if outputs else np.zeros(0)
+        if self.task == "link":
+            return _sigmoid(values)
+        # Capacitance targets are normalised to [0, 1] (Section IV-C), so
+        # predictions are clipped to the valid domain.
+        return np.clip(values, 0.0, 1.0)
+
+    def evaluate(self, samples: list[Subgraph]) -> dict[str, float]:
+        """Task-appropriate metric bundle on ``samples``."""
+        scores = self.predict(samples)
+        if self.task == "link":
+            labels = np.array([s.label for s in samples])
+            return classification_metrics(scores, labels)
+        targets = np.array([s.target for s in samples])
+        return regression_metrics(scores, targets)
+
+
+# --------------------------------------------------------------------------- #
+# Baselines
+# --------------------------------------------------------------------------- #
+def link_pairs_for_design(design: DesignData, config: DataConfig = DataConfig(),
+                          normalizer: CapacitanceNormalizer | None = None,
+                          regression: bool = False, rng=None
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Balanced (pairs, labels, targets) arrays for full-graph baselines."""
+    rng = get_rng(rng if rng is not None else config.seed)
+    normalizer = normalizer or CapacitanceNormalizer(config.cap_min, config.cap_max)
+    positives = list(design.graph.links)
+    if regression:
+        positives = [l for l in positives if normalizer.in_range(l.capacitance)]
+    positives = balance_links(positives, rng=rng)
+    if config.max_links_per_design is not None and len(positives) > config.max_links_per_design:
+        chosen = rng.choice(len(positives), size=config.max_links_per_design, replace=False)
+        positives = [positives[i] for i in chosen]
+    probe = CircuitGraph(
+        name=design.graph.name,
+        node_types=design.graph.node_types,
+        node_names=design.graph.node_names,
+        edge_index=design.graph.edge_index,
+        edge_types=design.graph.edge_types,
+        node_stats=design.graph.node_stats,
+        links=positives,
+    )
+    ratio = 0.25 if regression else config.negative_ratio
+    negatives = generate_negative_links(probe, ratio=ratio, rng=rng)
+    links: list[Link] = positives + negatives
+    pairs = np.array([[l.source, l.target] for l in links], dtype=np.int64)
+    labels = np.array([l.label for l in links], dtype=np.float64)
+    targets = np.array([normalizer.normalize(l.capacitance) for l in links], dtype=np.float64)
+    order = rng.permutation(len(links))
+    return pairs[order], labels[order], targets[order]
+
+
+@dataclass
+class _DesignBatch:
+    """Cached full-graph inputs plus target pairs/nodes for one design."""
+
+    inputs: dict
+    pairs: np.ndarray
+    labels: np.ndarray
+    targets: np.ndarray
+
+
+class BaselineTrainer:
+    """Full-graph trainer for the ParaGraph and DLPL-Cap baselines."""
+
+    def __init__(self, model, task: str = "link", config: TrainConfig = TrainConfig(),
+                 data_config: DataConfig = DataConfig(), rng=None):
+        if not isinstance(model, (ParaGraph, DLPLCap)):
+            raise TypeError("BaselineTrainer expects a ParaGraph or DLPLCap model")
+        if task not in ("link", "edge_regression", "node_regression"):
+            raise ValueError(f"unknown task {task!r}")
+        self.model = model
+        self.task = task
+        self.config = config
+        self.data_config = data_config
+        self.rng = get_rng(rng if rng is not None else config.seed)
+        self.normalizer = CapacitanceNormalizer(data_config.cap_min, data_config.cap_max)
+        self.optimizer = Adam(list(model.parameters()), lr=config.lr,
+                              weight_decay=config.weight_decay)
+        self.history = MetricLogger(name=f"baseline-{task}")
+
+    # ------------------------------------------------------------------ #
+    def _prepare(self, design: DesignData) -> _DesignBatch:
+        inputs = FullGraphEncoder.graph_inputs(design.graph, design.graph.node_stats)
+        if self.task == "node_regression":
+            caps = design.graph.node_ground_caps
+            nodes = [
+                i for i in range(design.graph.num_nodes)
+                if caps is not None and caps[i] > 0 and self.normalizer.in_range(caps[i])
+            ]
+            limit = self.data_config.max_nodes_per_design
+            if limit is not None and len(nodes) > limit:
+                chosen = self.rng.choice(len(nodes), size=limit, replace=False)
+                nodes = [nodes[i] for i in chosen]
+            nodes = np.array(nodes, dtype=np.int64)
+            targets = np.array([self.normalizer.normalize(caps[i]) for i in nodes])
+            pairs = np.stack([nodes, nodes], axis=1)
+            labels = np.ones(len(nodes))
+        else:
+            pairs, labels, targets = link_pairs_for_design(
+                design, self.data_config, self.normalizer,
+                regression=(self.task == "edge_regression"), rng=self.rng,
+            )
+        return _DesignBatch(inputs=inputs, pairs=pairs, labels=labels, targets=targets)
+
+    def _forward(self, batch: _DesignBatch):
+        embeddings = self.model.encode(batch.inputs)
+        if self.task == "link":
+            return self.model.link_logits(embeddings, batch.pairs)
+        if self.task == "edge_regression":
+            return self.model.edge_regression(embeddings, batch.pairs)
+        return self.model.node_regression(embeddings, batch.pairs[:, 0])
+
+    def fit(self, designs: list[DesignData], epochs: int | None = None,
+            verbose: bool = False) -> MetricLogger:
+        epochs = epochs if epochs is not None else self.config.epochs
+        batches = [self._prepare(design) for design in designs]
+        schedule = CosineSchedule(self.optimizer, total_steps=max(1, epochs * len(batches)),
+                                  warmup_steps=len(batches), min_lr=self.config.min_lr)
+        self.model.train()
+        for epoch in range(epochs):
+            losses = []
+            for batch in batches:
+                predictions = self._forward(batch)
+                if self.task == "link":
+                    loss = bce_with_logits(predictions, batch.labels)
+                else:
+                    loss = mse_loss(predictions, batch.targets)
+                self.optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+                self.optimizer.step()
+                schedule.step()
+                losses.append(loss.item())
+            self.history.log(epoch, loss=float(np.mean(losses)))
+            if verbose:
+                logger.info("baseline epoch %d: loss=%.4f", epoch, float(np.mean(losses)))
+        self._recalibrate_batchnorm(batches)
+        return self.history
+
+    def _recalibrate_batchnorm(self, batches: list[_DesignBatch]) -> None:
+        """Recompute BatchNorm running statistics over the training designs."""
+        batchnorms = [m for m in self.model.modules() if isinstance(m, BatchNorm1d)]
+        if not batchnorms or not batches:
+            return
+        saved = [bn.momentum for bn in batchnorms]
+        for bn in batchnorms:
+            bn.running_mean = np.zeros_like(bn.running_mean)
+            bn.running_var = np.ones_like(bn.running_var)
+        self.model.train()
+        with no_grad():
+            for step, batch in enumerate(batches):
+                for bn in batchnorms:
+                    bn.momentum = 1.0 / (step + 1)
+                self._forward(batch)
+        for bn, momentum in zip(batchnorms, saved):
+            bn.momentum = momentum
+
+    def predict(self, design: DesignData) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (scores, labels, targets) for one design."""
+        batch = self._prepare(design)
+        self.model.eval()
+        with no_grad():
+            predictions = self._forward(batch)
+        values = predictions.data.copy()
+        if self.task == "link":
+            values = _sigmoid(values)
+        return values, batch.labels, batch.targets
+
+    def evaluate(self, design: DesignData) -> dict[str, float]:
+        scores, labels, targets = self.predict(design)
+        if self.task == "link":
+            return classification_metrics(scores, labels)
+        return regression_metrics(scores, targets)

@@ -1,0 +1,125 @@
+"""Batching of sampled subgraphs into disjoint unions.
+
+CircuitGPS trains on mini-batches of enclosing subgraphs.  A batch is a single
+big graph whose connected components are the individual subgraphs; the
+``batch`` vector assigns each node to its subgraph so pooling, attention and
+DSPD anchors stay per-sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .sampling import Subgraph
+
+__all__ = ["SubgraphBatch", "collate", "batch_iterator"]
+
+
+@dataclass
+class SubgraphBatch:
+    """A disjoint union of subgraphs ready to be consumed by a model."""
+
+    node_types: np.ndarray        # (N,)
+    edge_index: np.ndarray        # (2, E) with batch-wide node indices
+    edge_types: np.ndarray        # (E,)
+    batch: np.ndarray             # (N,) graph id per node
+    anchors: np.ndarray           # (B, 2) batch-wide indices of each graph's anchors
+    pe: np.ndarray                # (N, pe_dim) positional encodings (possibly 0-dim)
+    node_stats: np.ndarray        # (N, d_C) circuit statistics X_C
+    labels: np.ndarray            # (B,) link-existence labels
+    targets: np.ndarray           # (B,) regression targets
+    link_types: np.ndarray        # (B,)
+
+    @property
+    def num_graphs(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_types.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def validate(self) -> None:
+        if self.batch.shape[0] != self.num_nodes:
+            raise ValueError("batch vector length mismatch")
+        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
+            raise ValueError("edge_index exceeds number of nodes")
+        if self.anchors.shape != (self.num_graphs, 2):
+            raise ValueError("anchors must have shape (num_graphs, 2)")
+        if self.edge_index.size:
+            same = self.batch[self.edge_index[0]] == self.batch[self.edge_index[1]]
+            if not bool(np.all(same)):
+                raise ValueError("edges must not cross subgraph boundaries")
+
+
+def collate(subgraphs: Sequence[Subgraph], stats_dim: int | None = None) -> SubgraphBatch:
+    """Concatenate subgraphs into one :class:`SubgraphBatch`."""
+    if not subgraphs:
+        raise ValueError("cannot collate an empty list of subgraphs")
+    pe_dims = {0 if s.pe is None else s.pe.shape[1] for s in subgraphs}
+    if len(pe_dims) != 1:
+        raise ValueError(f"inconsistent PE dimensions in batch: {sorted(pe_dims)}")
+    pe_dim = pe_dims.pop()
+    if stats_dim is None:
+        stats_dim = 0
+        for subgraph in subgraphs:
+            if subgraph.node_stats is not None:
+                stats_dim = subgraph.node_stats.shape[1]
+                break
+
+    node_types, edge_index, edge_types, batch_vec = [], [], [], []
+    pe_rows, stats_rows, anchors = [], [], []
+    labels, targets, link_types = [], [], []
+    offset = 0
+    for graph_id, subgraph in enumerate(subgraphs):
+        n = subgraph.num_nodes
+        node_types.append(subgraph.node_types)
+        edge_index.append(subgraph.edge_index + offset)
+        edge_types.append(subgraph.edge_types)
+        batch_vec.append(np.full(n, graph_id, dtype=np.int64))
+        pe_rows.append(subgraph.pe if subgraph.pe is not None else np.zeros((n, pe_dim)))
+        if subgraph.node_stats is not None:
+            stats_rows.append(subgraph.node_stats)
+        else:
+            stats_rows.append(np.zeros((n, stats_dim)))
+        anchors.append([subgraph.anchors[0] + offset, subgraph.anchors[1] + offset])
+        labels.append(subgraph.label)
+        targets.append(subgraph.target)
+        link_types.append(subgraph.link_type)
+        offset += n
+
+    return SubgraphBatch(
+        node_types=np.concatenate(node_types),
+        edge_index=np.concatenate(edge_index, axis=1) if edge_index else np.zeros((2, 0), dtype=np.int64),
+        edge_types=np.concatenate(edge_types),
+        batch=np.concatenate(batch_vec),
+        anchors=np.array(anchors, dtype=np.int64),
+        pe=np.concatenate(pe_rows, axis=0),
+        node_stats=np.concatenate(stats_rows, axis=0),
+        labels=np.array(labels, dtype=np.float64),
+        targets=np.array(targets, dtype=np.float64),
+        link_types=np.array(link_types, dtype=np.int64),
+    )
+
+
+def batch_iterator(subgraphs: Sequence[Subgraph], batch_size: int, shuffle: bool = True,
+                   rng=None, drop_last: bool = False) -> Iterator[SubgraphBatch]:
+    """Yield :class:`SubgraphBatch` objects of ``batch_size`` subgraphs."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    rng = get_rng(rng)
+    order = np.arange(len(subgraphs))
+    if shuffle:
+        order = rng.permutation(order)
+    for start in range(0, len(order), batch_size):
+        chunk = order[start:start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            break
+        yield collate([subgraphs[i] for i in chunk])

@@ -1,0 +1,157 @@
+"""Netlist-to-graph conversion (step 1 of the CircuitGPS workflow, Fig. 2).
+
+The flat schematic netlist becomes a heterogeneous graph:
+
+* one **net** node per signal net (power/ground rails are dropped, as is
+  standard in parasitic-prediction GNNs — they would otherwise be hub nodes
+  connecting most of the design and blow up every enclosing subgraph),
+* one **device** node per primitive device,
+* one **pin** node per device terminal,
+* a **device-pin** edge between a device and each of its pins,
+* a **net-pin** edge between a pin and the net it connects to.
+
+Ground-truth coupling capacitances from a :class:`ParasiticReport` (or an SPF
+file) are attached as :class:`~repro.graph.hetero.Link` records with the link
+types pin-net / pin-pin / net-net, and per-node ground capacitances are stored
+for the node-regression task of Section IV-D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..netlist.parasitics import NET, PIN, ParasiticReport
+from .features import compute_node_stats
+from .hetero import (
+    EDGE_DEVICE_PIN,
+    EDGE_NET_PIN,
+    LINK_NET_NET,
+    LINK_PIN_NET,
+    LINK_PIN_PIN,
+    NODE_DEVICE,
+    NODE_NET,
+    NODE_PIN,
+    CircuitGraph,
+    Link,
+)
+
+__all__ = ["netlist_to_graph", "attach_parasitics"]
+
+
+def netlist_to_graph(circuit: Circuit, parasitics: ParasiticReport | None = None,
+                     include_power_nets: bool = False,
+                     with_stats: bool = True) -> CircuitGraph:
+    """Convert a (flat) circuit into a heterogeneous :class:`CircuitGraph`."""
+    if not circuit.is_flat:
+        circuit = circuit.flatten()
+
+    node_names: list[str] = []
+    node_types: list[int] = []
+    index_of: dict[str, int] = {}
+
+    def add_node(name: str, node_type: int) -> int:
+        if name in index_of:
+            return index_of[name]
+        index_of[name] = len(node_names)
+        node_names.append(name)
+        node_types.append(node_type)
+        return index_of[name]
+
+    # Net nodes.
+    for net in circuit.nets:
+        if not include_power_nets and Circuit.is_power_rail(net):
+            continue
+        add_node(net, NODE_NET)
+
+    sources: list[int] = []
+    targets: list[int] = []
+    edge_types: list[int] = []
+
+    # Device and pin nodes plus structural edges.
+    for device in circuit.devices:
+        device_idx = add_node(device.name, NODE_DEVICE)
+        for terminal, net in device.terminal_items():
+            pin_name = f"{device.name}:{terminal}"
+            pin_idx = add_node(pin_name, NODE_PIN)
+            sources.append(device_idx)
+            targets.append(pin_idx)
+            edge_types.append(EDGE_DEVICE_PIN)
+            if not include_power_nets and Circuit.is_power_rail(net):
+                continue
+            net_idx = index_of.get(net)
+            if net_idx is None:
+                net_idx = add_node(net, NODE_NET)
+            sources.append(net_idx)
+            targets.append(pin_idx)
+            edge_types.append(EDGE_NET_PIN)
+
+    node_types_arr = np.array(node_types, dtype=np.int64)
+    edge_index = np.array([sources, targets], dtype=np.int64) if sources else np.zeros((2, 0), dtype=np.int64)
+    edge_types_arr = np.array(edge_types, dtype=np.int64)
+
+    graph = CircuitGraph(
+        name=circuit.name,
+        node_types=node_types_arr,
+        node_names=node_names,
+        edge_index=edge_index,
+        edge_types=edge_types_arr,
+    )
+
+    if with_stats:
+        graph.node_stats = compute_node_stats(circuit, node_names, node_types_arr)
+
+    if parasitics is not None:
+        attach_parasitics(graph, parasitics)
+    return graph
+
+
+def _link_type(kind_a: str, kind_b: str) -> int:
+    kinds = tuple(sorted((kind_a, kind_b)))
+    if kinds == (NET, NET):
+        return LINK_NET_NET
+    if kinds == (NET, PIN):
+        return LINK_PIN_NET
+    if kinds == (PIN, PIN):
+        return LINK_PIN_PIN
+    raise ValueError(f"unknown coupling kinds {kinds}")
+
+
+def attach_parasitics(graph: CircuitGraph, parasitics: ParasiticReport) -> CircuitGraph:
+    """Attach coupling links and per-node ground capacitances to ``graph``.
+
+    Couplings that reference nodes absent from the graph (for instance nets
+    dropped because they are power rails) are skipped.  Duplicate couplings
+    between the same node pair are merged by summing their capacitances.
+    """
+    merged: dict[tuple[int, int], tuple[int, float]] = {}
+    for coupling in parasitics.couplings:
+        if not (graph.has_node(coupling.name_a) and graph.has_node(coupling.name_b)):
+            continue
+        a = graph.node_index(coupling.name_a)
+        b = graph.node_index(coupling.name_b)
+        if a == b:
+            continue
+        key = (a, b) if a <= b else (b, a)
+        link_type = _link_type(coupling.kind_a, coupling.kind_b)
+        if key in merged:
+            link_type, value = merged[key][0], merged[key][1] + coupling.value
+            merged[key] = (link_type, value)
+        else:
+            merged[key] = (link_type, coupling.value)
+
+    graph.links = [
+        Link(source=a, target=b, link_type=link_type, label=1.0, capacitance=value)
+        for (a, b), (link_type, value) in sorted(merged.items())
+    ]
+
+    ground = np.zeros(graph.num_nodes)
+    for net, value in parasitics.net_ground_caps.items():
+        if graph.has_node(net):
+            ground[graph.node_index(net)] = value
+    for (device, terminal), value in parasitics.pin_ground_caps.items():
+        pin_name = f"{device}:{terminal}"
+        if graph.has_node(pin_name):
+            ground[graph.node_index(pin_name)] = value
+    graph.node_ground_caps = ground
+    return graph

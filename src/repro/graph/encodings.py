@@ -1,0 +1,220 @@
+"""Positional and structural encodings for sampled subgraphs (Section III-C).
+
+Implements every encoding compared in Table II:
+
+* ``dspd``  – the paper's double-anchor shortest-path distance: for each node
+  the pair ``(d(i, m), d(i, n))`` of BFS distances to the two anchors, here
+  one-hot encoded per distance bucket (an unreachable bucket included) so a
+  single linear encoder can consume any PE.
+* ``drnl``  – SEAL's double-radius node labelling hash, one-hot encoded.
+* ``rwse``  – random-walk structural encoding: return probabilities
+  ``diag(P^k)`` for ``k = 1..K``.
+* ``lappe`` – eigenvectors of the symmetric normalised Laplacian belonging to
+  the smallest non-trivial eigenvalues.
+* ``stats`` – the circuit-statistics matrix ``X_C`` used *as if* it were a PE
+  (the configuration Observation 1 warns about).
+* ``none``  – no positional encoding.
+
+All functions take a :class:`~repro.graph.sampling.Subgraph` and return a
+float array of shape ``(num_nodes, dim)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sampling import Subgraph
+
+__all__ = [
+    "PE_KINDS",
+    "pe_dim",
+    "compute_pe",
+    "dspd_encoding",
+    "drnl_encoding",
+    "rwse_encoding",
+    "laplacian_encoding",
+    "stats_encoding",
+]
+
+# Distances >= DSPD_MAX_DISTANCE (or unreachable) share the last bucket.
+DSPD_MAX_DISTANCE = 4
+DRNL_MAX_LABEL = 16
+RWSE_STEPS = 8
+LAPPE_DIM = 4
+
+PE_KINDS = ("none", "stats", "drnl", "rwse", "lappe", "dspd")
+
+
+def _local_adjacency(subgraph: Subgraph) -> list[list[int]]:
+    adjacency: list[list[int]] = [[] for _ in range(subgraph.num_nodes)]
+    for s, t in subgraph.edge_index.T:
+        adjacency[int(s)].append(int(t))
+        adjacency[int(t)].append(int(s))
+    return adjacency
+
+
+def _bfs_distances(adjacency: list[list[int]], source: int, unreachable: int) -> np.ndarray:
+    distances = np.full(len(adjacency), unreachable, dtype=np.int64)
+    distances[source] = 0
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: list[int] = []
+        for node in frontier:
+            for neighbour in adjacency[node]:
+                if distances[neighbour] == unreachable:
+                    distances[neighbour] = depth
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+    return distances
+
+
+def _one_hot(values: np.ndarray, num_classes: int) -> np.ndarray:
+    clipped = np.clip(values, 0, num_classes - 1)
+    encoded = np.zeros((values.shape[0], num_classes))
+    encoded[np.arange(values.shape[0]), clipped] = 1.0
+    return encoded
+
+
+# --------------------------------------------------------------------------- #
+# Individual encodings
+# --------------------------------------------------------------------------- #
+def dspd_encoding(subgraph: Subgraph, max_distance: int = DSPD_MAX_DISTANCE) -> np.ndarray:
+    """Double-anchor shortest-path distance, one-hot per anchor.
+
+    Unreachable nodes and nodes farther than ``max_distance`` fall into the
+    last bucket, so the output dimension is ``2 * (max_distance + 1)``.
+    For node-level subgraphs the two anchors coincide and ``D0 == D1``,
+    exactly as described in Section IV-D.
+    """
+    adjacency = _local_adjacency(subgraph)
+    unreachable = max_distance
+    d0 = _bfs_distances(adjacency, subgraph.anchors[0], unreachable=max_distance + 1)
+    d1 = _bfs_distances(adjacency, subgraph.anchors[1], unreachable=max_distance + 1)
+    d0 = np.minimum(d0, unreachable)
+    d1 = np.minimum(d1, unreachable)
+    return np.concatenate([_one_hot(d0, max_distance + 1), _one_hot(d1, max_distance + 1)], axis=1)
+
+
+def drnl_encoding(subgraph: Subgraph, max_label: int = DRNL_MAX_LABEL) -> np.ndarray:
+    """SEAL's double-radius node labelling (perfect-hash variant), one-hot encoded.
+
+    ``label(i) = 1 + min(dx, dy) + (d // 2) * (d // 2 + d % 2 - 1)`` with
+    ``d = dx + dy``; the two anchors get label 1, unreachable nodes label 0.
+    """
+    adjacency = _local_adjacency(subgraph)
+    big = 10 ** 6
+    dx = _bfs_distances(adjacency, subgraph.anchors[0], unreachable=big)
+    dy = _bfs_distances(adjacency, subgraph.anchors[1], unreachable=big)
+    labels = np.zeros(subgraph.num_nodes, dtype=np.int64)
+    for i in range(subgraph.num_nodes):
+        if i in subgraph.anchors:
+            labels[i] = 1
+            continue
+        if dx[i] >= big or dy[i] >= big:
+            labels[i] = 0
+            continue
+        d = dx[i] + dy[i]
+        labels[i] = 1 + min(dx[i], dy[i]) + (d // 2) * (d // 2 + d % 2 - 1)
+    labels = np.clip(labels, 0, max_label - 1)
+    return _one_hot(labels, max_label)
+
+
+def rwse_encoding(subgraph: Subgraph, steps: int = RWSE_STEPS) -> np.ndarray:
+    """Random-walk structural encoding: landing-back probabilities for 1..steps."""
+    n = subgraph.num_nodes
+    adjacency = np.zeros((n, n))
+    for s, t in subgraph.edge_index.T:
+        adjacency[int(s), int(t)] = 1.0
+        adjacency[int(t), int(s)] = 1.0
+    degrees = adjacency.sum(axis=1)
+    degrees[degrees == 0] = 1.0
+    transition = adjacency / degrees[:, None]
+    encoding = np.zeros((n, steps))
+    power = np.eye(n)
+    for k in range(steps):
+        power = power @ transition
+        encoding[:, k] = np.diag(power)
+    return encoding
+
+
+def laplacian_encoding(subgraph: Subgraph, dim: int = LAPPE_DIM) -> np.ndarray:
+    """Eigenvectors of the symmetric normalised Laplacian (smallest non-trivial).
+
+    Eigenvector signs are fixed deterministically (first non-zero entry made
+    positive); if the subgraph has fewer than ``dim + 1`` nodes the encoding is
+    zero-padded.
+    """
+    n = subgraph.num_nodes
+    adjacency = np.zeros((n, n))
+    for s, t in subgraph.edge_index.T:
+        adjacency[int(s), int(t)] = 1.0
+        adjacency[int(t), int(s)] = 1.0
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    laplacian = np.eye(n) - (inv_sqrt[:, None] * adjacency * inv_sqrt[None, :])
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    order = np.argsort(eigenvalues)
+    encoding = np.zeros((n, dim))
+    # Skip the first (trivial) eigenvector.
+    selected = order[1:dim + 1]
+    for column, eig_index in enumerate(selected):
+        vector = eigenvectors[:, eig_index]
+        nonzero = np.nonzero(np.abs(vector) > 1e-12)[0]
+        if nonzero.size and vector[nonzero[0]] < 0:
+            vector = -vector
+        encoding[:, column] = vector
+    return encoding
+
+
+def stats_encoding(subgraph: Subgraph) -> np.ndarray:
+    """Use the circuit-statistics matrix ``X_C`` as a positional encoding.
+
+    This is the ``X_C`` row of Table II: the configuration that *degrades*
+    link-prediction generalisation (Observation 1).
+    """
+    if subgraph.node_stats is None:
+        raise ValueError("subgraph has no node_stats; convert the graph with with_stats=True")
+    stats = subgraph.node_stats
+    scale = np.maximum(np.abs(stats).max(axis=0), 1e-9)
+    return stats / scale
+
+
+def pe_dim(kind: str, stats_dim: int = 13) -> int:
+    """Output dimension of each PE kind (used to size the model's PE encoder)."""
+    kind = kind.lower()
+    if kind == "none":
+        return 0
+    if kind == "dspd":
+        return 2 * (DSPD_MAX_DISTANCE + 1)
+    if kind == "drnl":
+        return DRNL_MAX_LABEL
+    if kind == "rwse":
+        return RWSE_STEPS
+    if kind == "lappe":
+        return LAPPE_DIM
+    if kind == "stats":
+        return stats_dim
+    raise ValueError(f"unknown PE kind {kind!r}; choose from {PE_KINDS}")
+
+
+def compute_pe(subgraph: Subgraph, kind: str = "dspd") -> np.ndarray:
+    """Compute the requested PE for a subgraph and cache it on ``subgraph.pe``."""
+    kind = kind.lower()
+    if kind == "none":
+        encoding = np.zeros((subgraph.num_nodes, 0))
+    elif kind == "dspd":
+        encoding = dspd_encoding(subgraph)
+    elif kind == "drnl":
+        encoding = drnl_encoding(subgraph)
+    elif kind == "rwse":
+        encoding = rwse_encoding(subgraph)
+    elif kind == "lappe":
+        encoding = laplacian_encoding(subgraph)
+    elif kind == "stats":
+        encoding = stats_encoding(subgraph)
+    else:
+        raise ValueError(f"unknown PE kind {kind!r}; choose from {PE_KINDS}")
+    subgraph.pe = encoding
+    return encoding

@@ -1,0 +1,121 @@
+"""Circuit-statistics feature matrix ``X_C`` (Table I of the paper).
+
+For each node type the paper defines a vector of design statistics that feed
+the *task-specific head* of CircuitGPS (they are deliberately **not** used as
+input to the GPS trunk for link prediction — Observation 1).  The feature
+layout below follows Table I exactly; vectors shorter than the maximum
+dimensionality are zero-padded so ``X_C`` is a dense ``(N, 13)`` matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..netlist.devices import Capacitor, Device, Diode, Mosfet, Resistor
+from .hetero import NODE_DEVICE, NODE_NET, NODE_PIN
+
+__all__ = ["STATS_DIM", "PIN_TYPE_CODES", "compute_node_stats", "normalize_stats"]
+
+STATS_DIM = 13
+
+# Pin-type codes for the single-dimensional pin statistics (Table I, x_i = 2).
+PIN_TYPE_CODES = {"G": 0, "D": 1, "S": 2, "B": 3, "P": 4, "N": 5}
+
+
+def _net_stats(net: str, devices: list[Device], ports: set[str]) -> np.ndarray:
+    """Thirteen-dimensional statistics of a net node (Table I, x_i = 0)."""
+    stats = np.zeros(STATS_DIM)
+    for device in devices:
+        if isinstance(device, Mosfet):
+            terminals = [t for t, n in device.terminal_items() if n == net]
+            stats[0] += 1
+            stats[1] += sum(1 for t in terminals if t == "G")
+            stats[2] += sum(1 for t in terminals if t in ("S", "D"))
+            stats[3] += sum(1 for t in terminals if t == "B")
+            stats[4] += device.width * device.multiplier * 1e6      # in um
+            stats[5] += device.length * device.multiplier * 1e6
+        elif isinstance(device, Capacitor):
+            stats[6] += 1
+            stats[7] += device.length * 1e6
+            stats[8] += device.fingers
+        elif isinstance(device, Resistor):
+            stats[9] += 1
+            stats[10] += device.width * 1e6
+            stats[11] += device.length * 1e6
+    stats[12] = 1.0 if net in ports else 0.0
+    return stats
+
+
+def _device_stats(device: Device) -> np.ndarray:
+    """Eleven-dimensional statistics of a device node (Table I, x_i = 1), zero-padded."""
+    stats = np.zeros(STATS_DIM)
+    if isinstance(device, Mosfet):
+        stats[0] = device.multiplier
+        stats[1] = device.length * 1e6
+        stats[2] = device.width * 1e6
+    elif isinstance(device, Resistor):
+        stats[3] = device.multiplier
+        stats[4] = device.length * 1e6
+        stats[5] = device.width * 1e6
+    elif isinstance(device, Capacitor):
+        stats[6] = device.multiplier
+        stats[7] = device.length * 1e6
+        stats[8] = device.fingers
+    elif isinstance(device, Diode):
+        stats[0] = device.multiplier
+    stats[9] = len(device.terminals)
+    stats[10] = device.type_code
+    return stats
+
+
+def _pin_stats(terminal: str) -> np.ndarray:
+    """One-dimensional pin statistics (Table I, x_i = 2), zero-padded."""
+    stats = np.zeros(STATS_DIM)
+    stats[0] = PIN_TYPE_CODES.get(terminal, len(PIN_TYPE_CODES))
+    return stats
+
+
+def compute_node_stats(circuit: Circuit, node_names: list[str], node_types: np.ndarray) -> np.ndarray:
+    """Build ``X_C`` for the node ordering of an already-converted graph.
+
+    Parameters
+    ----------
+    circuit:
+        The flat circuit the graph was converted from.
+    node_names:
+        Node names in graph order (net name, device name, or ``device:terminal``).
+    node_types:
+        Node-type array aligned with ``node_names``.
+    """
+    net_devices = circuit.net_devices()
+    device_by_name = {device.name: device for device in circuit.devices}
+    ports = set(circuit.ports)
+
+    stats = np.zeros((len(node_names), STATS_DIM))
+    for index, (name, node_type) in enumerate(zip(node_names, node_types)):
+        if node_type == NODE_NET:
+            stats[index] = _net_stats(name, net_devices.get(name, []), ports)
+        elif node_type == NODE_DEVICE:
+            stats[index] = _device_stats(device_by_name[name])
+        elif node_type == NODE_PIN:
+            terminal = name.split(":", 1)[1]
+            stats[index] = _pin_stats(terminal)
+        else:
+            raise ValueError(f"unknown node type {node_type}")
+    return stats
+
+
+def normalize_stats(stats: np.ndarray, reference: np.ndarray | None = None,
+                    eps: float = 1e-9) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Min-max normalise ``X_C`` to [0, 1] as described in Section IV-C.
+
+    Returns the normalised matrix along with the (min, range) used, so test
+    designs can be normalised with the training-set statistics.
+    """
+    ref = stats if reference is None else reference
+    minimum = ref.min(axis=0)
+    value_range = ref.max(axis=0) - minimum
+    value_range = np.where(value_range < eps, 1.0, value_range)
+    normalised = (stats - minimum) / value_range
+    return np.clip(normalised, 0.0, 1.0), minimum, value_range

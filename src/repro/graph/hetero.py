@@ -1,0 +1,264 @@
+"""Heterogeneous circuit graph representation.
+
+Following Section III-A of the paper, a schematic netlist becomes a graph with
+three node types — **net** (x=0), **device** (x=1) and **pin** (x=2) — and two
+structural edge types — **device-to-pin** (e=0) and **net-to-pin** (e=1).
+Coupling capacitances are *links* (not edges): **pin-to-net** (e=2),
+**pin-to-pin** (e=3) and **net-to-net** (e=4), extracted from the post-layout
+netlist and used only as prediction targets.
+
+The graph is stored with flat numpy arrays plus a CSR adjacency for fast
+h-hop neighbourhood queries during enclosing-subgraph sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "NODE_NET",
+    "NODE_DEVICE",
+    "NODE_PIN",
+    "EDGE_DEVICE_PIN",
+    "EDGE_NET_PIN",
+    "LINK_PIN_NET",
+    "LINK_PIN_PIN",
+    "LINK_NET_NET",
+    "NODE_TYPE_NAMES",
+    "EDGE_TYPE_NAMES",
+    "LINK_TYPE_NAMES",
+    "Link",
+    "CircuitGraph",
+]
+
+NODE_NET = 0
+NODE_DEVICE = 1
+NODE_PIN = 2
+
+EDGE_DEVICE_PIN = 0
+EDGE_NET_PIN = 1
+LINK_PIN_NET = 2
+LINK_PIN_PIN = 3
+LINK_NET_NET = 4
+
+NODE_TYPE_NAMES = {NODE_NET: "net", NODE_DEVICE: "device", NODE_PIN: "pin"}
+EDGE_TYPE_NAMES = {EDGE_DEVICE_PIN: "device-pin", EDGE_NET_PIN: "net-pin"}
+LINK_TYPE_NAMES = {LINK_PIN_NET: "pin-net", LINK_PIN_PIN: "pin-pin", LINK_NET_NET: "net-net"}
+
+NUM_NODE_TYPES = 3
+NUM_EDGE_TYPES = 5  # structural edge types plus link types share one embedding table
+
+
+@dataclass(frozen=True)
+class Link:
+    """A target link: a (potential) coupling between two graph nodes."""
+
+    source: int
+    target: int
+    link_type: int
+    label: float = 1.0          # 1.0 = coupling exists, 0.0 = injected negative
+    capacitance: float = 0.0    # coupling capacitance in farads (0 for negatives)
+
+    def key(self) -> tuple[int, int]:
+        return (self.source, self.target) if self.source <= self.target else (self.target, self.source)
+
+
+@dataclass
+class CircuitGraph:
+    """A heterogeneous circuit graph with CSR adjacency.
+
+    Attributes
+    ----------
+    name:
+        Design name.
+    node_types:
+        ``(N,)`` int array of node types (0 net, 1 device, 2 pin).
+    node_names:
+        Human-readable node names (net name, device name, ``device:terminal``).
+    edge_index:
+        ``(2, E)`` int array of *undirected* structural edges (each stored once).
+    edge_types:
+        ``(E,)`` int array of edge types (0 device-pin, 1 net-pin).
+    node_stats:
+        ``(N, d_C)`` circuit-statistics matrix ``X_C`` of Table I.
+    links:
+        Ground-truth coupling links (positives only; negatives are injected by
+        the sampler).
+    """
+
+    name: str
+    node_types: np.ndarray
+    node_names: list[str]
+    edge_index: np.ndarray
+    edge_types: np.ndarray
+    node_stats: np.ndarray | None = None
+    links: list[Link] = field(default_factory=list)
+    node_ground_caps: np.ndarray | None = None
+
+    # CSR caches (built lazily).
+    _indptr: np.ndarray | None = None
+    _indices: np.ndarray | None = None
+    _edge_ids: np.ndarray | None = None
+    _name_to_index: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_types.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def node_index(self, name: str) -> int:
+        if self._name_to_index is None:
+            self._name_to_index = {n: i for i, n in enumerate(self.node_names)}
+        return self._name_to_index[name]
+
+    def has_node(self, name: str) -> bool:
+        if self._name_to_index is None:
+            self._name_to_index = {n: i for i, n in enumerate(self.node_names)}
+        return name in self._name_to_index
+
+    def nodes_of_type(self, node_type: int) -> np.ndarray:
+        return np.nonzero(self.node_types == node_type)[0]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        n = self.num_nodes
+        if len(self.node_names) != n:
+            raise ValueError("node_names length does not match node_types")
+        if self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, E)")
+        if self.edge_index.size and (self.edge_index.min() < 0 or self.edge_index.max() >= n):
+            raise ValueError("edge_index refers to nonexistent nodes")
+        if self.edge_types.shape[0] != self.edge_index.shape[1]:
+            raise ValueError("edge_types length does not match edge_index")
+        if self.node_stats is not None and self.node_stats.shape[0] != n:
+            raise ValueError("node_stats rows do not match number of nodes")
+        for link in self.links:
+            if not (0 <= link.source < n and 0 <= link.target < n):
+                raise ValueError(f"link {link} refers to nonexistent nodes")
+        # Heterogeneity constraints: structural edges only connect device-pin or net-pin.
+        if self.num_edges:
+            src_types = self.node_types[self.edge_index[0]]
+            dst_types = self.node_types[self.edge_index[1]]
+            for edge_type, (a, b) in ((EDGE_DEVICE_PIN, (NODE_DEVICE, NODE_PIN)),
+                                      (EDGE_NET_PIN, (NODE_NET, NODE_PIN))):
+                mask = self.edge_types == edge_type
+                pairs = set(zip(src_types[mask].tolist(), dst_types[mask].tolist()))
+                allowed = {(a, b), (b, a)}
+                if not pairs <= allowed:
+                    raise ValueError(
+                        f"edge type {EDGE_TYPE_NAMES[edge_type]} connects invalid node types {pairs - allowed}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Adjacency
+    # ------------------------------------------------------------------ #
+    def _build_csr(self) -> None:
+        n = self.num_nodes
+        src = np.concatenate([self.edge_index[0], self.edge_index[1]])
+        dst = np.concatenate([self.edge_index[1], self.edge_index[0]])
+        edge_ids = np.concatenate([np.arange(self.num_edges), np.arange(self.num_edges)])
+        order = np.argsort(src, kind="stable")
+        src, dst, edge_ids = src[order], dst[order], edge_ids[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        self._indptr, self._indices, self._edge_ids = indptr, dst, edge_ids
+
+    @property
+    def indptr(self) -> np.ndarray:
+        if self._indptr is None:
+            self._build_csr()
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        if self._indices is None:
+            self._build_csr()
+        return self._indices
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbouring node indices of ``node`` (structural edges only)."""
+        indptr, indices = self.indptr, self.indices
+        return indices[indptr[node]:indptr[node + 1]]
+
+    def degree(self, node: int | None = None) -> np.ndarray | int:
+        indptr = self.indptr
+        degrees = np.diff(indptr)
+        if node is None:
+            return degrees
+        return int(degrees[node])
+
+    def k_hop_nodes(self, seeds, hops: int) -> np.ndarray:
+        """All nodes within ``hops`` of any seed (including the seeds)."""
+        seeds = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
+        visited = set(seeds.tolist())
+        frontier = list(seeds.tolist())
+        for _ in range(hops):
+            next_frontier: list[int] = []
+            for node in frontier:
+                for neighbour in self.neighbors(node):
+                    neighbour = int(neighbour)
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return np.array(sorted(visited), dtype=np.int64)
+
+    def shortest_path_lengths(self, source: int, max_distance: int | None = None) -> dict[int, int]:
+        """BFS shortest-path lengths from ``source`` (optionally bounded)."""
+        distances = {int(source): 0}
+        frontier = [int(source)]
+        depth = 0
+        while frontier:
+            if max_distance is not None and depth >= max_distance:
+                break
+            depth += 1
+            next_frontier: list[int] = []
+            for node in frontier:
+                for neighbour in self.neighbors(node):
+                    neighbour = int(neighbour)
+                    if neighbour not in distances:
+                        distances[neighbour] = depth
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return distances
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        """Counts used by Table IV."""
+        link_counts: dict[str, int] = {}
+        for link in self.links:
+            key = LINK_TYPE_NAMES[link.link_type]
+            link_counts[key] = link_counts.get(key, 0) + 1
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_links": self.num_links,
+            "num_nets": int((self.node_types == NODE_NET).sum()),
+            "num_devices": int((self.node_types == NODE_DEVICE).sum()),
+            "num_pins": int((self.node_types == NODE_PIN).sum()),
+            "links_by_type": link_counts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, links={self.num_links})"
+        )

@@ -1,0 +1,22 @@
+"""Model zoo: GPS layers, the CircuitGPS model and the published baselines."""
+
+from .baselines import DLPLCap, FullGraphEncoder, ParaGraph
+from .circuitgps import TASKS, CircuitGPS
+from .gated_gcn import GatedGCNLayer
+from .gps_layer import ATTENTION_CHOICES, MPNN_CHOICES, GPSLayer
+from .heads import CircuitStatsProjection, LinkPredictionHead, RegressionHead
+
+__all__ = [
+    "CircuitGPS",
+    "TASKS",
+    "GPSLayer",
+    "MPNN_CHOICES",
+    "ATTENTION_CHOICES",
+    "GatedGCNLayer",
+    "LinkPredictionHead",
+    "RegressionHead",
+    "CircuitStatsProjection",
+    "ParaGraph",
+    "DLPLCap",
+    "FullGraphEncoder",
+]

@@ -1,0 +1,92 @@
+"""The GPS layer: a parallel MPNN + global-attention block (Eq. 2-5).
+
+Each layer computes, in parallel,
+
+* a local message-passing update ``X_M`` (GatedGCN with edge features), and
+* a global attention update ``X_A`` (softmax Transformer or linear Performer),
+
+then fuses them with a 2-layer MLP: ``X^{l+1} = MLP(X_M + X_A)``.  Residual
+connections followed by batch normalisation are applied after every functional
+block, as in the GraphGPS recipe.  Either block can be disabled, giving the
+five configurations ablated in Tables III and VII.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import BatchNorm1d, Dropout, Linear, Module, MultiHeadSelfAttention, PerformerAttention, Tensor
+from ..utils.rng import get_rng
+
+__all__ = ["GPSLayer", "MPNN_CHOICES", "ATTENTION_CHOICES"]
+
+MPNN_CHOICES = ("gatedgcn", "none")
+ATTENTION_CHOICES = ("transformer", "performer", "none")
+
+
+class GPSLayer(Module):
+    """One hybrid MPNN + attention layer of CircuitGPS."""
+
+    def __init__(self, dim: int, mpnn: str = "gatedgcn", attention: str = "transformer",
+                 num_heads: int = 4, dropout: float = 0.0, rng=None):
+        super().__init__()
+        mpnn = mpnn.lower()
+        attention = attention.lower()
+        if mpnn not in MPNN_CHOICES:
+            raise ValueError(f"mpnn must be one of {MPNN_CHOICES}, got {mpnn!r}")
+        if attention not in ATTENTION_CHOICES:
+            raise ValueError(f"attention must be one of {ATTENTION_CHOICES}, got {attention!r}")
+        if mpnn == "none" and attention == "none":
+            raise ValueError("a GPS layer needs at least one of MPNN or attention")
+        rng = get_rng(rng)
+        self.dim = int(dim)
+        self.mpnn_type = mpnn
+        self.attention_type = attention
+
+        if mpnn == "gatedgcn":
+            from .gated_gcn import GatedGCNLayer
+
+            self.mpnn = GatedGCNLayer(dim, dropout=dropout, rng=rng)
+        else:
+            self.mpnn = None
+
+        if attention == "transformer":
+            self.attention = MultiHeadSelfAttention(dim, num_heads=num_heads,
+                                                    dropout=dropout, rng=rng)
+        elif attention == "performer":
+            self.attention = PerformerAttention(dim, num_heads=num_heads,
+                                                num_features=max(8, dim // 2),
+                                                dropout=dropout, rng=rng)
+        else:
+            self.attention = None
+        self.bn_attn = BatchNorm1d(dim) if self.attention is not None else None
+
+        self.mlp_in = Linear(dim, 2 * dim, rng=rng)
+        self.mlp_out = Linear(2 * dim, dim, rng=rng)
+        self.bn_mlp = BatchNorm1d(dim)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, edge_attr: Tensor, edge_index: np.ndarray,
+                batch: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Update node and edge features for one GPS layer."""
+        branches = []
+        edge_out = edge_attr
+        if self.mpnn is not None:
+            x_m, edge_out = self.mpnn(x, edge_attr, edge_index)
+            branches.append(x_m)
+        if self.attention is not None:
+            x_a = self.attention(x, batch)
+            x_a = self.bn_attn(x_a + x)
+            branches.append(x_a)
+
+        fused = branches[0]
+        for branch in branches[1:]:
+            fused = fused + branch
+
+        hidden = self.drop(self.mlp_out(self.mlp_in(fused).relu()))
+        out = self.bn_mlp(hidden + fused)
+        return out, edge_out
+
+    def __repr__(self):
+        return (f"GPSLayer(dim={self.dim}, mpnn={self.mpnn_type!r}, "
+                f"attention={self.attention_type!r})")

@@ -1,0 +1,95 @@
+"""Task-specific heads of CircuitGPS (Section III-D, Eq. 6-7).
+
+Two heads are defined:
+
+* :class:`LinkPredictionHead` — used during pre-training; consumes the pooled
+  subgraph embedding together with the two anchor embeddings and produces a
+  link-existence logit.  Deliberately *does not* see the circuit statistics
+  ``X_C`` (Observation 1).
+* :class:`RegressionHead` — used for capacitance regression; first projects the
+  per-node circuit statistics into the hidden space with node-type-specific
+  projections (Eq. 6), adds them to the trunk output and pools (Eq. 7), then
+  applies an MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Embedding, Linear, Module, Tensor, concat
+from ..nn import functional as F
+from ..utils.rng import get_rng
+from ..graph.hetero import NODE_DEVICE, NODE_NET, NODE_PIN
+
+__all__ = ["LinkPredictionHead", "CircuitStatsProjection", "RegressionHead"]
+
+
+class LinkPredictionHead(Module):
+    """Pool + MLP head producing one link-existence logit per subgraph."""
+
+    def __init__(self, dim: int, hidden: int | None = None, dropout: float = 0.0, rng=None):
+        super().__init__()
+        rng = get_rng(rng)
+        hidden = hidden or dim
+        self.mlp = MLP([3 * dim, hidden, 1], activation="relu", dropout=dropout, rng=rng)
+
+    def forward(self, node_embeddings: Tensor, batch: np.ndarray, anchors: np.ndarray) -> Tensor:
+        num_graphs = int(batch.max()) + 1 if batch.size else 0
+        pooled = F.global_mean_pool(node_embeddings, batch, num_graphs)
+        anchor_a = node_embeddings.gather_rows(anchors[:, 0])
+        anchor_b = node_embeddings.gather_rows(anchors[:, 1])
+        features = concat([pooled, anchor_a, anchor_b], axis=1)
+        return self.mlp(features).reshape(num_graphs)
+
+
+class CircuitStatsProjection(Module):
+    """Project the circuit statistics ``X_C`` into the hidden space (Eq. 6).
+
+    Net and device nodes use node-type-specific linear projections of their
+    statistics vector; pin nodes use an embedding of their pin-type code.
+    """
+
+    def __init__(self, dim: int, stats_dim: int = 13, num_pin_types: int = 8, rng=None):
+        super().__init__()
+        rng = get_rng(rng)
+        self.dim = int(dim)
+        self.stats_dim = int(stats_dim)
+        self.net_proj = Linear(stats_dim, dim, rng=rng)
+        self.device_proj = Linear(stats_dim, dim, rng=rng)
+        self.pin_embed = Embedding(num_pin_types, dim, rng=rng)
+        self.num_pin_types = int(num_pin_types)
+
+    def forward(self, node_stats: np.ndarray, node_types: np.ndarray) -> Tensor:
+        stats = Tensor(node_stats)
+        projected_net = self.net_proj(stats)
+        projected_device = self.device_proj(stats)
+        pin_codes = np.clip(node_stats[:, 0].astype(np.int64), 0, self.num_pin_types - 1)
+        projected_pin = self.pin_embed(pin_codes)
+
+        net_mask = Tensor((node_types == NODE_NET).astype(np.float64)[:, None])
+        device_mask = Tensor((node_types == NODE_DEVICE).astype(np.float64)[:, None])
+        pin_mask = Tensor((node_types == NODE_PIN).astype(np.float64)[:, None])
+        return projected_net * net_mask + projected_device * device_mask + projected_pin * pin_mask
+
+
+class RegressionHead(Module):
+    """Capacitance regression head: ``X_H = Pool(X_L + C)`` followed by an MLP."""
+
+    def __init__(self, dim: int, stats_dim: int = 13, hidden: int | None = None,
+                 dropout: float = 0.0, rng=None):
+        super().__init__()
+        rng = get_rng(rng)
+        hidden = hidden or dim
+        self.stats_projection = CircuitStatsProjection(dim, stats_dim=stats_dim, rng=rng)
+        self.mlp = MLP([3 * dim, hidden, 1], activation="relu", dropout=dropout, rng=rng)
+
+    def forward(self, node_embeddings: Tensor, node_stats: np.ndarray, node_types: np.ndarray,
+                batch: np.ndarray, anchors: np.ndarray) -> Tensor:
+        num_graphs = int(batch.max()) + 1 if batch.size else 0
+        stats_embedding = self.stats_projection(node_stats, node_types)
+        combined = node_embeddings + stats_embedding
+        pooled = F.global_mean_pool(combined, batch, num_graphs)
+        anchor_a = combined.gather_rows(anchors[:, 0])
+        anchor_b = combined.gather_rows(anchors[:, 1])
+        features = concat([pooled, anchor_a, anchor_b], axis=1)
+        return self.mlp(features).reshape(num_graphs)

@@ -1,0 +1,270 @@
+"""Standard-cell and memory-cell library used by the synthetic design generators.
+
+Each function returns a :class:`~repro.netlist.circuit.Subckt` containing
+transistor-level primitives, with realistic 28nm-like sizing.  The designs in
+:mod:`repro.netlist.generators` instantiate these cells thousands of times to
+build SRAM macros, clock generators and control logic comparable in structure
+(if not in absolute size) to the proprietary designs of the paper.
+"""
+
+from __future__ import annotations
+
+from .circuit import Subckt
+from .devices import Capacitor, Mosfet, Resistor
+
+__all__ = [
+    "inverter",
+    "buffer_cell",
+    "nand2",
+    "nor2",
+    "xor2",
+    "mux2",
+    "dff",
+    "sram_6t",
+    "sram_8t",
+    "sense_amp",
+    "precharge",
+    "write_driver",
+    "wordline_driver",
+    "current_mirror",
+    "diff_pair_comparator",
+    "decap_cell",
+    "standard_cell_library",
+]
+
+# Baseline transistor sizes (metres); drive strength scales widths.
+_WN = 120e-9
+_WP = 180e-9
+_L = 30e-9
+
+
+def _nmos(name: str, d: str, g: str, s: str, b: str = "VSS", w: float = _WN,
+          l: float = _L, m: int = 1) -> Mosfet:
+    return Mosfet(name=name, terminals={"D": d, "G": g, "S": s, "B": b},
+                  polarity="nmos", width=w, length=l, multiplier=m)
+
+
+def _pmos(name: str, d: str, g: str, s: str, b: str = "VDD", w: float = _WP,
+          l: float = _L, m: int = 1) -> Mosfet:
+    return Mosfet(name=name, terminals={"D": d, "G": g, "S": s, "B": b},
+                  polarity="pmos", width=w, length=l, multiplier=m)
+
+
+def inverter(name: str = "INV_X1", strength: float = 1.0) -> Subckt:
+    """CMOS inverter; ``strength`` scales both transistor widths."""
+    cell = Subckt(name=name, ports=["A", "Y", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "Y", "A", "VDD", "VDD", w=_WP * strength))
+    cell.add(_nmos("MN1", "Y", "A", "VSS", "VSS", w=_WN * strength))
+    return cell
+
+
+def buffer_cell(name: str = "BUF_X2", strength: float = 2.0) -> Subckt:
+    """Two-stage buffer (small inverter driving a scaled inverter)."""
+    cell = Subckt(name=name, ports=["A", "Y", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "mid", "A", "VDD", "VDD", w=_WP))
+    cell.add(_nmos("MN1", "mid", "A", "VSS", "VSS", w=_WN))
+    cell.add(_pmos("MP2", "Y", "mid", "VDD", "VDD", w=_WP * strength))
+    cell.add(_nmos("MN2", "Y", "mid", "VSS", "VSS", w=_WN * strength))
+    return cell
+
+
+def nand2(name: str = "NAND2_X1") -> Subckt:
+    cell = Subckt(name=name, ports=["A", "B", "Y", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "Y", "A", "VDD", "VDD"))
+    cell.add(_pmos("MP2", "Y", "B", "VDD", "VDD"))
+    cell.add(_nmos("MN1", "Y", "A", "n1", "VSS"))
+    cell.add(_nmos("MN2", "n1", "B", "VSS", "VSS"))
+    return cell
+
+
+def nor2(name: str = "NOR2_X1") -> Subckt:
+    cell = Subckt(name=name, ports=["A", "B", "Y", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "p1", "A", "VDD", "VDD"))
+    cell.add(_pmos("MP2", "Y", "B", "p1", "VDD"))
+    cell.add(_nmos("MN1", "Y", "A", "VSS", "VSS"))
+    cell.add(_nmos("MN2", "Y", "B", "VSS", "VSS"))
+    return cell
+
+
+def xor2(name: str = "XOR2_X1") -> Subckt:
+    """Transmission-gate XOR (8 transistors)."""
+    cell = Subckt(name=name, ports=["A", "B", "Y", "VDD", "VSS"])
+    # Inverters for A and B.
+    cell.add(_pmos("MP1", "an", "A", "VDD", "VDD"))
+    cell.add(_nmos("MN1", "an", "A", "VSS", "VSS"))
+    cell.add(_pmos("MP2", "bn", "B", "VDD", "VDD"))
+    cell.add(_nmos("MN2", "bn", "B", "VSS", "VSS"))
+    # Pass network.
+    cell.add(_pmos("MP3", "Y", "bn", "A", "VDD"))
+    cell.add(_nmos("MN3", "Y", "B", "an", "VSS"))
+    cell.add(_pmos("MP4", "Y", "B", "an", "VDD"))
+    cell.add(_nmos("MN4", "Y", "bn", "A", "VSS"))
+    return cell
+
+
+def mux2(name: str = "MUX2_X1") -> Subckt:
+    """Transmission-gate 2:1 multiplexer with select inverter."""
+    cell = Subckt(name=name, ports=["A", "B", "S", "Y", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "sn", "S", "VDD", "VDD"))
+    cell.add(_nmos("MN1", "sn", "S", "VSS", "VSS"))
+    cell.add(_nmos("MN2", "Y", "sn", "A", "VSS"))
+    cell.add(_pmos("MP2", "Y", "S", "A", "VDD"))
+    cell.add(_nmos("MN3", "Y", "S", "B", "VSS"))
+    cell.add(_pmos("MP3", "Y", "sn", "B", "VDD"))
+    return cell
+
+
+def dff(name: str = "DFF_X1") -> Subckt:
+    """Simplified transmission-gate master-slave D flip-flop (14 transistors)."""
+    cell = Subckt(name=name, ports=["D", "CK", "Q", "VDD", "VSS"])
+    # Clock inverter.
+    cell.add(_pmos("MP1", "ckn", "CK", "VDD", "VDD"))
+    cell.add(_nmos("MN1", "ckn", "CK", "VSS", "VSS"))
+    # Master latch: input pass gate + cross-coupled inverters.
+    cell.add(_nmos("MN2", "m1", "ckn", "D", "VSS"))
+    cell.add(_pmos("MP2", "m1", "CK", "D", "VDD"))
+    cell.add(_pmos("MP3", "m2", "m1", "VDD", "VDD"))
+    cell.add(_nmos("MN3", "m2", "m1", "VSS", "VSS"))
+    cell.add(_pmos("MP4", "m1", "m2", "VDD", "VDD", w=_WP * 0.5))
+    cell.add(_nmos("MN4", "m1", "m2", "VSS", "VSS", w=_WN * 0.5))
+    # Slave latch.
+    cell.add(_nmos("MN5", "s1", "CK", "m2", "VSS"))
+    cell.add(_pmos("MP5", "s1", "ckn", "m2", "VDD"))
+    cell.add(_pmos("MP6", "Q", "s1", "VDD", "VDD"))
+    cell.add(_nmos("MN6", "Q", "s1", "VSS", "VSS"))
+    cell.add(_pmos("MP7", "s1", "Q", "VDD", "VDD", w=_WP * 0.5))
+    cell.add(_nmos("MN7", "s1", "Q", "VSS", "VSS", w=_WN * 0.5))
+    return cell
+
+
+def sram_6t(name: str = "SRAM6T") -> Subckt:
+    """Six-transistor SRAM bit cell."""
+    cell = Subckt(name=name, ports=["BL", "BLB", "WL", "VDD", "VSS"])
+    # Cross-coupled inverters (pull-up weak, pull-down strong).
+    cell.add(_pmos("MPU1", "q", "qb", "VDD", "VDD", w=100e-9))
+    cell.add(_nmos("MPD1", "q", "qb", "VSS", "VSS", w=160e-9))
+    cell.add(_pmos("MPU2", "qb", "q", "VDD", "VDD", w=100e-9))
+    cell.add(_nmos("MPD2", "qb", "q", "VSS", "VSS", w=160e-9))
+    # Access transistors.
+    cell.add(_nmos("MPG1", "BL", "WL", "q", "VSS", w=120e-9))
+    cell.add(_nmos("MPG2", "BLB", "WL", "qb", "VSS", w=120e-9))
+    return cell
+
+
+def sram_8t(name: str = "SRAM8T") -> Subckt:
+    """Eight-transistor SRAM bit cell with a decoupled read port."""
+    cell = Subckt(name=name, ports=["WBL", "WBLB", "WWL", "RBL", "RWL", "VDD", "VSS"])
+    cell.add(_pmos("MPU1", "q", "qb", "VDD", "VDD", w=100e-9))
+    cell.add(_nmos("MPD1", "q", "qb", "VSS", "VSS", w=160e-9))
+    cell.add(_pmos("MPU2", "qb", "q", "VDD", "VDD", w=100e-9))
+    cell.add(_nmos("MPD2", "qb", "q", "VSS", "VSS", w=160e-9))
+    cell.add(_nmos("MPG1", "WBL", "WWL", "q", "VSS", w=120e-9))
+    cell.add(_nmos("MPG2", "WBLB", "WWL", "qb", "VSS", w=120e-9))
+    # Read stack.
+    cell.add(_nmos("MR1", "rint", "qb", "VSS", "VSS", w=140e-9))
+    cell.add(_nmos("MR2", "RBL", "RWL", "rint", "VSS", w=140e-9))
+    return cell
+
+
+def sense_amp(name: str = "SA") -> Subckt:
+    """Latch-type sense amplifier with enable footer and isolation pass gates."""
+    cell = Subckt(name=name, ports=["BL", "BLB", "SAE", "OUT", "OUTB", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "OUT", "OUTB", "VDD", "VDD", w=240e-9))
+    cell.add(_nmos("MN1", "OUT", "OUTB", "tail", "VSS", w=240e-9))
+    cell.add(_pmos("MP2", "OUTB", "OUT", "VDD", "VDD", w=240e-9))
+    cell.add(_nmos("MN2", "OUTB", "OUT", "tail", "VSS", w=240e-9))
+    cell.add(_nmos("MN3", "tail", "SAE", "VSS", "VSS", w=360e-9))
+    cell.add(_pmos("MP3", "OUT", "SAE", "BL", "VDD", w=180e-9))
+    cell.add(_pmos("MP4", "OUTB", "SAE", "BLB", "VDD", w=180e-9))
+    return cell
+
+
+def precharge(name: str = "PRECH") -> Subckt:
+    """Bit-line precharge and equalisation cell."""
+    cell = Subckt(name=name, ports=["BL", "BLB", "PCHB", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "BL", "PCHB", "VDD", "VDD", w=300e-9))
+    cell.add(_pmos("MP2", "BLB", "PCHB", "VDD", "VDD", w=300e-9))
+    cell.add(_pmos("MP3", "BL", "PCHB", "BLB", "VDD", w=200e-9))
+    return cell
+
+
+def write_driver(name: str = "WDRV") -> Subckt:
+    """Write driver: data inverter plus bit-line pull-down stacks."""
+    cell = Subckt(name=name, ports=["D", "WEN", "BL", "BLB", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "dn", "D", "VDD", "VDD"))
+    cell.add(_nmos("MN1", "dn", "D", "VSS", "VSS"))
+    cell.add(_nmos("MN2", "BL", "dn", "w1", "VSS", w=300e-9))
+    cell.add(_nmos("MN3", "w1", "WEN", "VSS", "VSS", w=300e-9))
+    cell.add(_nmos("MN4", "BLB", "D", "w2", "VSS", w=300e-9))
+    cell.add(_nmos("MN5", "w2", "WEN", "VSS", "VSS", w=300e-9))
+    return cell
+
+
+def wordline_driver(name: str = "WLDRV", strength: float = 4.0) -> Subckt:
+    """NAND2 + scaled inverter word-line driver."""
+    cell = Subckt(name=name, ports=["EN", "SEL", "WL", "VDD", "VSS"])
+    cell.add(_pmos("MP1", "nb", "EN", "VDD", "VDD"))
+    cell.add(_pmos("MP2", "nb", "SEL", "VDD", "VDD"))
+    cell.add(_nmos("MN1", "nb", "EN", "x1", "VSS"))
+    cell.add(_nmos("MN2", "x1", "SEL", "VSS", "VSS"))
+    cell.add(_pmos("MP3", "WL", "nb", "VDD", "VDD", w=_WP * strength))
+    cell.add(_nmos("MN3", "WL", "nb", "VSS", "VSS", w=_WN * strength))
+    return cell
+
+
+def current_mirror(name: str = "CMIRR", ratio: int = 4) -> Subckt:
+    """NMOS current mirror with degeneration resistors (analog bias block)."""
+    cell = Subckt(name=name, ports=["IIN", "IOUT", "VSS"])
+    cell.add(_nmos("MN1", "IIN", "IIN", "d1", "VSS", w=400e-9, l=120e-9))
+    cell.add(_nmos("MN2", "IOUT", "IIN", "d2", "VSS", w=400e-9 * ratio, l=120e-9))
+    cell.add(Resistor("R1", {"P": "d1", "N": "VSS"}, resistance=2e3, width=400e-9, length=4e-6))
+    cell.add(Resistor("R2", {"P": "d2", "N": "VSS"}, resistance=2e3 / ratio, width=400e-9, length=4e-6))
+    return cell
+
+
+def diff_pair_comparator(name: str = "COMP") -> Subckt:
+    """Five-transistor differential comparator with output buffer and load cap."""
+    cell = Subckt(name=name, ports=["INP", "INN", "VBIAS", "OUT", "VDD", "VSS"])
+    cell.add(_nmos("MN1", "on", "INP", "tail", "VSS", w=600e-9, l=60e-9))
+    cell.add(_nmos("MN2", "op", "INN", "tail", "VSS", w=600e-9, l=60e-9))
+    cell.add(_pmos("MP1", "on", "on", "VDD", "VDD", w=300e-9, l=60e-9))
+    cell.add(_pmos("MP2", "op", "on", "VDD", "VDD", w=300e-9, l=60e-9))
+    cell.add(_nmos("MN3", "tail", "VBIAS", "VSS", "VSS", w=800e-9, l=120e-9))
+    cell.add(_pmos("MP3", "OUT", "op", "VDD", "VDD", w=360e-9))
+    cell.add(_nmos("MN4", "OUT", "op", "VSS", "VSS", w=240e-9))
+    cell.add(Capacitor("C1", {"P": "OUT", "N": "VSS"}, capacitance=5e-15, fingers=6))
+    return cell
+
+
+def decap_cell(name: str = "DECAP") -> Subckt:
+    """MOS + MOM decoupling capacitor cell."""
+    cell = Subckt(name=name, ports=["VDD", "VSS"])
+    cell.add(_nmos("MN1", "VDD", "VDD", "VSS", "VSS", w=1e-6, l=200e-9))
+    cell.add(Capacitor("C1", {"P": "VDD", "N": "VSS"}, capacitance=20e-15, fingers=16,
+                       width=1e-6, length=3e-6))
+    return cell
+
+
+def standard_cell_library() -> dict[str, Subckt]:
+    """The full cell library keyed by cell name."""
+    cells = [
+        inverter("INV_X1", 1.0),
+        inverter("INV_X4", 4.0),
+        buffer_cell("BUF_X2", 2.0),
+        buffer_cell("BUF_X8", 8.0),
+        nand2(),
+        nor2(),
+        xor2(),
+        mux2(),
+        dff(),
+        sram_6t(),
+        sram_8t(),
+        sense_amp(),
+        precharge(),
+        write_driver(),
+        wordline_driver(),
+        current_mirror(),
+        diff_pair_comparator(),
+        decap_cell(),
+    ]
+    return {cell.name: cell for cell in cells}

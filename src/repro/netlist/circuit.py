@@ -1,0 +1,195 @@
+"""Circuit and sub-circuit containers plus hierarchy flattening.
+
+A :class:`Circuit` is a collection of primitive devices and (optionally)
+sub-circuit instances.  The graph-conversion stage of CircuitGPS operates on a
+*flat* netlist, so :meth:`Circuit.flatten` recursively expands all hierarchy,
+uniquifying internal instance and net names the way commercial netlisters do
+(``Xbuf1/M2``, ``Xbuf1/n_int`` ...).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from .devices import Capacitor, Device, Diode, Mosfet, Resistor, SubcktInstance
+
+__all__ = ["Circuit", "Subckt", "CircuitStats"]
+
+GROUND_NAMES = {"0", "gnd", "vss", "vss!", "gnd!"}
+SUPPLY_NAMES = {"vdd", "vdd!", "vcc", "vddh", "vddl"}
+
+
+@dataclass
+class CircuitStats:
+    """Summary statistics of a flat circuit (feeds Table IV)."""
+
+    num_devices: int
+    num_nets: int
+    num_mosfets: int
+    num_resistors: int
+    num_capacitors: int
+    num_diodes: int
+    num_pins: int
+
+    def as_dict(self) -> dict:
+        return {
+            "num_devices": self.num_devices,
+            "num_nets": self.num_nets,
+            "num_mosfets": self.num_mosfets,
+            "num_resistors": self.num_resistors,
+            "num_capacitors": self.num_capacitors,
+            "num_diodes": self.num_diodes,
+            "num_pins": self.num_pins,
+        }
+
+
+@dataclass
+class Subckt:
+    """A sub-circuit definition: ports plus body devices/instances."""
+
+    name: str
+    ports: list[str]
+    devices: list[Device] = field(default_factory=list)
+    instances: list[SubcktInstance] = field(default_factory=list)
+
+    def add(self, device: Device) -> Device:
+        if isinstance(device, SubcktInstance):
+            self.instances.append(device)
+        else:
+            self.devices.append(device)
+        return device
+
+
+class Circuit:
+    """A (possibly hierarchical) schematic netlist."""
+
+    def __init__(self, name: str, ports: list[str] | None = None):
+        self.name = name
+        self.ports: list[str] = list(ports or [])
+        self.devices: list[Device] = []
+        self.instances: list[SubcktInstance] = []
+        self.subckts: dict[str, Subckt] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, device: Device) -> Device:
+        """Add a primitive device or sub-circuit instance to the top level."""
+        if isinstance(device, SubcktInstance):
+            self.instances.append(device)
+        else:
+            self.devices.append(device)
+        return device
+
+    def define_subckt(self, subckt: Subckt) -> Subckt:
+        if subckt.name in self.subckts:
+            raise ValueError(f"subckt {subckt.name!r} already defined")
+        self.subckts[subckt.name] = subckt
+        return subckt
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nets(self) -> list[str]:
+        """All net names appearing at the top level (sorted, deterministic)."""
+        names: set[str] = set(self.ports)
+        for device in self.devices:
+            names.update(device.nets)
+        for instance in self.instances:
+            names.update(instance.connections)
+        return sorted(names)
+
+    @property
+    def is_flat(self) -> bool:
+        return not self.instances
+
+    def net_devices(self) -> dict[str, list[Device]]:
+        """Map each net to the primitive devices touching it (flat circuits)."""
+        mapping: dict[str, list[Device]] = {}
+        for device in self.devices:
+            for net in set(device.nets):
+                mapping.setdefault(net, []).append(device)
+        return mapping
+
+    def stats(self) -> CircuitStats:
+        """Device/net/pin counts of the flattened circuit."""
+        flat = self if self.is_flat else self.flatten()
+        num_pins = sum(len(d.terminals) for d in flat.devices)
+        return CircuitStats(
+            num_devices=len(flat.devices),
+            num_nets=len(flat.nets),
+            num_mosfets=sum(isinstance(d, Mosfet) for d in flat.devices),
+            num_resistors=sum(isinstance(d, Resistor) for d in flat.devices),
+            num_capacitors=sum(isinstance(d, Capacitor) for d in flat.devices),
+            num_diodes=sum(isinstance(d, Diode) for d in flat.devices),
+            num_pins=num_pins,
+        )
+
+    @staticmethod
+    def is_ground(net: str) -> bool:
+        return net.lower() in GROUND_NAMES
+
+    @staticmethod
+    def is_supply(net: str) -> bool:
+        return net.lower() in SUPPLY_NAMES
+
+    @staticmethod
+    def is_power_rail(net: str) -> bool:
+        return Circuit.is_ground(net) or Circuit.is_supply(net)
+
+    # ------------------------------------------------------------------ #
+    # Flattening
+    # ------------------------------------------------------------------ #
+    def flatten(self, separator: str = "/") -> "Circuit":
+        """Return a new circuit with all hierarchy expanded into primitives."""
+        flat = Circuit(self.name, ports=list(self.ports))
+        for device in self.devices:
+            flat.add(copy.deepcopy(device))
+        for instance in self.instances:
+            self._expand_instance(instance, prefix="", target=flat, separator=separator)
+        return flat
+
+    def _expand_instance(self, instance: SubcktInstance, prefix: str, target: "Circuit",
+                         separator: str) -> None:
+        definition = self.subckts.get(instance.subckt_name)
+        if definition is None:
+            raise KeyError(
+                f"instance {instance.name!r} references unknown subckt {instance.subckt_name!r}"
+            )
+        if len(instance.connections) != len(definition.ports):
+            raise ValueError(
+                f"instance {instance.name!r} connects {len(instance.connections)} nets but "
+                f"subckt {definition.name!r} has {len(definition.ports)} ports"
+            )
+        scope = f"{prefix}{instance.name}{separator}"
+        port_map = dict(zip(definition.ports, instance.connections))
+
+        def resolve(net: str) -> str:
+            if net in port_map:
+                return port_map[net]
+            if Circuit.is_power_rail(net):
+                return net  # global nets are not uniquified
+            return f"{scope}{net}"
+
+        for device in definition.devices:
+            clone = copy.deepcopy(device)
+            clone.name = f"{scope}{device.name}"
+            clone.terminals = {term: resolve(net) for term, net in device.terminals.items()}
+            target.add(clone)
+
+        for child in definition.instances:
+            child_clone = copy.deepcopy(child)
+            child_clone.connections = [resolve(net) for net in child.connections]
+            child_clone.terminals = {
+                term: resolve(net) for term, net in child.terminals.items()
+            }
+            # Recurse with the extended prefix; the child's own name is appended there.
+            self._expand_instance(child_clone, prefix=scope, target=target, separator=separator)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self.name!r}, devices={len(self.devices)}, "
+            f"instances={len(self.instances)}, subckts={len(self.subckts)})"
+        )

@@ -1,0 +1,220 @@
+"""Procedural layout model: placement of devices, pins and net bounding boxes.
+
+The paper obtains ground-truth coupling capacitances from post-layout SPF
+netlists produced by a commercial extractor on proprietary layouts.  We do not
+have those layouts, so this module synthesises a plausible placement directly
+from the schematic: devices that share nets are packed close together
+(connectivity-driven ordering onto a standard-cell-like grid), pins are
+offset within their device footprint, and each net gets a bounding box and a
+half-perimeter wirelength (HPWL) estimate.
+
+Crucially, the resulting geometry is a deterministic function of the netlist
+topology plus device geometry — exactly the information the models see — so
+the downstream learning problem is well-posed, mirroring the real physical
+relationship between schematic neighbourhoods and extracted parasitics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .circuit import Circuit
+from .devices import Device, Mosfet
+from .pdk import TECH_28NM, Technology
+
+__all__ = ["Placement", "PinLocation", "NetBox", "place_circuit"]
+
+# Relative pin offsets inside a device footprint, per terminal name.
+_PIN_OFFSETS = {
+    "D": (0.25, 0.75),
+    "G": (0.5, 0.5),
+    "S": (0.25, 0.25),
+    "B": (0.75, 0.5),
+    "P": (0.3, 0.7),
+    "N": (0.3, 0.3),
+}
+
+
+@dataclass
+class PinLocation:
+    """Physical location of one device terminal."""
+
+    device: str
+    terminal: str
+    net: str
+    x: float
+    y: float
+
+
+@dataclass
+class NetBox:
+    """Bounding box and wirelength estimate of a routed net."""
+
+    net: str
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+    num_pins: int
+
+    @property
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength — the classic routed-length estimate."""
+        return (self.x_max - self.x_min) + (self.y_max - self.y_min)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.x_min + self.x_max), 0.5 * (self.y_min + self.y_max))
+
+    def expanded(self, margin: float) -> tuple[float, float, float, float]:
+        return (self.x_min - margin, self.y_min - margin, self.x_max + margin, self.y_max + margin)
+
+    def overlap_length(self, other: "NetBox") -> float:
+        """Length over which two net bounding boxes run in parallel."""
+        dx = min(self.x_max, other.x_max) - max(self.x_min, other.x_min)
+        dy = min(self.y_max, other.y_max) - max(self.y_min, other.y_min)
+        return max(0.0, dx) + max(0.0, dy)
+
+    def distance(self, other: "NetBox") -> float:
+        """Euclidean gap between two boxes (0 when they overlap)."""
+        dx = max(0.0, max(self.x_min, other.x_min) - min(self.x_max, other.x_max))
+        dy = max(0.0, max(self.y_min, other.y_min) - min(self.y_max, other.y_max))
+        return float(np.hypot(dx, dy))
+
+
+@dataclass
+class Placement:
+    """Full placement result for a flat circuit."""
+
+    circuit: Circuit
+    technology: Technology
+    device_positions: dict[str, tuple[float, float]]
+    pin_locations: dict[tuple[str, str], PinLocation]
+    net_boxes: dict[str, NetBox]
+    grid_columns: int
+    signal_nets: list[str] = field(default_factory=list)
+
+    def pins_of_net(self, net: str) -> list[PinLocation]:
+        return [pin for pin in self.pin_locations.values() if pin.net == net]
+
+    @property
+    def area(self) -> float:
+        tech = self.technology
+        rows = int(np.ceil(len(self.device_positions) / max(1, self.grid_columns)))
+        return self.grid_columns * tech.cell_width * rows * tech.cell_height
+
+
+def _device_order(circuit: Circuit) -> list[Device]:
+    """Order devices by breadth-first traversal over shared signal nets.
+
+    BFS over the device-connectivity graph keeps logically-connected devices
+    close in the ordering and therefore close on the placement grid, which is
+    what a real placer optimises for.
+    """
+    devices = circuit.devices
+    if not devices:
+        return []
+    net_to_devices: dict[str, list[int]] = {}
+    for index, device in enumerate(devices):
+        for net in set(device.nets):
+            if Circuit.is_power_rail(net):
+                continue
+            net_to_devices.setdefault(net, []).append(index)
+
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(devices))}
+    for members in net_to_devices.values():
+        for i in members:
+            adjacency[i].update(m for m in members if m != i)
+
+    visited: list[int] = []
+    seen = set()
+    for start in range(len(devices)):
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            current = queue.popleft()
+            visited.append(current)
+            for neighbour in sorted(adjacency[current]):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+    return [devices[i] for i in visited]
+
+
+def place_circuit(circuit: Circuit, technology: Technology = TECH_28NM,
+                  jitter: float = 0.05, rng=None) -> Placement:
+    """Place a flat circuit onto a standard-cell-like grid.
+
+    Parameters
+    ----------
+    circuit:
+        A flat circuit (no sub-circuit instances).
+    technology:
+        Technology constants defining cell pitch.
+    jitter:
+        Relative random perturbation of device positions, emulating the
+        irregularity of a hand-crafted AMS layout.
+    rng:
+        Random generator or seed for the jitter.
+    """
+    if not circuit.is_flat:
+        circuit = circuit.flatten()
+    rng = get_rng(rng)
+    ordered = _device_order(circuit)
+    num_devices = max(1, len(ordered))
+    columns = max(2, int(np.ceil(np.sqrt(num_devices))))
+
+    device_positions: dict[str, tuple[float, float]] = {}
+    pin_locations: dict[tuple[str, str], PinLocation] = {}
+    cell_w, cell_h = technology.cell_width, technology.cell_height
+
+    for order_index, device in enumerate(ordered):
+        row, col = divmod(order_index, columns)
+        x = col * cell_w + jitter * cell_w * rng.standard_normal()
+        y = row * cell_h + jitter * cell_h * rng.standard_normal()
+        device_positions[device.name] = (x, y)
+        width = getattr(device, "width", technology.min_width)
+        footprint_w = max(cell_w * 0.8, width)
+        footprint_h = cell_h * 0.8
+        for terminal, net in device.terminal_items():
+            off_x, off_y = _PIN_OFFSETS.get(terminal, (0.5, 0.5))
+            pin_locations[(device.name, terminal)] = PinLocation(
+                device=device.name,
+                terminal=terminal,
+                net=net,
+                x=x + off_x * footprint_w,
+                y=y + off_y * footprint_h,
+            )
+
+    net_boxes: dict[str, NetBox] = {}
+    net_pins: dict[str, list[PinLocation]] = {}
+    for pin in pin_locations.values():
+        net_pins.setdefault(pin.net, []).append(pin)
+    for net, pins in net_pins.items():
+        xs = [p.x for p in pins]
+        ys = [p.y for p in pins]
+        net_boxes[net] = NetBox(
+            net=net,
+            x_min=min(xs),
+            y_min=min(ys),
+            x_max=max(xs),
+            y_max=max(ys),
+            num_pins=len(pins),
+        )
+
+    signal_nets = [net for net in net_boxes if not Circuit.is_power_rail(net)]
+    return Placement(
+        circuit=circuit,
+        technology=technology,
+        device_positions=device_positions,
+        pin_locations=pin_locations,
+        net_boxes=net_boxes,
+        grid_columns=columns,
+        signal_nets=signal_nets,
+    )

@@ -1,0 +1,67 @@
+"""Synthetic 28nm-like process design kit (PDK) constants.
+
+The paper's designs are fabricated in a commercial 28nm CMOS technology whose
+extraction decks are proprietary.  This module defines an open, self-contained
+set of technology constants with realistic orders of magnitude so that the
+procedural layout and the parasitic model produce capacitances in the
+femto-farad range the paper reports (1e-21 F .. 1e-15 F after filtering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Technology", "TECH_28NM"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Technology constants used by the layout and parasitic models."""
+
+    name: str = "synth28"
+    # Transistor geometry limits (metres).
+    min_length: float = 30e-9
+    min_width: float = 100e-9
+    # Metal stack abstraction.
+    metal_pitch: float = 90e-9          # routing pitch of the lower metals
+    metal_width: float = 45e-9          # minimum wire width
+    metal_thickness: float = 90e-9      # wire thickness
+    metal_spacing: float = 45e-9        # minimum spacing
+    inter_layer_dielectric: float = 120e-9
+    # Dielectric constants (SiO2-like low-k).
+    epsilon_0: float = 8.854e-12        # F/m
+    epsilon_r: float = 2.9
+    # Per-unit parasitic coefficients derived from the stack above.
+    area_cap_per_m2: float = 0.21e-3    # F/m^2  plate capacitance to substrate
+    fringe_cap_per_m: float = 38e-12    # F/m    fringe capacitance per edge
+    coupling_cap_per_m: float = 55e-12  # F/m    lateral coupling at min spacing
+    gate_cap_per_m2: float = 8.5e-3     # F/m^2  thin-oxide gate capacitance
+    junction_cap_per_m2: float = 0.9e-3 # F/m^2  source/drain junction capacitance
+    # Supply voltage used by the energy model (Fig. 4).
+    vdd: float = 0.9
+    # Standard cell abstraction for placement.
+    cell_height: float = 0.6e-6
+    cell_width: float = 0.4e-6
+
+    def coupling_at_distance(self, distance: float, parallel_length: float) -> float:
+        """Lateral coupling capacitance of two wires running in parallel.
+
+        A simple inverse-distance model: at the minimum spacing the coupling
+        equals ``coupling_cap_per_m * parallel_length`` and decays as
+        ``spacing/distance`` beyond that, which matches the first-order
+        behaviour of field-solver extractions well enough for learning
+        experiments.
+        """
+        if distance <= 0:
+            raise ValueError("distance must be positive")
+        scale = min(1.0, self.metal_spacing / distance)
+        return self.coupling_cap_per_m * parallel_length * scale
+
+    def wire_ground_cap(self, length: float) -> float:
+        """Area + fringe capacitance of a wire of the given length to ground."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return self.area_cap_per_m2 * length * self.metal_width + 2 * self.fringe_cap_per_m * length
+
+
+TECH_28NM = Technology()

@@ -1,0 +1,98 @@
+"""Standard Parasitic Format (simplified DSPF) reader and writer.
+
+The paper collects ground-truth coupling capacitances from post-layout SPF
+files.  This module serialises a :class:`~repro.netlist.parasitics.ParasiticReport`
+into a DSPF-flavoured text file and parses it back, so the data pipeline can
+be exercised end-to-end through files exactly like the original flow
+(schematic netlist + SPF in, labelled graph out).
+
+Grammar (one statement per line, ``*`` comments allowed)::
+
+    *|DSPF 1.0
+    *|DESIGN <name>
+    *|GROUND_NET 0
+    Cg<i> <net-or-pin> 0 <value>          ground capacitance
+    Cc<i> <net-or-pin> <net-or-pin> <value>   coupling capacitance
+
+Pins are written as ``<device>:<terminal>``; anything else is a net name.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from .parasitics import NET, PIN, CouplingCap, ParasiticReport
+from .spice import format_si_value, parse_si_value
+
+__all__ = ["write_spf", "parse_spf", "parse_spf_file"]
+
+
+def _node_token(kind: str, name: str) -> str:
+    return name
+
+
+def _classify(token: str) -> tuple[str, str]:
+    return (PIN, token) if ":" in token else (NET, token)
+
+
+def write_spf(report: ParasiticReport) -> str:
+    """Serialise a parasitic report to simplified-DSPF text."""
+    lines = [
+        "*|DSPF 1.0",
+        f"*|DESIGN {report.design}",
+        "*|GROUND_NET 0",
+        f"* {len(report.net_ground_caps)} net ground caps, "
+        f"{len(report.pin_ground_caps)} pin ground caps, "
+        f"{len(report.couplings)} coupling caps",
+    ]
+    counter = 0
+    for net, value in sorted(report.net_ground_caps.items()):
+        counter += 1
+        lines.append(f"Cg{counter} {net} 0 {format_si_value(value)}")
+    for (device, terminal), value in sorted(report.pin_ground_caps.items()):
+        counter += 1
+        lines.append(f"Cg{counter} {device}:{terminal} 0 {format_si_value(value)}")
+    for index, coupling in enumerate(report.couplings, start=1):
+        token_a = _node_token(coupling.kind_a, coupling.name_a)
+        token_b = _node_token(coupling.kind_b, coupling.name_b)
+        lines.append(f"Cc{index} {token_a} {token_b} {format_si_value(coupling.value)}")
+    lines.append("*|END")
+    return "\n".join(lines) + "\n"
+
+
+def parse_spf(text: str) -> ParasiticReport:
+    """Parse simplified-DSPF text back into a :class:`ParasiticReport`."""
+    design = "unknown"
+    report = ParasiticReport(design=design)
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("*|DESIGN"):
+            report.design = line.split(None, 1)[1].strip()
+            continue
+        if line.startswith("*"):
+            continue
+        tokens = line.split()
+        if len(tokens) != 4:
+            raise ValueError(f"malformed SPF statement: {line!r}")
+        name, node_a, node_b, value_text = tokens
+        value = parse_si_value(value_text)
+        if name.lower().startswith("cg"):
+            kind, token = _classify(node_a)
+            if kind == PIN:
+                device, terminal = token.split(":", 1)
+                report.pin_ground_caps[(device, terminal)] = value
+            else:
+                report.net_ground_caps[token] = value
+        elif name.lower().startswith("cc"):
+            kind_a, token_a = _classify(node_a)
+            kind_b, token_b = _classify(node_b)
+            report.couplings.append(CouplingCap(kind_a, token_a, kind_b, token_b, value))
+        else:
+            raise ValueError(f"unknown SPF statement {name!r}")
+    return report
+
+
+def parse_spf_file(path) -> ParasiticReport:
+    return parse_spf(pathlib.Path(path).read_text())

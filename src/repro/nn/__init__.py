@@ -1,0 +1,62 @@
+"""A compact numpy-based neural-network library with reverse-mode autograd.
+
+This package replaces the PyTorch / PyTorch-Geometric dependency of the
+original CircuitGPS implementation.  It provides tensors with automatic
+differentiation, standard layers (Linear, Embedding, MLP, BatchNorm,
+LayerNorm, Dropout), softmax and Performer attention, optimisers and loss
+functions — everything needed to train the GPS-style hybrid graph Transformer
+on CPU.
+"""
+
+from . import functional
+from .attention import MultiHeadSelfAttention
+from .layers import (
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    ReLU,
+)
+from .losses import bce_with_logits, cross_entropy, huber_loss, l1_loss, mse_loss
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, AdamW, CosineSchedule, StepSchedule, clip_grad_norm
+from .performer import PerformerAttention
+from .tensor import Tensor, concat, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "concat",
+    "stack",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "BatchNorm1d",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Identity",
+    "MultiHeadSelfAttention",
+    "PerformerAttention",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "CosineSchedule",
+    "StepSchedule",
+    "clip_grad_norm",
+    "bce_with_logits",
+    "mse_loss",
+    "l1_loss",
+    "huber_loss",
+    "cross_entropy",
+    "functional",
+]

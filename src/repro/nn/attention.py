@@ -1,0 +1,94 @@
+"""Global self-attention over batched (sub)graphs.
+
+The GPS layer's ``GlobalAttn`` block is a standard multi-head softmax
+self-attention applied to the node set of each graph.  Because batches are
+disjoint unions of enclosing subgraphs, attention must not leak across graph
+boundaries; we therefore compute attention independently per segment of the
+batch vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor, concat
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention within graph segments.
+
+    Parameters
+    ----------
+    dim:
+        Model (input and output) dimension.
+    num_heads:
+        Number of attention heads; ``dim`` must be divisible by it.
+    dropout:
+        Dropout rate applied to the output projection.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 4, dropout: float = 0.0, rng=None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} must be divisible by num_heads={num_heads}")
+        rng = get_rng(rng)
+        self.dim = int(dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = self.dim // self.num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, batch: np.ndarray) -> Tensor:
+        """Apply attention to node features ``x`` segmented by ``batch``.
+
+        Parameters
+        ----------
+        x:
+            Node features of shape ``(num_nodes, dim)``.
+        batch:
+            Integer array of shape ``(num_nodes,)`` assigning each node to a
+            graph in the disjoint-union batch.  Must be sorted or at least
+            grouped; attention is restricted to nodes sharing a batch id.
+        """
+        batch = np.asarray(batch, dtype=np.int64)
+        if x.shape[0] != batch.shape[0]:
+            raise ValueError("x and batch must have the same number of rows")
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+
+        outputs = []
+        order = []
+        scale = 1.0 / np.sqrt(self.head_dim)
+        for graph_id in np.unique(batch):
+            idx = np.nonzero(batch == graph_id)[0]
+            order.append(idx)
+            qg = q.gather_rows(idx)
+            kg = k.gather_rows(idx)
+            vg = v.gather_rows(idx)
+            n = len(idx)
+            # (heads, n, head_dim)
+            qh = qg.reshape(n, self.num_heads, self.head_dim).transpose(1, 0, 2)
+            kh = kg.reshape(n, self.num_heads, self.head_dim).transpose(1, 0, 2)
+            vh = vg.reshape(n, self.num_heads, self.head_dim).transpose(1, 0, 2)
+            scores = qh.matmul(kh.transpose(0, 2, 1)) * scale
+            attn = scores.softmax(axis=-1)
+            mixed = attn.matmul(vh)  # (heads, n, head_dim)
+            merged = mixed.transpose(1, 0, 2).reshape(n, self.dim)
+            outputs.append(merged)
+
+        stacked = concat(outputs, axis=0)
+        # Restore the original node order.
+        permutation = np.concatenate(order)
+        inverse = np.empty_like(permutation)
+        inverse[permutation] = np.arange(len(permutation))
+        restored = stacked.gather_rows(inverse)
+        return self.drop(self.out_proj(restored))

@@ -1,0 +1,145 @@
+"""Functional interface over :class:`repro.nn.tensor.Tensor` operations.
+
+These free functions mirror a small subset of ``torch.nn.functional`` and are
+used throughout the model code so the layer implementations read like their
+PyTorch counterparts in the original GraphGPS / CircuitGPS code base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, concat, stack
+
+__all__ = [
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "linear",
+    "embedding",
+    "concat",
+    "stack",
+    "scatter_add",
+    "scatter_mean",
+    "scatter_max",
+    "segment_softmax",
+    "global_mean_pool",
+    "global_add_pool",
+    "global_max_pool",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    return x.gelu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.log_softmax(axis=axis)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` with ``weight`` of shape (in, out)."""
+    out = x.matmul(weight)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def embedding(table: Tensor, indices) -> Tensor:
+    """Differentiable row lookup into an embedding table."""
+    return table.gather_rows(indices)
+
+
+def scatter_add(src: Tensor, index, num_rows: int) -> Tensor:
+    """Scatter-add rows of ``src`` into ``num_rows`` buckets."""
+    return src.scatter_add(index, num_rows)
+
+
+def scatter_mean(src: Tensor, index, num_rows: int) -> Tensor:
+    """Scatter-mean rows of ``src`` into ``num_rows`` buckets."""
+    idx = np.asarray(index, dtype=np.int64)
+    sums = src.scatter_add(idx, num_rows)
+    counts = np.zeros(num_rows, dtype=np.float64)
+    np.add.at(counts, idx, 1.0)
+    counts = np.maximum(counts, 1.0).reshape((num_rows,) + (1,) * (src.ndim - 1))
+    return sums * Tensor(1.0 / counts)
+
+
+def scatter_max(src: Tensor, index, num_rows: int) -> Tensor:
+    """Scatter-max (non-differentiable through the argmax selection mask).
+
+    Gradients flow only to the winning entries, matching PyTorch-scatter
+    semantics.
+    """
+    idx = np.asarray(index, dtype=np.int64)
+    out = np.full((num_rows,) + src.shape[1:], -np.inf, dtype=np.float64)
+    np.maximum.at(out, idx, src.data)
+    out[np.isneginf(out)] = 0.0
+    winners = (src.data == out[idx]).astype(np.float64)
+    # Re-express as a differentiable weighted scatter-add over winners.
+    weighted = src * Tensor(winners)
+    denom = np.zeros((num_rows,) + src.shape[1:], dtype=np.float64)
+    np.add.at(denom, idx, winners)
+    denom = np.maximum(denom, 1.0)
+    return weighted.scatter_add(idx, num_rows) * Tensor(1.0 / denom)
+
+
+def segment_softmax(scores: Tensor, index, num_segments: int) -> Tensor:
+    """Softmax of ``scores`` normalised within segments given by ``index``.
+
+    Used for attention over variable-sized neighbourhoods / subgraphs.
+    """
+    idx = np.asarray(index, dtype=np.int64)
+    # Numerically stabilise per segment using a stop-gradient max.
+    seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf, dtype=np.float64)
+    np.maximum.at(seg_max, idx, scores.data)
+    seg_max[np.isneginf(seg_max)] = 0.0
+    shifted = scores - Tensor(seg_max[idx])
+    exp = shifted.exp()
+    denom = exp.scatter_add(idx, num_segments)
+    denom_gathered = denom.gather_rows(idx)
+    return exp / (denom_gathered + 1e-16)
+
+
+def global_add_pool(x: Tensor, batch, num_graphs: int) -> Tensor:
+    """Sum node features per graph in a batched disjoint union."""
+    return x.scatter_add(batch, num_graphs)
+
+
+def global_mean_pool(x: Tensor, batch, num_graphs: int) -> Tensor:
+    """Average node features per graph in a batched disjoint union."""
+    return scatter_mean(x, batch, num_graphs)
+
+
+def global_max_pool(x: Tensor, batch, num_graphs: int) -> Tensor:
+    """Max-pool node features per graph in a batched disjoint union."""
+    return scatter_max(x, batch, num_graphs)

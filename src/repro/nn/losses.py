@@ -1,0 +1,77 @@
+"""Loss functions for pre-training (link prediction) and fine-tuning (regression)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "bce_with_logits",
+    "mse_loss",
+    "l1_loss",
+    "huber_loss",
+    "cross_entropy",
+]
+
+
+def _ensure(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+def bce_with_logits(logits: Tensor, targets, pos_weight: float | None = None) -> Tensor:
+    """Numerically-stable binary cross-entropy on raw logits.
+
+    Used for link-prediction pre-training, where targets are 1 for observed
+    coupling links and 0 for injected negative links.
+    """
+    logits = _ensure(logits)
+    targets = _ensure(targets)
+    # log(1 + exp(-|x|)) formulation keeps exponentials bounded.
+    abs_neg = (logits.abs() * -1.0).exp()
+    log_term = (abs_neg + 1.0).log()
+    relu_term = logits.relu()
+    loss = relu_term - logits * targets + log_term
+    if pos_weight is not None and pos_weight != 1.0:
+        weights = Tensor(np.where(targets.data > 0.5, float(pos_weight), 1.0))
+        loss = loss * weights
+    return loss.mean()
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error (used for capacitance regression)."""
+    pred = _ensure(pred)
+    target = _ensure(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    pred = _ensure(pred)
+    target = _ensure(target)
+    return (pred - target).abs().mean()
+
+
+def huber_loss(pred: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber (smooth-L1) loss, robust to the heavy-tailed capacitance distribution."""
+    pred = _ensure(pred)
+    target = _ensure(target)
+    diff = (pred - target).abs()
+    clipped = diff.clip(0.0, delta)
+    # 0.5 * clipped^2 + delta * (diff - clipped)
+    return (clipped * clipped * 0.5 + (diff - clipped) * delta).mean()
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Multi-class cross-entropy on raw logits with integer class targets.
+
+    Used by the DLPL-Cap baseline's router, which first classifies nodes into
+    capacitance-magnitude classes before dispatching to expert regressors.
+    """
+    logits = _ensure(logits)
+    target_idx = np.asarray(targets, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    rows = np.arange(len(target_idx))
+    picked = log_probs[rows, target_idx]
+    return picked.mean() * -1.0

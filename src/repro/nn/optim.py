@@ -1,0 +1,158 @@
+"""Optimisers and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "CosineSchedule", "StepSchedule", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Clip gradients in-place to a maximum global L2 norm; returns the norm."""
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base class tracking a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters, lr: float):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.data = param.data * (1.0 - self.lr * self.weight_decay)
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+class CosineSchedule:
+    """Cosine decay of the learning rate with optional linear warm-up."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, warmup_steps: int = 0,
+                 min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = int(total_steps)
+        self.warmup_steps = int(warmup_steps)
+        self.min_lr = float(min_lr)
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self.warmup_steps and self._step <= self.warmup_steps:
+            lr = self.base_lr * self._step / self.warmup_steps
+        else:
+            progress = (self._step - self.warmup_steps) / max(
+                1, self.total_steps - self.warmup_steps
+            )
+            progress = min(1.0, progress)
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
+        self.optimizer.lr = float(lr)
+        return self.optimizer.lr
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self._step % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

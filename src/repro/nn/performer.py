@@ -1,0 +1,105 @@
+"""Performer (FAVOR+) linear attention.
+
+The ablation in Tables III/VII compares the quadratic softmax Transformer with
+the linear-complexity Performer.  The kernelised attention follows
+Choromanski et al. (2021): queries and keys are mapped through positive random
+features so that attention can be computed as two associative matrix products
+without materialising the full attention matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor, concat
+
+__all__ = ["PerformerAttention"]
+
+
+class PerformerAttention(Module):
+    """Linear-time self-attention via positive orthogonal random features."""
+
+    def __init__(self, dim: int, num_heads: int = 4, num_features: int = 16,
+                 dropout: float = 0.0, rng=None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} must be divisible by num_heads={num_heads}")
+        rng = get_rng(rng)
+        self.dim = int(dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = self.dim // self.num_heads
+        self.num_features = int(num_features)
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+        # Fixed (non-learned) random projection matrix, one per head.
+        self.projection = self._orthogonal_features(rng)
+
+    def _orthogonal_features(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a block-orthogonal Gaussian projection (heads, head_dim, m)."""
+        blocks = []
+        for _ in range(self.num_heads):
+            rows = []
+            remaining = self.num_features
+            while remaining > 0:
+                gaussian = rng.normal(size=(self.head_dim, self.head_dim))
+                q_mat, _ = np.linalg.qr(gaussian)
+                take = min(remaining, self.head_dim)
+                rows.append(q_mat[:, :take])
+                remaining -= take
+            block = np.concatenate(rows, axis=1)
+            # Re-scale rows to match the norm distribution of iid Gaussians.
+            norms = np.sqrt(rng.chisquare(self.head_dim, size=self.num_features))
+            blocks.append(block * norms[None, :])
+        return np.stack(blocks, axis=0)
+
+    def _feature_map(self, x: Tensor, head: int) -> Tensor:
+        """Positive softmax-kernel features phi(x) for one head."""
+        w = Tensor(self.projection[head])  # (head_dim, m)
+        projected = x.matmul(w)  # (n, m)
+        sq_norm = (x * x).sum(axis=-1, keepdims=True) * 0.5
+        scale = 1.0 / np.sqrt(self.num_features)
+        return (projected - sq_norm).exp() * scale + 1e-6
+
+    def forward(self, x: Tensor, batch: np.ndarray) -> Tensor:
+        """Apply linear attention to ``x`` segmented by ``batch``."""
+        batch = np.asarray(batch, dtype=np.int64)
+        if x.shape[0] != batch.shape[0]:
+            raise ValueError("x and batch must have the same number of rows")
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+
+        outputs = []
+        order = []
+        scale = 1.0 / np.sqrt(np.sqrt(self.head_dim))
+        for graph_id in np.unique(batch):
+            idx = np.nonzero(batch == graph_id)[0]
+            order.append(idx)
+            n = len(idx)
+            head_outputs = []
+            for head in range(self.num_heads):
+                cols = slice(head * self.head_dim, (head + 1) * self.head_dim)
+                qh = q.gather_rows(idx)[:, cols] * scale
+                kh = k.gather_rows(idx)[:, cols] * scale
+                vh = v.gather_rows(idx)[:, cols]
+                q_feat = self._feature_map(qh, head)  # (n, m)
+                k_feat = self._feature_map(kh, head)  # (n, m)
+                kv = k_feat.transpose().matmul(vh)  # (m, head_dim)
+                numerator = q_feat.matmul(kv)  # (n, head_dim)
+                k_sum = k_feat.sum(axis=0)  # (m,)
+                denominator = q_feat.matmul(k_sum.reshape(self.num_features, 1)) + 1e-8
+                head_outputs.append(numerator / denominator)
+            outputs.append(concat(head_outputs, axis=1))
+
+        stacked = concat(outputs, axis=0)
+        permutation = np.concatenate(order)
+        inverse = np.empty_like(permutation)
+        inverse[permutation] = np.arange(len(permutation))
+        restored = stacked.gather_rows(inverse)
+        return self.drop(self.out_proj(restored))

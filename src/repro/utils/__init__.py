@@ -1,0 +1,20 @@
+"""Shared utilities: RNG management, logging, serialisation, timing."""
+
+from .logging import MetricLogger, get_logger
+from .rng import get_rng, seed_all, spawn_rng
+from .serialization import load_checkpoint, load_json, save_checkpoint, save_json
+from .timing import Timer, timed
+
+__all__ = [
+    "MetricLogger",
+    "get_logger",
+    "get_rng",
+    "seed_all",
+    "spawn_rng",
+    "load_checkpoint",
+    "load_json",
+    "save_checkpoint",
+    "save_json",
+    "Timer",
+    "timed",
+]

@@ -1,0 +1,66 @@
+"""Lightweight experiment logging."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+
+__all__ = ["get_logger", "MetricLogger"]
+
+_FORMAT = "%(asctime)s | %(name)s | %(levelname)s | %(message)s"
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger writing to stderr (idempotent)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+class MetricLogger:
+    """Accumulates per-epoch metrics and pretty-prints experiment history."""
+
+    def __init__(self, name: str = "train"):
+        self.name = name
+        self.history: list[dict] = []
+        self._start = time.perf_counter()
+
+    def log(self, epoch: int, **metrics: float) -> dict:
+        """Record one epoch of metrics and return the stored row."""
+        row = {"epoch": int(epoch), "elapsed_s": time.perf_counter() - self._start}
+        row.update({k: float(v) for k, v in metrics.items()})
+        self.history.append(row)
+        return row
+
+    def last(self) -> dict:
+        if not self.history:
+            raise IndexError("no metrics logged yet")
+        return self.history[-1]
+
+    def best(self, key: str, mode: str = "min") -> dict:
+        """Return the row with the best value of ``key`` (``min`` or ``max``)."""
+        if not self.history:
+            raise IndexError("no metrics logged yet")
+        rows = [row for row in self.history if key in row]
+        if not rows:
+            raise KeyError(f"metric {key!r} never logged")
+        chooser = min if mode == "min" else max
+        return chooser(rows, key=lambda row: row[key])
+
+    def as_table(self, keys: list[str] | None = None) -> str:
+        """Format the history as a plain-text table."""
+        if not self.history:
+            return "(empty)"
+        if keys is None:
+            keys = [k for k in self.history[-1] if k != "elapsed_s"]
+        header = " | ".join(f"{k:>10}" for k in keys)
+        lines = [header, "-" * len(header)]
+        for row in self.history:
+            lines.append(" | ".join(f"{row.get(k, float('nan')):>10.4g}" for k in keys))
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Global random-number management.
+
+Every stochastic component in the library (parameter initialisation, dropout,
+negative-link sampling, dataset generation) draws from a
+:class:`numpy.random.Generator`.  Components accept an explicit ``rng``
+argument; when omitted they fall back to the process-wide generator managed
+here so that ``seed_all`` makes an entire experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seed_all", "get_rng", "spawn_rng"]
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def seed_all(seed: int) -> np.random.Generator:
+    """Reset the process-wide generator and return it."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+    return _GLOBAL_RNG
+
+
+def get_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Normalise an ``rng`` argument.
+
+    Accepts an existing generator (returned as-is), an integer seed (a new
+    generator is built from it), or ``None`` (the global generator is used).
+    """
+    if rng is None:
+        return _GLOBAL_RNG
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng
+
+
+def spawn_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``."""
+    base = get_rng(rng)
+    seed = int(base.integers(0, 2**32 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,56 @@
+"""Checkpoint save / load for models and experiment artefacts."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_json", "load_json"]
+
+
+def save_checkpoint(path, state_dict: dict[str, np.ndarray], metadata: dict | None = None) -> pathlib.Path:
+    """Write a model ``state_dict`` (plus optional JSON metadata) to ``path``.
+
+    The checkpoint is a single ``.npz`` archive; metadata is stored as a JSON
+    string under the reserved key ``__metadata__``.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {key: np.asarray(value) for key, value in state_dict.items()}
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive else b"{}"
+        state = {key: archive[key] for key in archive.files if key != "__metadata__"}
+    metadata = json.loads(metadata_bytes.decode("utf-8") or "{}")
+    return state, metadata
+
+
+def save_json(path, payload: dict) -> pathlib.Path:
+    """Write a JSON document (used for experiment result records)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_coerce))
+    return path
+
+
+def load_json(path) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _coerce(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value)!r}")

@@ -1,0 +1,51 @@
+"""Wall-clock timing helpers used for the Time columns of Tables II/III/VII."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Timer", "timed"]
+
+
+class Timer:
+    """Accumulating stopwatch."""
+
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+        self._start = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        elapsed = time.perf_counter() - self._start
+        self.total += elapsed
+        self.count += 1
+        self._start = None
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+@contextmanager
+def timed(store: dict, key: str):
+    """Context manager adding the elapsed seconds to ``store[key]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        store[key] = store.get(key, 0.0) + (time.perf_counter() - start)

@@ -1,0 +1,63 @@
+"""Tests for the switching-energy model (Fig. 4 validation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import design_energy, energy_comparison, net_total_capacitances, switching_energy
+
+
+class TestSwitchingEnergy:
+    def test_formula(self):
+        caps = {"a": 1e-15, "b": 3e-15}
+        energy = switching_energy(caps, vdd=1.0, activity=0.5)
+        assert energy == pytest.approx(0.5 * 1.0 * 0.5 * 4e-15)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            switching_energy({"a": 1e-15}, vdd=0.0)
+        with pytest.raises(ValueError):
+            switching_energy({"a": 1e-15}, activity=0.0)
+
+    def test_energy_scales_with_vdd_squared(self):
+        caps = {"a": 1e-15}
+        assert switching_energy(caps, vdd=1.8) == pytest.approx(4 * switching_energy(caps, vdd=0.9))
+
+
+class TestNetTotals:
+    def test_totals_include_ground_and_coupling(self, small_design):
+        totals = net_total_capacitances(small_design)
+        ground = small_design.parasitics.net_ground_caps
+        for net, value in ground.items():
+            assert totals[net] >= value
+
+    def test_power_rails_excluded(self, small_design):
+        totals = net_total_capacitances(small_design)
+        assert "VDD" not in totals and "VSS" not in totals
+
+    def test_override_changes_totals(self, small_design):
+        coupling = small_design.parasitics.couplings[0]
+        override = {coupling.key(): coupling.value * 100}
+        base = net_total_capacitances(small_design)
+        bumped = net_total_capacitances(small_design, override)
+        assert sum(bumped.values()) > sum(base.values())
+
+
+class TestDesignEnergy:
+    def test_positive_energy(self, small_design):
+        assert design_energy(small_design) > 0
+
+    def test_exact_predictions_give_zero_error(self, small_design):
+        override = {c.key(): c.value for c in small_design.parasitics.couplings}
+        comparison = energy_comparison(small_design, override)
+        assert comparison["ape"] == pytest.approx(0.0, abs=1e-12)
+        assert comparison["norm_energy_pred"] == pytest.approx(1.0)
+
+    def test_underestimated_couplings_reduce_energy(self, small_design):
+        override = {c.key(): 0.0 for c in small_design.parasitics.couplings}
+        comparison = energy_comparison(small_design, override)
+        assert comparison["energy_pred_j"] < comparison["energy_true_j"]
+        assert 0 < comparison["ape"] <= 1.0
+
+    def test_comparison_reports_design_name(self, small_design):
+        comparison = energy_comparison(small_design, {})
+        assert comparison["design"] == small_design.name

@@ -1,0 +1,50 @@
+"""Tests for table formatting helpers."""
+
+import pytest
+
+from repro.analysis import format_metric, format_table, print_table
+
+
+class TestFormatMetric:
+    def test_float_precision(self):
+        assert format_metric(0.12345) == "0.123"
+        assert format_metric(0.12345, precision=2) == "0.12"
+
+    def test_small_values_use_scientific(self):
+        assert "e" in format_metric(3.2e-16)
+
+    def test_integers_and_strings_passthrough(self):
+        assert format_metric(42) == "42"
+        assert format_metric("GatedGCN") == "GatedGCN"
+        assert format_metric(None) == "-"
+        assert format_metric(True) == "True"
+
+
+class TestFormatTable:
+    ROWS = [
+        {"method": "ParaGraph", "acc": 0.768, "auc": 0.87},
+        {"method": "CircuitGPS", "acc": 0.972, "auc": 0.992},
+    ]
+
+    def test_contains_all_cells(self):
+        text = format_table(self.ROWS, title="Table V")
+        assert "Table V" in text
+        assert "CircuitGPS" in text and "0.972" in text
+
+    def test_column_selection_and_order(self):
+        text = format_table(self.ROWS, columns=["acc", "method"])
+        header = text.splitlines()[0]
+        assert header.index("acc") < header.index("method")
+        assert "auc" not in header
+
+    def test_missing_values_render_dash(self):
+        text = format_table([{"a": 1.0}, {"a": 2.0, "b": 3.0}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_print_table_writes_to_stdout(self, capsys):
+        print_table(self.ROWS, title="demo")
+        captured = capsys.readouterr()
+        assert "demo" in captured.out

@@ -1,0 +1,71 @@
+"""Shared fixtures: small designs, graphs and configurations reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DataConfig, DesignData, ExperimentConfig
+from repro.graph import netlist_to_graph
+from repro.netlist import (
+    build_design,
+    extract_parasitics,
+    place_circuit,
+    ssram,
+    timing_control,
+)
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Keep every test deterministic."""
+    seed_all(1234)
+    yield
+
+
+@pytest.fixture(scope="session")
+def tiny_circuit():
+    """A very small flat circuit (control logic only) for unit tests."""
+    return timing_control(num_outputs=2, pipeline_depth=1).flatten()
+
+
+@pytest.fixture(scope="session")
+def small_design() -> DesignData:
+    """A small SSRAM-like design carried through the full pipeline."""
+    circuit = ssram(rows=4, cols=4).flatten()
+    placement = place_circuit(circuit, rng=0)
+    parasitics = extract_parasitics(placement, rng=1)
+    graph = netlist_to_graph(circuit, parasitics)
+    return DesignData(name="SSRAM_TINY", circuit=circuit, placement=placement,
+                      parasitics=parasitics, graph=graph, split="train",
+                      raw_stats=graph.node_stats.copy())
+
+
+@pytest.fixture(scope="session")
+def small_test_design() -> DesignData:
+    """A small test-split design (clock generator) for zero-shot checks."""
+    circuit = build_design("DIGITAL_CLK_GEN", scale=0.4).flatten()
+    placement = place_circuit(circuit, rng=2)
+    parasitics = extract_parasitics(placement, rng=3)
+    graph = netlist_to_graph(circuit, parasitics)
+    return DesignData(name="CLK_TINY", circuit=circuit, placement=placement,
+                      parasitics=parasitics, graph=graph, split="test",
+                      raw_stats=graph.node_stats.copy())
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ExperimentConfig:
+    """An experiment configuration small enough for test-time training."""
+    return (
+        ExperimentConfig.fast()
+        .with_model(dim=16, num_layers=1, pe_hidden=4, dropout=0.0, attention="none")
+        .with_train(epochs=3, batch_size=32, lr=5e-3)
+        .with_data(max_links_per_design=60, max_nodes_per_hop=12, max_nodes_per_design=40,
+                   scale=0.3)
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

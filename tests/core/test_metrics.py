@@ -1,0 +1,113 @@
+"""Tests for classification and regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    accuracy,
+    classification_metrics,
+    f1_score,
+    mae,
+    mape,
+    r2_score,
+    regression_metrics,
+    rmse,
+    roc_auc,
+)
+
+
+class TestClassification:
+    def test_accuracy(self):
+        assert accuracy([0.9, 0.2, 0.7, 0.4], [1, 0, 1, 1]) == pytest.approx(0.75)
+
+    def test_f1_perfect(self):
+        assert f1_score([0.9, 0.1, 0.8], [1, 0, 1]) == pytest.approx(1.0)
+
+    def test_f1_no_positive_predictions(self):
+        assert f1_score([0.1, 0.2], [1, 1]) == 0.0
+
+    def test_f1_matches_manual_computation(self):
+        scores = [0.9, 0.8, 0.3, 0.7, 0.1]
+        labels = [1, 0, 1, 1, 0]
+        # predictions: 1,1,0,1,0 -> tp=2, fp=1, fn=1
+        expected = 2 * 2 / (2 * 2 + 1 + 1)
+        assert f1_score(scores, labels) == pytest.approx(expected)
+
+    def test_auc_perfect_and_inverted(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [1, 1, 0, 0]) == pytest.approx(1.0)
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [1, 1, 0, 0]) == pytest.approx(0.0)
+
+    def test_auc_with_ties_is_half(self):
+        assert roc_auc([0.5, 0.5, 0.5, 0.5], [1, 0, 1, 0]) == pytest.approx(0.5)
+
+    def test_auc_single_class_returns_half(self):
+        assert roc_auc([0.3, 0.7], [1, 1]) == 0.5
+
+    def test_auc_matches_pairwise_definition(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(50)
+        labels = rng.integers(0, 2, 50)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        pairs = [(1.0 if p > n else 0.5 if p == n else 0.0) for p in pos for n in neg]
+        assert roc_auc(scores, labels) == pytest.approx(np.mean(pairs))
+
+    def test_bundle_keys(self):
+        bundle = classification_metrics([0.9, 0.1], [1, 0])
+        assert set(bundle) == {"accuracy", "f1", "auc"}
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([0.5], [1, 0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestRegression:
+    def test_mae_rmse(self):
+        assert mae([1.0, 3.0], [0.0, 0.0]) == pytest.approx(2.0)
+        assert rmse([1.0, 3.0], [0.0, 0.0]) == pytest.approx(np.sqrt(5.0))
+
+    def test_r2_perfect_prediction(self):
+        target = [0.1, 0.5, 0.9]
+        assert r2_score(target, target) == pytest.approx(1.0)
+
+    def test_r2_mean_prediction_is_zero(self):
+        target = np.array([1.0, 2.0, 3.0])
+        assert r2_score(np.full(3, 2.0), target) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert r2_score([2.0, 0.0], [1.0, 1.0]) == 0.0
+
+    def test_mape(self):
+        assert mape([110.0, 90.0], [100.0, 100.0]) == pytest.approx(0.1)
+
+    def test_bundle_keys(self):
+        bundle = regression_metrics([0.1, 0.2], [0.15, 0.25])
+        assert set(bundle) == {"mae", "rmse", "r2"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=30))
+    def test_rmse_at_least_mae(self, values):
+        target = np.zeros(len(values))
+        assert rmse(values, target) >= mae(values, target) - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=20),
+           st.floats(-0.2, 0.2))
+    def test_mae_shift_invariance(self, values, shift):
+        values = np.array(values)
+        assert mae(values + shift, values) == pytest.approx(abs(shift), abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1), st.integers(0, 1)), min_size=4, max_size=40))
+    def test_auc_is_probability(self, pairs):
+        scores = [p[0] for p in pairs]
+        labels = [p[1] for p in pairs]
+        value = roc_auc(scores, labels)
+        assert 0.0 <= value <= 1.0

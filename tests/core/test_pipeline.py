@@ -1,0 +1,85 @@
+"""Tests for the high-level CircuitGPSPipeline API."""
+
+import numpy as np
+import pytest
+
+from repro.core import CircuitGPSPipeline, DesignData, ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_config, small_design, small_test_design):
+    pipe = CircuitGPSPipeline(tiny_config)
+    pipe.add_design(small_design)
+    pipe.add_design(small_test_design)
+    pipe.pretrain()
+    return pipe
+
+
+class TestPipeline:
+    def test_split_properties(self, pipeline, small_design, small_test_design):
+        assert small_design in pipeline.train_designs
+        assert small_test_design in pipeline.test_designs
+
+    def test_missing_design_raises(self, pipeline):
+        with pytest.raises(KeyError):
+            pipeline.evaluate_link("NOT_LOADED")
+
+    def test_pretrain_required_before_link_eval(self, tiny_config, small_test_design):
+        pipe = CircuitGPSPipeline(tiny_config)
+        pipe.add_design(small_test_design)
+        with pytest.raises(RuntimeError):
+            pipe.evaluate_link(small_test_design.name)
+
+    def test_pretrain_without_training_designs_raises(self, tiny_config, small_test_design):
+        pipe = CircuitGPSPipeline(tiny_config)
+        pipe.add_design(small_test_design)
+        with pytest.raises(RuntimeError):
+            pipe.pretrain()
+
+    def test_evaluate_link_zero_shot(self, pipeline, small_test_design):
+        metrics = pipeline.evaluate_link(small_test_design.name)
+        assert metrics["auc"] > 0.5
+
+    def test_finetune_and_evaluate_regression(self, pipeline, small_test_design):
+        metrics = pipeline.evaluate_regression(small_test_design.name, mode="all")
+        assert np.isfinite(metrics["mae"])
+        assert ("edge_regression", "all") in pipeline.finetune_results
+
+    def test_predict_couplings_on_user_circuit(self, pipeline, small_test_design):
+        graph = small_test_design.graph
+        link = graph.links[0]
+        pair = (graph.node_names[link.source], graph.node_names[link.target])
+        records = pipeline.predict_couplings(small_test_design.circuit, [pair])
+        assert len(records) == 1
+        record = records[0]
+        assert 0.0 <= record["coupling_probability"] <= 1.0
+        assert record["capacitance_farad"] >= 0.0
+
+    def test_predict_couplings_unknown_pair_raises(self, pipeline, small_test_design):
+        with pytest.raises(KeyError):
+            pipeline.predict_couplings(small_test_design.circuit, [("nope", "also_nope")])
+
+    def test_save_and_load_roundtrip(self, pipeline, small_test_design, tmp_path, tiny_config):
+        path = tmp_path / "meta_learner.npz"
+        pipeline.save(path)
+        fresh = CircuitGPSPipeline(tiny_config)
+        fresh.add_design(small_test_design)
+        fresh.load(path)
+        original = pipeline.pretrain_result.model.state_dict()
+        loaded = fresh.pretrain_result.model.state_dict()
+        for name, value in original.items():
+            np.testing.assert_allclose(loaded[name], value, err_msg=name)
+        metrics = fresh.evaluate_link(small_test_design.name)
+        assert metrics["auc"] > 0.5
+
+    def test_save_before_pretrain_raises(self, tiny_config, tmp_path):
+        pipe = CircuitGPSPipeline(tiny_config)
+        with pytest.raises(RuntimeError):
+            pipe.save(tmp_path / "x.npz")
+
+    def test_load_designs_builds_paper_suite(self, tiny_config):
+        pipe = CircuitGPSPipeline(tiny_config.with_data(scale=0.25))
+        designs = pipe.load_designs(names=["SSRAM", "TIMING_CONTROL"])
+        assert set(designs) == {"SSRAM", "TIMING_CONTROL"}
+        assert isinstance(designs["SSRAM"], DesignData)
+        assert pipe.train_designs and pipe.test_designs

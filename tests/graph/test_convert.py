@@ -1,0 +1,108 @@
+"""Tests for netlist-to-graph conversion and parasitic attachment."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EDGE_DEVICE_PIN,
+    EDGE_NET_PIN,
+    LINK_TYPE_NAMES,
+    NODE_DEVICE,
+    NODE_NET,
+    NODE_PIN,
+    netlist_to_graph,
+)
+from repro.netlist import Circuit, extract_parasitics, place_circuit, ssram
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    circuit = ssram(rows=3, cols=3).flatten()
+    placement = place_circuit(circuit, rng=0)
+    report = extract_parasitics(placement, rng=1)
+    graph = netlist_to_graph(circuit, report)
+    return circuit, report, graph
+
+
+class TestStructure:
+    def test_graph_validates(self, pipeline):
+        _, _, graph = pipeline
+        graph.validate()
+
+    def test_node_counts(self, pipeline):
+        circuit, _, graph = pipeline
+        stats = circuit.stats()
+        assert int((graph.node_types == NODE_DEVICE).sum()) == stats.num_devices
+        assert int((graph.node_types == NODE_PIN).sum()) == stats.num_pins
+        signal_nets = [n for n in circuit.nets if not Circuit.is_power_rail(n)]
+        assert int((graph.node_types == NODE_NET).sum()) == len(signal_nets)
+
+    def test_power_nets_excluded_by_default(self, pipeline):
+        _, _, graph = pipeline
+        assert not graph.has_node("VDD")
+        assert not graph.has_node("VSS")
+
+    def test_power_nets_included_on_request(self, pipeline):
+        circuit, _, _ = pipeline
+        graph = netlist_to_graph(circuit, include_power_nets=True, with_stats=False)
+        assert graph.has_node("VDD")
+
+    def test_every_device_pin_edge_exists(self, pipeline):
+        circuit, _, graph = pipeline
+        device_pin_edges = int((graph.edge_types == EDGE_DEVICE_PIN).sum())
+        assert device_pin_edges == sum(len(d.terminals) for d in circuit.devices)
+
+    def test_net_pin_edges_only_for_signal_nets(self, pipeline):
+        circuit, _, graph = pipeline
+        expected = sum(
+            1 for d in circuit.devices for _, net in d.terminal_items()
+            if not Circuit.is_power_rail(net)
+        )
+        assert int((graph.edge_types == EDGE_NET_PIN).sum()) == expected
+
+    def test_pin_nodes_named_device_colon_terminal(self, pipeline):
+        circuit, _, graph = pipeline
+        device = circuit.devices[0]
+        terminal = next(iter(device.terminals))
+        assert graph.has_node(f"{device.name}:{terminal}")
+
+    def test_stats_matrix_attached(self, pipeline):
+        _, _, graph = pipeline
+        assert graph.node_stats is not None
+        assert graph.node_stats.shape == (graph.num_nodes, 13)
+
+
+class TestParasiticAttachment:
+    def test_links_created_for_all_kinds(self, pipeline):
+        _, report, graph = pipeline
+        names = {LINK_TYPE_NAMES[l.link_type] for l in graph.links}
+        assert names == {"net-net", "pin-net", "pin-pin"}
+
+    def test_link_count_not_more_than_couplings(self, pipeline):
+        _, report, graph = pipeline
+        assert 0 < len(graph.links) <= len(report.couplings)
+
+    def test_links_have_positive_capacitance(self, pipeline):
+        _, _, graph = pipeline
+        assert all(l.capacitance > 0 for l in graph.links)
+        assert all(l.label == 1.0 for l in graph.links)
+
+    def test_duplicate_couplings_merged(self, pipeline):
+        _, _, graph = pipeline
+        keys = [l.key() for l in graph.links]
+        assert len(keys) == len(set(keys))
+
+    def test_ground_caps_attached(self, pipeline):
+        _, report, graph = pipeline
+        assert graph.node_ground_caps is not None
+        net = next(iter(report.net_ground_caps))
+        assert graph.node_ground_caps[graph.node_index(net)] == pytest.approx(
+            report.net_ground_caps[net])
+
+    def test_no_self_links(self, pipeline):
+        _, _, graph = pipeline
+        assert all(l.source != l.target for l in graph.links)
+
+    def test_hierarchical_input_flattened(self):
+        graph = netlist_to_graph(ssram(rows=2, cols=2), with_stats=False)
+        assert graph.num_nodes > 0

@@ -1,0 +1,130 @@
+"""Tests for the heterogeneous CircuitGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EDGE_DEVICE_PIN,
+    EDGE_NET_PIN,
+    LINK_NET_NET,
+    NODE_DEVICE,
+    NODE_NET,
+    NODE_PIN,
+    CircuitGraph,
+    Link,
+)
+
+
+def _path_graph():
+    """net0 - pin0 - dev0 - pin1 - net1 (a simple path with correct typing)."""
+    node_types = np.array([NODE_NET, NODE_PIN, NODE_DEVICE, NODE_PIN, NODE_NET])
+    names = ["net0", "M1:A", "M1", "M1:B", "net1"]
+    edge_index = np.array([[0, 2, 2, 4], [1, 1, 3, 3]])
+    edge_types = np.array([EDGE_NET_PIN, EDGE_DEVICE_PIN, EDGE_DEVICE_PIN, EDGE_NET_PIN])
+    return CircuitGraph(name="path", node_types=node_types, node_names=names,
+                        edge_index=edge_index, edge_types=edge_types)
+
+
+class TestBasics:
+    def test_counts(self):
+        graph = _path_graph()
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 4
+        assert graph.num_links == 0
+
+    def test_node_index_lookup(self):
+        graph = _path_graph()
+        assert graph.node_index("M1") == 2
+        assert graph.has_node("net1")
+        assert not graph.has_node("nope")
+        with pytest.raises(KeyError):
+            graph.node_index("nope")
+
+    def test_nodes_of_type(self):
+        graph = _path_graph()
+        np.testing.assert_array_equal(graph.nodes_of_type(NODE_NET), [0, 4])
+        np.testing.assert_array_equal(graph.nodes_of_type(NODE_PIN), [1, 3])
+
+    def test_summary(self):
+        graph = _path_graph()
+        graph.links.append(Link(0, 4, LINK_NET_NET, 1.0, 1e-16))
+        summary = graph.summary()
+        assert summary["num_nets"] == 2
+        assert summary["num_links"] == 1
+        assert summary["links_by_type"] == {"net-net": 1}
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        _path_graph().validate()
+
+    def test_edge_out_of_range_fails(self):
+        graph = _path_graph()
+        graph.edge_index = np.array([[0], [99]])
+        graph.edge_types = np.array([EDGE_NET_PIN])
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_edge_type_length_mismatch_fails(self):
+        graph = _path_graph()
+        graph.edge_types = graph.edge_types[:-1]
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_wrong_node_type_pairing_fails(self):
+        graph = _path_graph()
+        # A device-pin edge directly between two nets is invalid.
+        graph.edge_index = np.array([[0], [4]])
+        graph.edge_types = np.array([EDGE_DEVICE_PIN])
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_link_out_of_range_fails(self):
+        graph = _path_graph()
+        graph.links.append(Link(0, 50, LINK_NET_NET))
+        with pytest.raises(ValueError):
+            graph.validate()
+
+
+class TestAdjacency:
+    def test_neighbors_are_symmetric(self):
+        graph = _path_graph()
+        assert 1 in graph.neighbors(0)
+        assert 0 in graph.neighbors(1)
+
+    def test_degrees(self):
+        graph = _path_graph()
+        degrees = graph.degree()
+        np.testing.assert_array_equal(degrees, [1, 2, 2, 2, 1])
+        assert graph.degree(2) == 2
+
+    def test_k_hop_nodes(self):
+        graph = _path_graph()
+        np.testing.assert_array_equal(graph.k_hop_nodes([0], 1), [0, 1])
+        np.testing.assert_array_equal(graph.k_hop_nodes([0], 2), [0, 1, 2])
+        np.testing.assert_array_equal(graph.k_hop_nodes([0], 10), [0, 1, 2, 3, 4])
+
+    def test_shortest_path_lengths(self):
+        graph = _path_graph()
+        distances = graph.shortest_path_lengths(0)
+        assert distances[4] == 4
+        bounded = graph.shortest_path_lengths(0, max_distance=2)
+        assert 4 not in bounded
+
+    def test_link_key_is_order_insensitive(self):
+        assert Link(3, 1, LINK_NET_NET).key() == Link(1, 3, LINK_NET_NET).key()
+
+
+class TestRealGraph:
+    def test_matches_networkx_shortest_paths(self, small_design):
+        """Cross-check BFS distances against networkx on a real circuit graph."""
+        import networkx as nx
+
+        graph = small_design.graph
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(graph.num_nodes))
+        nx_graph.add_edges_from(graph.edge_index.T.tolist())
+        source = int(graph.nodes_of_type(NODE_NET)[0])
+        expected = nx.single_source_shortest_path_length(nx_graph, source)
+        actual = graph.shortest_path_lengths(source)
+        assert actual == dict(expected)

@@ -1,0 +1,35 @@
+"""Test utilities: numerical gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+__all__ = ["numerical_gradient", "assert_gradients_close"]
+
+
+def numerical_gradient(func, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``func`` (returning a scalar Tensor) w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = func().item()
+        flat[index] = original - eps
+        minus = func().item()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradients_close(func, tensor: Tensor, atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Compare autograd gradients against numerical gradients."""
+    tensor.grad = None
+    loss = func()
+    loss.backward()
+    analytic = tensor.grad.copy()
+    numeric = numerical_gradient(func, tensor)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,79 @@
+"""Tests for the hybrid GPS layer (MPNN + attention)."""
+
+import numpy as np
+import pytest
+
+from repro.models import ATTENTION_CHOICES, MPNN_CHOICES, GPSLayer
+from repro.nn import Tensor
+
+
+def _inputs(num_nodes=9, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(num_nodes, dim)), requires_grad=True)
+    edge_index = np.array([[0, 1, 3, 4, 6, 7], [1, 2, 4, 5, 7, 8]])
+    edge_index = np.concatenate([edge_index, edge_index[::-1]], axis=1)
+    edge_attr = Tensor(rng.normal(size=(edge_index.shape[1], dim)))
+    batch = np.repeat(np.arange(3), 3)
+    return x, edge_attr, edge_index, batch
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("mpnn", MPNN_CHOICES)
+    @pytest.mark.parametrize("attention", ATTENTION_CHOICES)
+    def test_all_valid_combinations(self, mpnn, attention):
+        if mpnn == "none" and attention == "none":
+            with pytest.raises(ValueError):
+                GPSLayer(16, mpnn=mpnn, attention=attention, rng=0)
+            return
+        layer = GPSLayer(16, mpnn=mpnn, attention=attention, num_heads=4, rng=0)
+        x, e, idx, batch = _inputs()
+        out, e_out = layer(x, e, idx, batch)
+        assert out.shape == (9, 16)
+        assert np.all(np.isfinite(out.data))
+
+    def test_invalid_names_raise(self):
+        with pytest.raises(ValueError):
+            GPSLayer(16, mpnn="gcn2", rng=0)
+        with pytest.raises(ValueError):
+            GPSLayer(16, attention="linformer", rng=0)
+
+    def test_parameter_counts_differ_between_configs(self):
+        full = GPSLayer(16, mpnn="gatedgcn", attention="transformer", rng=0)
+        mpnn_only = GPSLayer(16, mpnn="gatedgcn", attention="none", rng=0)
+        attn_only = GPSLayer(16, mpnn="none", attention="transformer", rng=0)
+        assert full.num_parameters() > mpnn_only.num_parameters()
+        assert full.num_parameters() > attn_only.num_parameters()
+
+
+class TestBehaviour:
+    def test_gradients_flow(self):
+        layer = GPSLayer(16, mpnn="gatedgcn", attention="transformer", rng=0)
+        x, e, idx, batch = _inputs()
+        out, _ = layer(x, e, idx, batch)
+        (out ** 2).sum().backward()
+        assert x.grad is not None
+        assert any(p.grad is not None for p in layer.parameters())
+
+    def test_edge_features_updated_only_with_mpnn(self):
+        x, e, idx, batch = _inputs()
+        attn_only = GPSLayer(16, mpnn="none", attention="transformer", rng=0)
+        _, e_out = attn_only(x, e, idx, batch)
+        np.testing.assert_allclose(e_out.data, e.data)
+        with_mpnn = GPSLayer(16, mpnn="gatedgcn", attention="none", rng=0)
+        _, e_out2 = with_mpnn(x, e, idx, batch)
+        assert not np.allclose(e_out2.data, e.data)
+
+    def test_attention_isolated_per_graph(self):
+        layer = GPSLayer(16, mpnn="none", attention="transformer", rng=0)
+        layer.eval()
+        x, e, idx, batch = _inputs()
+        out_a, _ = layer(x.detach(), e, np.zeros((2, 0), dtype=np.int64), batch)
+        modified = x.data.copy()
+        modified[6:] += 10.0  # perturb the third graph only
+        out_b, _ = layer(Tensor(modified), e, np.zeros((2, 0), dtype=np.int64), batch)
+        np.testing.assert_allclose(out_a.data[:6], out_b.data[:6], atol=1e-8)
+
+    def test_repr_mentions_configuration(self):
+        layer = GPSLayer(16, mpnn="gatedgcn", attention="performer", rng=0)
+        assert "gatedgcn" in repr(layer)
+        assert "performer" in repr(layer)

@@ -1,0 +1,91 @@
+"""Tests for the task-specific heads (Eq. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.hetero import NODE_DEVICE, NODE_NET, NODE_PIN
+from repro.models import CircuitStatsProjection, LinkPredictionHead, RegressionHead
+from repro.nn import Tensor
+
+
+def _embeddings(num_nodes=8, dim=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(num_nodes, dim)), requires_grad=True)
+
+
+class TestLinkPredictionHead:
+    def test_output_shape(self):
+        head = LinkPredictionHead(12, rng=0)
+        batch = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        anchors = np.array([[0, 1], [4, 5]])
+        out = head(_embeddings(), batch, anchors)
+        assert out.shape == (2,)
+
+    def test_gradients_flow(self):
+        head = LinkPredictionHead(12, rng=0)
+        embeddings = _embeddings()
+        batch = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        anchors = np.array([[0, 1], [4, 5]])
+        head(embeddings, batch, anchors).sum().backward()
+        assert embeddings.grad is not None
+        assert np.any(embeddings.grad[0] != 0)  # anchor contributes directly
+
+
+class TestCircuitStatsProjection:
+    def test_each_node_type_uses_its_projection(self):
+        projection = CircuitStatsProjection(dim=6, stats_dim=13, rng=0)
+        stats = np.random.default_rng(0).uniform(size=(3, 13))
+        stats[:, 0] = [1.0, 2.0, 3.0]
+        types = np.array([NODE_NET, NODE_DEVICE, NODE_PIN])
+        out = projection(stats, types)
+        assert out.shape == (3, 6)
+        # Pin rows come from an embedding of the (integer) pin code, so changing
+        # the other stats entries must not change the pin row.
+        stats2 = stats.copy()
+        stats2[2, 5] = 99.0
+        out2 = projection(stats2, types)
+        np.testing.assert_allclose(out.data[2], out2.data[2])
+        # Net rows use the linear projection, so they do change.
+        stats3 = stats.copy()
+        stats3[0, 5] = 99.0
+        out3 = projection(stats3, types)
+        assert not np.allclose(out.data[0], out3.data[0])
+
+    def test_pin_codes_clipped_to_table(self):
+        projection = CircuitStatsProjection(dim=4, stats_dim=13, num_pin_types=4, rng=0)
+        stats = np.zeros((1, 13))
+        stats[0, 0] = 17.0  # out-of-range pin code
+        out = projection(stats, np.array([NODE_PIN]))
+        assert np.all(np.isfinite(out.data))
+
+
+class TestRegressionHead:
+    def test_output_shape_and_gradients(self):
+        head = RegressionHead(12, stats_dim=13, rng=0)
+        embeddings = _embeddings()
+        stats = np.random.default_rng(1).uniform(size=(8, 13))
+        types = np.array([NODE_NET, NODE_PIN, NODE_DEVICE, NODE_NET,
+                          NODE_NET, NODE_PIN, NODE_DEVICE, NODE_PIN])
+        batch = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        anchors = np.array([[0, 1], [4, 5]])
+        out = head(embeddings, stats, types, batch, anchors)
+        assert out.shape == (2,)
+        out.sum().backward()
+        assert embeddings.grad is not None
+        assert any(p.grad is not None for p in head.stats_projection.parameters())
+
+    def test_uses_circuit_statistics(self):
+        """Changing X_C of an anchor must change the regression output (Eq. 6-7)."""
+        head = RegressionHead(12, stats_dim=13, rng=0)
+        head.eval()
+        embeddings = _embeddings().detach()
+        stats = np.random.default_rng(1).uniform(size=(8, 13))
+        types = np.array([NODE_NET] * 8)
+        batch = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        anchors = np.array([[0, 1], [4, 5]])
+        base = head(embeddings, stats, types, batch, anchors).data
+        stats2 = stats.copy()
+        stats2[0] += 1.0
+        changed = head(embeddings, stats2, types, batch, anchors).data
+        assert not np.allclose(base[0], changed[0])
+        np.testing.assert_allclose(base[1], changed[1])

@@ -1,0 +1,76 @@
+"""Tests for the standard-cell / memory-cell library."""
+
+import pytest
+
+from repro.netlist import Mosfet
+from repro.netlist.cells import (
+    dff,
+    inverter,
+    nand2,
+    precharge,
+    sense_amp,
+    sram_6t,
+    sram_8t,
+    standard_cell_library,
+)
+
+
+class TestLibrary:
+    def test_library_contains_expected_cells(self):
+        library = standard_cell_library()
+        for name in ("INV_X1", "NAND2_X1", "DFF_X1", "SRAM6T", "SRAM8T", "SA", "PRECH",
+                     "WDRV", "WLDRV", "CMIRR", "COMP", "DECAP"):
+            assert name in library
+
+    def test_every_cell_has_power_ports_or_is_analog(self):
+        for name, cell in standard_cell_library().items():
+            assert len(cell.ports) >= 2, name
+            assert cell.devices, f"cell {name} has no devices"
+
+    def test_cell_terminals_reference_ports_or_internal_nets(self):
+        for name, cell in standard_cell_library().items():
+            nets = set(cell.ports)
+            for device in cell.devices:
+                nets.update(device.nets)
+            for device in cell.devices:
+                for net in device.nets:
+                    assert net in nets, f"{name}: dangling net {net}"
+
+
+class TestSpecificCells:
+    def test_inverter_structure(self):
+        cell = inverter()
+        assert len(cell.devices) == 2
+        polarities = {d.polarity for d in cell.devices}
+        assert polarities == {"nmos", "pmos"}
+
+    def test_inverter_strength_scales_width(self):
+        weak = inverter("INV_W", strength=1.0)
+        strong = inverter("INV_S", strength=4.0)
+        assert strong.devices[0].width == pytest.approx(4 * weak.devices[0].width)
+
+    def test_nand2_has_four_transistors(self):
+        assert len(nand2().devices) == 4
+
+    def test_sram_6t_has_six_transistors_and_wordline(self):
+        cell = sram_6t()
+        assert len(cell.devices) == 6
+        assert "WL" in cell.ports and "BL" in cell.ports and "BLB" in cell.ports
+        access = [d for d in cell.devices if "WL" in d.nets]
+        assert len(access) == 2
+
+    def test_sram_8t_has_eight_transistors_and_read_port(self):
+        cell = sram_8t()
+        assert len(cell.devices) == 8
+        assert "RBL" in cell.ports and "RWL" in cell.ports
+
+    def test_dff_transistor_count(self):
+        assert len(dff().devices) == 14
+
+    def test_sense_amp_is_cross_coupled(self):
+        cell = sense_amp()
+        assert any(d.terminals["G"] == "OUTB" and d.terminals["D"] == "OUT"
+                   for d in cell.devices if isinstance(d, Mosfet))
+
+    def test_precharge_is_all_pmos(self):
+        assert all(d.polarity == "pmos" for d in precharge().devices)

@@ -1,0 +1,94 @@
+"""Tests for Circuit containers, hierarchy flattening and statistics."""
+
+import pytest
+
+from repro.netlist import Circuit, Mosfet, Resistor, Subckt, SubcktInstance
+
+
+def _inverter_subckt(name="INV"):
+    cell = Subckt(name=name, ports=["A", "Y", "VDD", "VSS"])
+    cell.add(Mosfet("MP1", {"D": "Y", "G": "A", "S": "VDD", "B": "VDD"}, polarity="pmos"))
+    cell.add(Mosfet("MN1", {"D": "Y", "G": "A", "S": "VSS", "B": "VSS"}, polarity="nmos"))
+    return cell
+
+
+class TestCircuitBasics:
+    def test_nets_collects_all_names(self):
+        circuit = Circuit("top", ports=["in", "out"])
+        circuit.add(Resistor("R1", {"P": "in", "N": "out"}))
+        assert circuit.nets == ["in", "out"]
+
+    def test_net_devices_mapping(self):
+        circuit = Circuit("top")
+        r1 = circuit.add(Resistor("R1", {"P": "a", "N": "b"}))
+        r2 = circuit.add(Resistor("R2", {"P": "b", "N": "c"}))
+        mapping = circuit.net_devices()
+        assert mapping["b"] == [r1, r2]
+        assert mapping["a"] == [r1]
+
+    def test_duplicate_subckt_definition_raises(self):
+        circuit = Circuit("top")
+        circuit.define_subckt(_inverter_subckt())
+        with pytest.raises(ValueError):
+            circuit.define_subckt(_inverter_subckt())
+
+    def test_power_rail_detection(self):
+        assert Circuit.is_ground("VSS")
+        assert Circuit.is_ground("0")
+        assert Circuit.is_supply("vdd")
+        assert Circuit.is_power_rail("VDD")
+        assert not Circuit.is_power_rail("data0")
+
+
+class TestFlatten:
+    def _hierarchical(self):
+        circuit = Circuit("top", ports=["in", "out", "VDD", "VSS"])
+        circuit.define_subckt(_inverter_subckt())
+        buffer = Subckt(name="BUF", ports=["A", "Y", "VDD", "VSS"])
+        buffer.add(SubcktInstance("XI1", {}, subckt_name="INV",
+                                  connections=["A", "mid", "VDD", "VSS"]))
+        buffer.add(SubcktInstance("XI2", {}, subckt_name="INV",
+                                  connections=["mid", "Y", "VDD", "VSS"]))
+        circuit.define_subckt(buffer)
+        circuit.add(SubcktInstance("XB1", {}, subckt_name="BUF",
+                                   connections=["in", "out", "VDD", "VSS"]))
+        return circuit
+
+    def test_flatten_counts_devices(self):
+        flat = self._hierarchical().flatten()
+        assert flat.is_flat
+        assert len(flat.devices) == 4  # two inverters, two transistors each
+
+    def test_flatten_uniquifies_names_and_nets(self):
+        flat = self._hierarchical().flatten()
+        names = {d.name for d in flat.devices}
+        assert "XB1/XI1/MP1" in names
+        nets = set(flat.nets)
+        assert "XB1/mid" in nets          # internal net got a hierarchical name
+        assert "in" in nets and "out" in nets  # ports are preserved
+
+    def test_flatten_keeps_global_rails(self):
+        flat = self._hierarchical().flatten()
+        assert "VDD" in flat.nets and "VSS" in flat.nets
+        assert not any(net.endswith("/VDD") for net in flat.nets)
+
+    def test_unknown_subckt_raises(self):
+        circuit = Circuit("top")
+        circuit.add(SubcktInstance("X1", {}, subckt_name="MISSING", connections=["a"]))
+        with pytest.raises(KeyError):
+            circuit.flatten()
+
+    def test_port_count_mismatch_raises(self):
+        circuit = Circuit("top")
+        circuit.define_subckt(_inverter_subckt())
+        circuit.add(SubcktInstance("X1", {}, subckt_name="INV", connections=["a", "y"]))
+        with pytest.raises(ValueError):
+            circuit.flatten()
+
+    def test_stats_of_flattened_circuit(self):
+        stats = self._hierarchical().stats()
+        assert stats.num_devices == 4
+        assert stats.num_mosfets == 4
+        assert stats.num_pins == 16
+        assert stats.num_resistors == 0
+        assert stats.as_dict()["num_devices"] == 4

@@ -1,0 +1,64 @@
+"""Tests for device primitives."""
+
+import pytest
+
+from repro.netlist import Capacitor, Diode, Mosfet, Resistor, SubcktInstance
+from repro.netlist.devices import DEVICE_TYPE_CODES
+
+
+class TestMosfet:
+    def test_construction_and_kind(self):
+        m = Mosfet("M1", {"D": "out", "G": "in", "S": "vss", "B": "vss"}, polarity="nmos",
+                   width=200e-9, length=30e-9)
+        assert m.device_kind == "nmos"
+        assert m.type_code == DEVICE_TYPE_CODES["nmos"]
+        assert m.gate_area == pytest.approx(200e-9 * 30e-9)
+
+    def test_pmos_type_code_differs(self):
+        kwargs = dict(terminals={"D": "o", "G": "i", "S": "vdd", "B": "vdd"})
+        assert Mosfet("M1", polarity="pmos", **kwargs).type_code != \
+            Mosfet("M2", polarity="nmos", **kwargs).type_code
+
+    def test_invalid_polarity_raises(self):
+        with pytest.raises(ValueError):
+            Mosfet("M1", {"D": "a", "G": "b", "S": "c", "B": "d"}, polarity="jfet")
+
+    def test_missing_terminal_raises(self):
+        with pytest.raises(ValueError):
+            Mosfet("M1", {"D": "a", "G": "b", "S": "c"})
+
+    def test_multiplier_scales_gate_area(self):
+        m = Mosfet("M1", {"D": "a", "G": "b", "S": "c", "B": "d"}, width=1e-7, length=3e-8,
+                   multiplier=4)
+        assert m.gate_area == pytest.approx(4 * 1e-7 * 3e-8)
+
+    def test_nets_and_terminal_items(self):
+        m = Mosfet("M1", {"D": "out", "G": "in", "S": "vss", "B": "vss"})
+        assert m.nets == ["out", "in", "vss", "vss"]
+        assert ("G", "in") in m.terminal_items()
+
+
+class TestPassives:
+    def test_resistor(self):
+        r = Resistor("R1", {"P": "a", "N": "b"}, resistance=2e3)
+        assert r.device_kind == "resistor"
+        assert r.resistance == 2e3
+
+    def test_resistor_missing_terminal(self):
+        with pytest.raises(ValueError):
+            Resistor("R1", {"P": "a"})
+
+    def test_capacitor(self):
+        c = Capacitor("C1", {"P": "a", "N": "b"}, capacitance=5e-15, fingers=8)
+        assert c.device_kind == "capacitor"
+        assert c.fingers == 8
+
+    def test_diode(self):
+        d = Diode("D1", {"P": "a", "N": "b"}, area=2e-12)
+        assert d.device_kind == "diode"
+        assert d.type_code == DEVICE_TYPE_CODES["diode"]
+
+    def test_subckt_instance(self):
+        x = SubcktInstance("X1", {}, subckt_name="INV_X1", connections=["a", "y", "vdd", "vss"])
+        assert x.device_kind == "subckt"
+        assert x.connections == ["a", "y", "vdd", "vss"]

@@ -1,0 +1,95 @@
+"""Tests for the procedural placement model."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import TECH_28NM, build_design, place_circuit, ssram
+from repro.netlist.layout import NetBox
+
+
+class TestNetBox:
+    def test_hpwl(self):
+        box = NetBox("n", 0.0, 0.0, 2.0, 3.0, num_pins=2)
+        assert box.hpwl == pytest.approx(5.0)
+        assert box.center == (1.0, 1.5)
+
+    def test_overlap_length(self):
+        a = NetBox("a", 0.0, 0.0, 2.0, 1.0, 2)
+        b = NetBox("b", 1.0, 0.5, 3.0, 2.0, 2)
+        assert a.overlap_length(b) == pytest.approx(1.0 + 0.5)
+
+    def test_distance_zero_when_overlapping(self):
+        a = NetBox("a", 0.0, 0.0, 2.0, 2.0, 2)
+        b = NetBox("b", 1.0, 1.0, 3.0, 3.0, 2)
+        assert a.distance(b) == 0.0
+
+    def test_distance_positive_when_separated(self):
+        a = NetBox("a", 0.0, 0.0, 1.0, 1.0, 2)
+        b = NetBox("b", 4.0, 5.0, 5.0, 6.0, 2)
+        assert a.distance(b) == pytest.approx(np.hypot(3.0, 4.0))
+
+
+class TestPlacement:
+    @pytest.fixture(scope="class")
+    def placement(self):
+        circuit = ssram(rows=4, cols=4).flatten()
+        return place_circuit(circuit, rng=0)
+
+    def test_every_device_is_placed(self, placement):
+        assert set(placement.device_positions) == {d.name for d in placement.circuit.devices}
+
+    def test_every_pin_is_placed(self, placement):
+        expected = sum(len(d.terminals) for d in placement.circuit.devices)
+        assert len(placement.pin_locations) == expected
+
+    def test_every_net_has_a_box(self, placement):
+        nets_with_pins = {pin.net for pin in placement.pin_locations.values()}
+        assert set(placement.net_boxes) == nets_with_pins
+
+    def test_signal_nets_exclude_power(self, placement):
+        assert "VDD" not in placement.signal_nets
+        assert "VSS" not in placement.signal_nets
+
+    def test_area_is_positive(self, placement):
+        assert placement.area > 0
+
+    def test_net_box_contains_its_pins(self, placement):
+        for net, box in placement.net_boxes.items():
+            for pin in placement.pins_of_net(net):
+                assert box.x_min - 1e-12 <= pin.x <= box.x_max + 1e-12
+                assert box.y_min - 1e-12 <= pin.y <= box.y_max + 1e-12
+
+    def test_connected_devices_are_placed_nearby(self, placement):
+        """The BFS placement should keep connected devices closer than random pairs."""
+        circuit = placement.circuit
+        rng = np.random.default_rng(0)
+        positions = placement.device_positions
+        net_devices = circuit.net_devices()
+        connected_distances = []
+        for net, devices in net_devices.items():
+            if circuit.is_power_rail(net) or len(devices) < 2:
+                continue
+            a, b = devices[0], devices[1]
+            pa, pb = positions[a.name], positions[b.name]
+            connected_distances.append(np.hypot(pa[0] - pb[0], pa[1] - pb[1]))
+        names = list(positions)
+        random_distances = []
+        for _ in range(len(connected_distances)):
+            a, b = rng.choice(names, size=2, replace=False)
+            pa, pb = positions[a], positions[b]
+            random_distances.append(np.hypot(pa[0] - pb[0], pa[1] - pb[1]))
+        assert np.median(connected_distances) < np.median(random_distances)
+
+    def test_placement_is_reproducible_with_same_seed(self):
+        circuit = build_design("TIMING_CONTROL", scale=0.3).flatten()
+        a = place_circuit(circuit, rng=42)
+        b = place_circuit(circuit, rng=42)
+        for name in a.device_positions:
+            assert a.device_positions[name] == pytest.approx(b.device_positions[name])
+
+    def test_hierarchical_input_is_flattened(self):
+        placement = place_circuit(build_design("TIMING_CONTROL", scale=0.3), rng=0)
+        assert placement.circuit.is_flat
+
+    def test_technology_defaults(self, placement):
+        assert placement.technology is TECH_28NM

@@ -1,0 +1,117 @@
+"""Tests for the parasitic-extraction model."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit, build_design, extract_parasitics, place_circuit, ssram
+from repro.netlist.parasitics import NET, PIN, CouplingCap
+from repro.netlist.pdk import TECH_28NM
+
+
+@pytest.fixture(scope="module")
+def report_and_placement():
+    circuit = ssram(rows=4, cols=4).flatten()
+    placement = place_circuit(circuit, rng=0)
+    report = extract_parasitics(placement, rng=1)
+    return report, placement
+
+
+class TestCouplingCap:
+    def test_link_kind_is_order_insensitive(self):
+        a = CouplingCap(NET, "n1", PIN, "M1:D", 1e-18)
+        b = CouplingCap(PIN, "M1:D", NET, "n1", 1e-18)
+        assert a.link_kind == b.link_kind == "net-pin"
+        assert a.key() == b.key()
+
+
+class TestExtraction:
+    def test_all_three_coupling_kinds_present(self, report_and_placement):
+        report, _ = report_and_placement
+        kinds = report.coupling_by_kind()
+        assert set(kinds) == {"net-net", "net-pin", "pin-pin"}
+
+    def test_coupling_values_in_physical_range(self, report_and_placement):
+        report, _ = report_and_placement
+        values = np.array([c.value for c in report.couplings])
+        assert np.all(values > 0)
+        assert values.min() > 1e-21
+        assert values.max() < 1e-13
+
+    def test_ground_caps_positive_for_signal_nets(self, report_and_placement):
+        report, _ = report_and_placement
+        assert report.net_ground_caps
+        assert all(v > 0 for v in report.net_ground_caps.values())
+
+    def test_power_rails_have_no_ground_cap_entry(self, report_and_placement):
+        report, _ = report_and_placement
+        assert not any(Circuit.is_power_rail(net) for net in report.net_ground_caps)
+
+    def test_no_coupling_to_power_rails(self, report_and_placement):
+        report, _ = report_and_placement
+        for coupling in report.couplings:
+            for kind, name in ((coupling.kind_a, coupling.name_a),
+                               (coupling.kind_b, coupling.name_b)):
+                if kind == NET:
+                    assert not Circuit.is_power_rail(name)
+
+    def test_no_self_coupling(self, report_and_placement):
+        report, _ = report_and_placement
+        for coupling in report.couplings:
+            assert (coupling.kind_a, coupling.name_a) != (coupling.kind_b, coupling.name_b)
+
+    def test_pin_couplings_reference_existing_pins(self, report_and_placement):
+        report, placement = report_and_placement
+        pin_names = {f"{p.device}:{p.terminal}" for p in placement.pin_locations.values()}
+        for coupling in report.couplings:
+            for kind, name in ((coupling.kind_a, coupling.name_a),
+                               (coupling.kind_b, coupling.name_b)):
+                if kind == PIN:
+                    assert name in pin_names
+
+    def test_extraction_deterministic_with_seed(self):
+        circuit = build_design("TIMING_CONTROL", scale=0.3).flatten()
+        placement = place_circuit(circuit, rng=0)
+        a = extract_parasitics(placement, rng=5)
+        b = extract_parasitics(placement, rng=5)
+        assert len(a.couplings) == len(b.couplings)
+        assert a.total_coupling == pytest.approx(b.total_coupling)
+
+    def test_coupling_radius_controls_count(self):
+        circuit = ssram(rows=4, cols=2).flatten()
+        placement = place_circuit(circuit, rng=0)
+        narrow = extract_parasitics(placement, coupling_radius_cells=0.8, rng=0)
+        wide = extract_parasitics(placement, coupling_radius_cells=2.5, rng=0)
+        assert len(wide.couplings) > len(narrow.couplings)
+
+    def test_net_total_cap_includes_couplings(self, report_and_placement):
+        report, _ = report_and_placement
+        net = next(iter(report.net_ground_caps))
+        assert report.net_total_cap(net) >= report.net_ground_caps[net]
+
+    def test_report_totals(self, report_and_placement):
+        report, _ = report_and_placement
+        assert report.total_coupling > 0
+        assert report.total_ground > 0
+
+
+class TestTechnologyModel:
+    def test_coupling_decays_with_distance(self):
+        near = TECH_28NM.coupling_at_distance(50e-9, 1e-6)
+        far = TECH_28NM.coupling_at_distance(500e-9, 1e-6)
+        assert near > far
+
+    def test_coupling_grows_with_parallel_length(self):
+        short = TECH_28NM.coupling_at_distance(100e-9, 0.5e-6)
+        long = TECH_28NM.coupling_at_distance(100e-9, 5e-6)
+        assert long > short
+
+    def test_invalid_distance_raises(self):
+        with pytest.raises(ValueError):
+            TECH_28NM.coupling_at_distance(0.0, 1e-6)
+
+    def test_wire_ground_cap_monotone_in_length(self):
+        assert TECH_28NM.wire_ground_cap(2e-6) > TECH_28NM.wire_ground_cap(1e-6)
+
+    def test_wire_ground_cap_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            TECH_28NM.wire_ground_cap(-1.0)

@@ -1,0 +1,75 @@
+"""Tests for the simplified-DSPF (SPF) reader and writer."""
+
+import pytest
+
+from repro.netlist import extract_parasitics, parse_spf, place_circuit, ssram, write_spf
+from repro.netlist.parasitics import NET, PIN, CouplingCap, ParasiticReport
+
+
+@pytest.fixture(scope="module")
+def report():
+    circuit = ssram(rows=3, cols=3).flatten()
+    placement = place_circuit(circuit, rng=0)
+    return extract_parasitics(placement, rng=1)
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, report):
+        parsed = parse_spf(write_spf(report))
+        assert parsed.design == report.design
+        assert len(parsed.couplings) == len(report.couplings)
+        assert len(parsed.net_ground_caps) == len(report.net_ground_caps)
+        assert len(parsed.pin_ground_caps) == len(report.pin_ground_caps)
+
+    def test_values_preserved_within_tolerance(self, report):
+        parsed = parse_spf(write_spf(report))
+        for net, value in report.net_ground_caps.items():
+            assert parsed.net_ground_caps[net] == pytest.approx(value, rel=1e-4)
+        original = sorted(report.couplings, key=lambda c: c.key())
+        recovered = sorted(parsed.couplings, key=lambda c: c.key())
+        for a, b in zip(original, recovered):
+            assert a.key() == b.key()
+            assert b.value == pytest.approx(a.value, rel=1e-4)
+
+    def test_kinds_preserved(self, report):
+        parsed = parse_spf(write_spf(report))
+        assert parsed.coupling_by_kind() == report.coupling_by_kind()
+
+
+class TestParsing:
+    def test_minimal_document(self):
+        text = (
+            "*|DSPF 1.0\n"
+            "*|DESIGN demo\n"
+            "Cg1 net_a 0 1.5f\n"
+            "Cg2 M1:D 0 0.3f\n"
+            "Cc1 net_a net_b 2f\n"
+            "Cc2 M1:D net_b 0.1f\n"
+        )
+        report = parse_spf(text)
+        assert report.design == "demo"
+        assert report.net_ground_caps["net_a"] == pytest.approx(1.5e-15)
+        assert report.pin_ground_caps[("M1", "D")] == pytest.approx(0.3e-15)
+        assert report.couplings[0].link_kind == "net-net"
+        assert report.couplings[1].kind_a == PIN and report.couplings[1].kind_b == NET
+
+    def test_malformed_statement_raises(self):
+        with pytest.raises(ValueError):
+            parse_spf("Cg1 net_a 0\n")
+
+    def test_unknown_statement_raises(self):
+        with pytest.raises(ValueError):
+            parse_spf("R1 a b 1k\n")
+
+    def test_write_empty_report(self):
+        report = ParasiticReport(design="empty")
+        text = write_spf(report)
+        parsed = parse_spf(text)
+        assert parsed.design == "empty"
+        assert not parsed.couplings
+
+    def test_roundtrip_single_coupling(self):
+        report = ParasiticReport(design="one")
+        report.couplings.append(CouplingCap(NET, "a", NET, "b", 3.2e-16))
+        parsed = parse_spf(write_spf(report))
+        assert parsed.couplings[0].value == pytest.approx(3.2e-16, rel=1e-4)

@@ -1,0 +1,114 @@
+"""Tests for softmax multi-head attention and Performer linear attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadSelfAttention, PerformerAttention, Tensor
+
+
+def _inputs(num_nodes=10, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(num_nodes, dim)), requires_grad=True)
+    batch = np.array([0] * 4 + [1] * 6)[:num_nodes]
+    return x, batch
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(16, num_heads=4, rng=0)
+        x, batch = _inputs()
+        assert attn(x, batch).shape == (10, 16)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, num_heads=3)
+
+    def test_batch_length_mismatch_raises(self):
+        attn = MultiHeadSelfAttention(8, num_heads=2, rng=0)
+        with pytest.raises(ValueError):
+            attn(Tensor(np.zeros((4, 8))), np.zeros(3, dtype=int))
+
+    def test_no_information_leak_across_graphs(self):
+        """Changing nodes of graph 1 must not affect outputs of graph 0."""
+        attn = MultiHeadSelfAttention(8, num_heads=2, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(8, 8))
+        batch = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        out_a = attn(Tensor(base), batch).data
+        modified = base.copy()
+        modified[4:] += 5.0
+        out_b = attn(Tensor(modified), batch).data
+        np.testing.assert_allclose(out_a[:4], out_b[:4], atol=1e-10)
+        assert not np.allclose(out_a[4:], out_b[4:])
+
+    def test_permutation_equivariance_within_graph(self):
+        attn = MultiHeadSelfAttention(8, num_heads=2, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 8))
+        batch = np.zeros(5, dtype=int)
+        out = attn(Tensor(x), batch).data
+        perm = np.array([2, 0, 4, 1, 3])
+        out_perm = attn(Tensor(x[perm]), batch).data
+        np.testing.assert_allclose(out[perm], out_perm, atol=1e-8)
+
+    def test_gradients_flow(self):
+        attn = MultiHeadSelfAttention(8, num_heads=2, rng=0)
+        x, batch = _inputs(num_nodes=6, dim=8)
+        loss = (attn(x, batch) ** 2).sum()
+        loss.backward()
+        assert x.grad is not None
+        assert np.any(attn.q_proj.weight.grad != 0)
+
+
+class TestPerformerAttention:
+    def test_output_shape(self):
+        attn = PerformerAttention(16, num_heads=4, num_features=8, rng=0)
+        x, batch = _inputs()
+        assert attn(x, batch).shape == (10, 16)
+
+    def test_no_information_leak_across_graphs(self):
+        attn = PerformerAttention(8, num_heads=2, num_features=8, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(8, 8))
+        batch = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        out_a = attn(Tensor(base), batch).data
+        modified = base.copy()
+        modified[4:] += 5.0
+        out_b = attn(Tensor(modified), batch).data
+        np.testing.assert_allclose(out_a[:4], out_b[:4], atol=1e-10)
+
+    def test_positive_feature_map(self):
+        attn = PerformerAttention(8, num_heads=2, num_features=8, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        features = attn._feature_map(x, head=0)
+        assert np.all(features.data > 0)
+
+    def test_approximates_softmax_attention_direction(self):
+        """Performer output should correlate with exact attention output."""
+        dim = 8
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(12, dim))
+        batch = np.zeros(12, dtype=int)
+        exact = MultiHeadSelfAttention(dim, num_heads=1, rng=1)
+        approx = PerformerAttention(dim, num_heads=1, num_features=64, rng=1)
+        # Share the projection weights so only the attention kernel differs.
+        approx.load_state_dict(
+            {k: v for k, v in exact.state_dict().items() if k in dict(approx.named_parameters())},
+            strict=False,
+        )
+        exact.eval()
+        approx.eval()
+        out_exact = exact(Tensor(x), batch).data.ravel()
+        out_approx = approx(Tensor(x), batch).data.ravel()
+        corr = np.corrcoef(out_exact, out_approx)[0, 1]
+        assert corr > 0.5
+
+    def test_gradients_flow(self):
+        attn = PerformerAttention(8, num_heads=2, num_features=8, rng=0)
+        x, batch = _inputs(num_nodes=6, dim=8)
+        loss = (attn(x, batch) ** 2).sum()
+        loss.backward()
+        assert x.grad is not None

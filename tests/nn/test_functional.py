@@ -1,0 +1,98 @@
+"""Tests for the functional interface (scatter ops, pooling, segment softmax)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..helpers import assert_gradients_close
+
+
+class TestScatterOps:
+    def test_scatter_add_values(self):
+        src = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = F.scatter_add(src, np.array([0, 1, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[4.0], [6.0]])
+
+    def test_scatter_mean_values(self):
+        src = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        out = F.scatter_mean(src, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [6.0], [0.0]])
+
+    def test_scatter_max_values(self):
+        src = Tensor(np.array([[1.0], [5.0], [3.0]]))
+        out = F.scatter_max(src, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[5.0], [3.0]])
+
+    def test_scatter_mean_empty_bucket_is_zero(self):
+        src = Tensor(np.ones((2, 3)))
+        out = F.scatter_mean(src, np.array([0, 0]), 4)
+        np.testing.assert_allclose(out.data[1:], np.zeros((3, 3)))
+
+    def test_scatter_add_gradients(self):
+        src = Tensor(np.random.default_rng(0).normal(size=(5, 2)), requires_grad=True)
+        weights = Tensor(np.random.default_rng(1).normal(size=(3, 2)))
+        assert_gradients_close(
+            lambda: (F.scatter_add(src, np.array([0, 1, 2, 0, 1]), 3) * weights).sum(), src)
+
+    def test_scatter_mean_gradients(self):
+        src = Tensor(np.random.default_rng(0).normal(size=(4, 2)), requires_grad=True)
+        assert_gradients_close(
+            lambda: (F.scatter_mean(src, np.array([0, 0, 1, 1]), 2) ** 2).sum(), src)
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self):
+        scores = Tensor(np.random.default_rng(0).normal(size=(6, 1)))
+        index = np.array([0, 0, 1, 1, 1, 2])
+        out = F.segment_softmax(scores, index, 3)
+        sums = np.zeros(3)
+        np.add.at(sums, index, out.data[:, 0])
+        np.testing.assert_allclose(sums, np.ones(3), atol=1e-8)
+
+    def test_stable_with_large_scores(self):
+        scores = Tensor(np.array([[1000.0], [1000.0], [999.0]]))
+        out = F.segment_softmax(scores, np.array([0, 0, 0]), 1)
+        assert np.all(np.isfinite(out.data))
+
+    def test_gradients(self):
+        scores = Tensor(np.random.default_rng(0).normal(size=(5, 1)), requires_grad=True)
+        index = np.array([0, 0, 1, 1, 1])
+        weights = Tensor(np.random.default_rng(1).normal(size=(5, 1)))
+        assert_gradients_close(
+            lambda: (F.segment_softmax(scores, index, 2) * weights).sum(), scores, atol=1e-4)
+
+
+class TestPooling:
+    def test_mean_pool(self):
+        x = Tensor(np.array([[1.0, 1.0], [3.0, 3.0], [10.0, 0.0]]))
+        batch = np.array([0, 0, 1])
+        out = F.global_mean_pool(x, batch, 2)
+        np.testing.assert_allclose(out.data, [[2.0, 2.0], [10.0, 0.0]])
+
+    def test_add_pool(self):
+        x = Tensor(np.ones((4, 3)))
+        out = F.global_add_pool(x, np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out.data, 2 * np.ones((2, 3)))
+
+    def test_max_pool(self):
+        x = Tensor(np.array([[1.0], [5.0], [2.0], [7.0]]))
+        out = F.global_max_pool(x, np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out.data, [[5.0], [7.0]])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 4), st.integers(1, 3))
+    def test_mean_pool_of_constant_is_constant(self, graphs, nodes_per_graph, dim):
+        x = Tensor(np.full((graphs * nodes_per_graph, dim), 3.5))
+        batch = np.repeat(np.arange(graphs), nodes_per_graph)
+        out = F.global_mean_pool(x, batch, graphs)
+        np.testing.assert_allclose(out.data, np.full((graphs, dim), 3.5))
+
+    def test_dropout_helper_respects_training_flag(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(F.dropout(x, 0.5, False, rng).data, x.data)
+        assert np.any(F.dropout(x, 0.5, True, rng).data == 0.0)

@@ -1,0 +1,84 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, bce_with_logits, cross_entropy, huber_loss, l1_loss, mse_loss
+
+from ..helpers import assert_gradients_close
+
+
+class TestBCEWithLogits:
+    def test_matches_reference_formula(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=20)
+        labels = rng.integers(0, 2, size=20).astype(float)
+        expected = np.mean(
+            np.maximum(logits, 0) - logits * labels + np.log1p(np.exp(-np.abs(logits)))
+        )
+        loss = bce_with_logits(Tensor(logits), labels)
+        assert loss.item() == pytest.approx(expected, rel=1e-10)
+
+    def test_perfect_predictions_give_small_loss(self):
+        logits = np.array([20.0, -20.0, 20.0])
+        labels = np.array([1.0, 0.0, 1.0])
+        assert bce_with_logits(Tensor(logits), labels).item() < 1e-6
+
+    def test_stable_for_extreme_logits(self):
+        logits = np.array([1e4, -1e4])
+        labels = np.array([0.0, 1.0])
+        loss = bce_with_logits(Tensor(logits), labels)
+        assert np.isfinite(loss.item())
+
+    def test_pos_weight_increases_positive_penalty(self):
+        logits = np.array([-2.0, -2.0])
+        labels = np.array([1.0, 0.0])
+        plain = bce_with_logits(Tensor(logits), labels).item()
+        weighted = bce_with_logits(Tensor(logits), labels, pos_weight=5.0).item()
+        assert weighted > plain
+
+    def test_gradients(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=8), requires_grad=True)
+        labels = np.random.default_rng(1).integers(0, 2, size=8).astype(float)
+        assert_gradients_close(lambda: bce_with_logits(logits, labels), logits)
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        assert mse_loss(Tensor([1.0, 2.0]), [0.0, 0.0]).item() == pytest.approx(2.5)
+
+    def test_l1_value(self):
+        assert l1_loss(Tensor([1.0, -3.0]), [0.0, 0.0]).item() == pytest.approx(2.0)
+
+    def test_huber_quadratic_region_matches_half_mse(self):
+        pred = Tensor([0.3, -0.2])
+        target = [0.0, 0.0]
+        assert huber_loss(pred, target, delta=1.0).item() == pytest.approx(
+            0.5 * mse_loss(pred, target).item())
+
+    def test_huber_linear_region_smaller_than_mse(self):
+        pred = Tensor([10.0])
+        assert huber_loss(pred, [0.0], delta=1.0).item() < 0.5 * mse_loss(pred, [0.0]).item()
+
+    def test_mse_gradients(self):
+        pred = Tensor(np.random.default_rng(0).normal(size=6), requires_grad=True)
+        target = np.random.default_rng(1).normal(size=6)
+        assert_gradients_close(lambda: mse_loss(pred, target), pred)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        logits = Tensor(np.zeros((4, 5)))
+        targets = np.array([0, 1, 2, 3])
+        assert cross_entropy(logits, targets).item() == pytest.approx(np.log(5))
+
+    def test_confident_correct_prediction_near_zero(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        assert cross_entropy(Tensor(logits), np.array([1, 2])).item() < 1e-6
+
+    def test_gradients(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        targets = np.array([0, 2, 1, 1])
+        assert_gradients_close(lambda: cross_entropy(logits, targets), logits)

@@ -1,0 +1,109 @@
+"""Tests for the Module base class: registration, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Linear, Module, ModuleList, Parameter, Sequential, Tensor
+
+
+class _ToyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, rng=0)
+        self.second = Linear(8, 2, rng=0)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_include_children(self):
+        model = _ToyModel()
+        names = dict(model.named_parameters()).keys()
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        model = _ToyModel()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert model.num_parameters() == expected
+
+    def test_modules_iteration(self):
+        model = _ToyModel()
+        assert len(list(model.modules())) == 3  # model + two Linears
+
+    def test_train_eval_propagates(self):
+        model = _ToyModel()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model_a = _ToyModel()
+        model_b = _ToyModel()
+        model_b.load_state_dict(model_a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        np.testing.assert_allclose(model_a(x).data, model_b(x).data)
+
+    def test_strict_missing_key_raises(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_non_strict_ignores_extra_keys(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["does.not.exist"] = np.ones(1)
+        model.load_state_dict(state, strict=False)
+
+
+class TestFreezing:
+    def test_freeze_disables_grads(self):
+        model = _ToyModel()
+        model.freeze()
+        assert all(not p.requires_grad for p in model.parameters())
+        model.unfreeze()
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_zero_grad_clears(self):
+        model = _ToyModel()
+        out = model(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestContainers:
+    def test_module_list_registration(self):
+        layers = ModuleList([Linear(2, 2, rng=0), Linear(2, 2, rng=0)])
+        assert len(layers) == 2
+        assert len(list(layers.parameters())) == 4
+        assert isinstance(layers[1], Linear)
+
+    def test_module_list_cannot_be_called(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([Linear(2, 2)])(Tensor(np.ones((1, 2))))
+
+    def test_sequential_chains(self):
+        seq = Sequential(Linear(3, 5, rng=0), Linear(5, 2, rng=0))
+        out = seq(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)
+        assert len(seq) == 2
+
+    def test_mlp_is_module(self):
+        assert isinstance(MLP([2, 2]), Module)

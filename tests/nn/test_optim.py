@@ -1,0 +1,124 @@
+"""Tests for optimisers, schedulers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    AdamW,
+    CosineSchedule,
+    Parameter,
+    StepSchedule,
+    Tensor,
+    clip_grad_norm,
+)
+
+
+def _quadratic_problem():
+    """Minimise ||w - target||^2; optimum is the target vector."""
+    target = np.array([1.0, -2.0, 3.0])
+    w = Parameter(np.zeros(3))
+
+    def loss_fn():
+        diff = w - Tensor(target)
+        return (diff * diff).sum()
+
+    return w, target, loss_fn
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls,kwargs,steps", [
+        (SGD, {"lr": 0.1}, 200),
+        (SGD, {"lr": 0.05, "momentum": 0.9}, 200),
+        (Adam, {"lr": 0.1}, 300),
+        (AdamW, {"lr": 0.1, "weight_decay": 1e-3}, 300),
+    ])
+    def test_converges_on_quadratic(self, optimizer_cls, kwargs, steps):
+        w, target, loss_fn = _quadratic_problem()
+        optimizer = optimizer_cls([w], **kwargs)
+        for _ in range(steps):
+            loss = loss_fn()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.data, target, atol=0.05)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_step_skips_parameters_without_grad(self):
+        w = Parameter(np.ones(3))
+        optimizer = Adam([w], lr=0.1)
+        optimizer.step()  # no backward performed, grad is None
+        np.testing.assert_allclose(w.data, np.ones(3))
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.ones(4) * 10)
+        optimizer = SGD([w], lr=0.1, weight_decay=0.5)
+        loss = (w * 0.0).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert np.all(np.abs(w.data) < 10)
+
+    def test_adamw_decouples_decay(self):
+        w1 = Parameter(np.ones(3) * 5)
+        w2 = Parameter(np.ones(3) * 5)
+        adam = Adam([w1], lr=0.01, weight_decay=0.1)
+        adamw = AdamW([w2], lr=0.01, weight_decay=0.1)
+        for optimizer, w in ((adam, w1), (adamw, w2)):
+            loss = (w * w).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        # Both decay, but the updates differ because AdamW applies decay directly.
+        assert not np.allclose(w1.data, w2.data)
+
+
+class TestClipGradNorm:
+    def test_norm_reported(self):
+        w = Parameter(np.array([3.0, 4.0]))
+        w.grad = np.array([3.0, 4.0])
+        assert clip_grad_norm([w], max_norm=100.0) == pytest.approx(5.0)
+        np.testing.assert_allclose(w.grad, [3.0, 4.0])
+
+    def test_clipping_rescales(self):
+        w = Parameter(np.array([3.0, 4.0]))
+        w.grad = np.array([3.0, 4.0])
+        clip_grad_norm([w], max_norm=1.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_grads_returns_zero(self):
+        w = Parameter(np.ones(3))
+        assert clip_grad_norm([w], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_cosine_decays_to_min_lr(self):
+        w = Parameter(np.ones(2))
+        optimizer = Adam([w], lr=1.0)
+        schedule = CosineSchedule(optimizer, total_steps=10, min_lr=0.1)
+        lrs = [schedule.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.1, abs=1e-6)
+        assert all(lrs[i] >= lrs[i + 1] for i in range(len(lrs) - 1))
+
+    def test_cosine_warmup_ramps_up(self):
+        w = Parameter(np.ones(2))
+        optimizer = Adam([w], lr=1.0)
+        schedule = CosineSchedule(optimizer, total_steps=20, warmup_steps=5)
+        lrs = [schedule.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(0.2)
+        assert lrs[-1] == pytest.approx(1.0)
+
+    def test_cosine_requires_positive_steps(self):
+        optimizer = Adam([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineSchedule(optimizer, total_steps=0)
+
+    def test_step_schedule_halves(self):
+        optimizer = Adam([Parameter(np.ones(1))], lr=1.0)
+        schedule = StepSchedule(optimizer, step_size=2, gamma=0.5)
+        lrs = [schedule.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]

@@ -1,0 +1,256 @@
+"""Unit and gradient-check tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, concat, no_grad, stack
+
+from ..helpers import assert_gradients_close
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+
+    def test_detach_breaks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_item_and_len(self):
+        assert Tensor([[2.5]]).item() == pytest.approx(2.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.sum().backward()
+
+    def test_no_grad_context(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t.sum()).backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticValues:
+    def test_add_sub_mul_div(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+        np.testing.assert_allclose((a - b).data, [-2.0, -2.0])
+        np.testing.assert_allclose((a * b).data, [3.0, 8.0])
+        np.testing.assert_allclose((a / b).data, [1 / 3, 0.5])
+
+    def test_scalar_operands(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1).data, [2.0, 3.0])
+        np.testing.assert_allclose((1 + a).data, [2.0, 3.0])
+        np.testing.assert_allclose((2 - a).data, [1.0, 0.0])
+        np.testing.assert_allclose((a * 3).data, [3.0, 6.0])
+        np.testing.assert_allclose((6 / a).data, [6.0, 3.0])
+        np.testing.assert_allclose((-a).data, [-1.0, -2.0])
+        np.testing.assert_allclose((a ** 2).data, [1.0, 4.0])
+
+    def test_matmul_shapes(self):
+        a = Tensor(np.ones((3, 4)))
+        b = Tensor(np.ones((4, 5)))
+        assert (a @ b).shape == (3, 5)
+
+    def test_broadcast_add(self):
+        a = Tensor(np.ones((3, 4)))
+        b = Tensor(np.ones(4))
+        assert (a + b).shape == (3, 4)
+
+    def test_reductions(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.sum().item() == pytest.approx(15.0)
+        assert a.mean().item() == pytest.approx(2.5)
+        np.testing.assert_allclose(a.sum(axis=0).data, [3.0, 5.0, 7.0])
+        np.testing.assert_allclose(a.max(axis=1).data, [2.0, 5.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        probs = x.softmax(axis=-1)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        np.testing.assert_allclose(x.log_softmax().data, np.log(x.softmax().data), atol=1e-10)
+
+
+class TestGradients:
+    """Numerical gradient checks for each primitive."""
+
+    def _tensor(self, shape=(3, 4), seed=0):
+        rng = np.random.default_rng(seed)
+        return Tensor(rng.normal(size=shape), requires_grad=True)
+
+    def test_add_grad(self):
+        a, b = self._tensor(), self._tensor(seed=1)
+        assert_gradients_close(lambda: (a + b * 2).sum(), a)
+
+    def test_mul_grad(self):
+        a, b = self._tensor(), self._tensor(seed=1)
+        assert_gradients_close(lambda: (a * b).sum(), a)
+        assert_gradients_close(lambda: (a * b).sum(), b)
+
+    def test_div_grad(self):
+        a = self._tensor()
+        b = Tensor(np.random.default_rng(1).uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        assert_gradients_close(lambda: (a / b).sum(), a)
+        assert_gradients_close(lambda: (a / b).sum(), b)
+
+    def test_matmul_grad(self):
+        a = self._tensor((3, 4))
+        b = self._tensor((4, 2), seed=2)
+        assert_gradients_close(lambda: (a @ b).sum(), a)
+        assert_gradients_close(lambda: (a @ b).sum(), b)
+
+    def test_batched_matmul_grad(self):
+        a = self._tensor((2, 3, 4))
+        b = self._tensor((2, 4, 5), seed=3)
+        assert_gradients_close(lambda: a.matmul(b).sum(), a, atol=1e-4)
+        assert_gradients_close(lambda: a.matmul(b).sum(), b, atol=1e-4)
+
+    def test_pow_grad(self):
+        a = Tensor(np.random.default_rng(0).uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        assert_gradients_close(lambda: (a ** 3).sum(), a)
+
+    def test_broadcast_grad(self):
+        a = self._tensor((3, 4))
+        b = self._tensor((4,), seed=5)
+        assert_gradients_close(lambda: (a + b).sum(), b)
+        assert_gradients_close(lambda: (a * b).sum(), b)
+
+    def test_sum_mean_grad(self):
+        a = self._tensor()
+        assert_gradients_close(lambda: a.sum(axis=0).sum(), a)
+        assert_gradients_close(lambda: a.mean(axis=1).sum(), a)
+
+    def test_elementwise_grads(self):
+        a = self._tensor()
+        assert_gradients_close(lambda: a.tanh().sum(), a)
+        assert_gradients_close(lambda: a.sigmoid().sum(), a)
+        assert_gradients_close(lambda: a.exp().sum(), a)
+        assert_gradients_close(lambda: a.gelu().sum(), a, atol=1e-4)
+
+    def test_log_sqrt_grads(self):
+        a = Tensor(np.random.default_rng(0).uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        assert_gradients_close(lambda: a.log().sum(), a)
+        assert_gradients_close(lambda: a.sqrt().sum(), a)
+
+    def test_relu_grad_away_from_kink(self):
+        a = Tensor(np.array([[1.0, -2.0], [3.0, -0.5]]), requires_grad=True)
+        assert_gradients_close(lambda: a.relu().sum(), a)
+
+    def test_abs_grad_away_from_zero(self):
+        a = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        assert_gradients_close(lambda: a.abs().sum(), a)
+
+    def test_softmax_grad(self):
+        a = self._tensor((4, 5))
+        weights = Tensor(np.random.default_rng(9).normal(size=(4, 5)))
+        assert_gradients_close(lambda: (a.softmax(axis=-1) * weights).sum(), a)
+
+    def test_log_softmax_grad(self):
+        a = self._tensor((4, 5))
+        weights = Tensor(np.random.default_rng(9).normal(size=(4, 5)))
+        assert_gradients_close(lambda: (a.log_softmax(axis=-1) * weights).sum(), a)
+
+    def test_reshape_transpose_grad(self):
+        a = self._tensor((2, 6))
+        assert_gradients_close(lambda: (a.reshape(3, 4).transpose() * 2).sum(), a)
+
+    def test_getitem_grad(self):
+        a = self._tensor((5, 3))
+        assert_gradients_close(lambda: a[1:4].sum(), a)
+
+    def test_gather_rows_grad(self):
+        a = self._tensor((6, 3))
+        idx = np.array([0, 2, 2, 5])
+        assert_gradients_close(lambda: a.gather_rows(idx).sum(), a)
+
+    def test_scatter_add_grad(self):
+        a = self._tensor((6, 3))
+        idx = np.array([0, 1, 0, 2, 2, 1])
+        weights = Tensor(np.random.default_rng(3).normal(size=(3, 3)))
+        assert_gradients_close(lambda: (a.scatter_add(idx, 3) * weights).sum(), a)
+
+    def test_clip_grad_inside_range(self):
+        a = Tensor(np.array([0.2, 0.5, 0.7]), requires_grad=True)
+        assert_gradients_close(lambda: a.clip(0.0, 1.0).sum(), a)
+
+    def test_max_grad_no_ties(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 3.0, 4.0]]), requires_grad=True)
+        assert_gradients_close(lambda: a.max(axis=1).sum(), a)
+
+    def test_concat_grad(self):
+        a = self._tensor((2, 3))
+        b = self._tensor((4, 3), seed=11)
+        assert_gradients_close(lambda: concat([a, b], axis=0).sum(), a)
+        assert_gradients_close(lambda: concat([a, b], axis=0).sum(), b)
+
+    def test_stack_grad(self):
+        a = self._tensor((2, 3))
+        b = self._tensor((2, 3), seed=12)
+        assert_gradients_close(lambda: stack([a, b], axis=0).sum(), a)
+
+    def test_gradient_accumulation_over_reuse(self):
+        a = self._tensor((3, 3))
+        loss = (a * a).sum() + a.sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1.0, atol=1e-10)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=5),
+                  elements=st.floats(-10, 10)))
+    def test_add_commutative(self, values):
+        a = Tensor(values)
+        b = Tensor(values[::-1].copy() if values.ndim == 1 else values)
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+                  elements=st.floats(-5, 5)))
+    def test_softmax_invariant_to_shift(self, values):
+        a = Tensor(values)
+        shifted = Tensor(values + 100.0)
+        np.testing.assert_allclose(a.softmax(axis=-1).data, shifted.softmax(axis=-1).data,
+                                   atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 4)),
+                  elements=st.floats(-5, 5)),
+           st.integers(0, 3))
+    def test_scatter_gather_roundtrip_sum(self, values, num_extra):
+        """scatter_add then total sum equals the original total sum."""
+        tensor = Tensor(values)
+        idx = np.arange(values.shape[0]) % (1 + num_extra)
+        scattered = tensor.scatter_add(idx, 1 + num_extra)
+        np.testing.assert_allclose(scattered.data.sum(), values.sum(), atol=1e-8)

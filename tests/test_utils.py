@@ -1,0 +1,134 @@
+"""Tests for the shared utilities: RNG, logging, serialization, timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    MetricLogger,
+    Timer,
+    get_logger,
+    get_rng,
+    load_checkpoint,
+    load_json,
+    save_checkpoint,
+    save_json,
+    seed_all,
+    spawn_rng,
+    timed,
+)
+
+
+class TestRng:
+    def test_seed_all_reproducible(self):
+        a = seed_all(123).random(5)
+        b = seed_all(123).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_get_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert get_rng(rng) is rng
+
+    def test_get_rng_from_seed(self):
+        np.testing.assert_allclose(get_rng(5).random(3), np.random.default_rng(5).random(3))
+
+    def test_get_rng_none_uses_global(self):
+        seed_all(99)
+        expected = np.random.default_rng(99).random(3)
+        np.testing.assert_allclose(get_rng(None).random(3), expected)
+
+    def test_spawn_rng_independent(self):
+        seed_all(7)
+        child_a = spawn_rng()
+        child_b = spawn_rng()
+        assert not np.allclose(child_a.random(4), child_b.random(4))
+
+
+class TestLogging:
+    def test_get_logger_idempotent_handlers(self):
+        logger_a = get_logger("repro.test")
+        logger_b = get_logger("repro.test")
+        assert logger_a is logger_b
+        assert len(logger_a.handlers) == 1
+
+    def test_metric_logger_history_and_best(self):
+        logger = MetricLogger("demo")
+        logger.log(0, loss=1.0, acc=0.5)
+        logger.log(1, loss=0.5, acc=0.8)
+        logger.log(2, loss=0.7, acc=0.7)
+        assert logger.last()["loss"] == 0.7
+        assert logger.best("loss", mode="min")["epoch"] == 1
+        assert logger.best("acc", mode="max")["epoch"] == 1
+        assert "loss" in logger.as_table()
+
+    def test_metric_logger_errors(self):
+        logger = MetricLogger()
+        with pytest.raises(IndexError):
+            logger.last()
+        logger.log(0, loss=1.0)
+        with pytest.raises(KeyError):
+            logger.best("nonexistent")
+
+    def test_empty_table(self):
+        assert MetricLogger().as_table() == "(empty)"
+
+
+class TestSerialization:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        state = {"layer.weight": np.random.default_rng(0).normal(size=(4, 3)),
+                 "layer.bias": np.zeros(3)}
+        path = save_checkpoint(tmp_path / "model.npz", state, metadata={"dim": 4})
+        loaded, metadata = load_checkpoint(path)
+        assert metadata == {"dim": 4}
+        for key, value in state.items():
+            np.testing.assert_allclose(loaded[key], value)
+
+    def test_checkpoint_without_metadata(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"w": np.ones(2)})
+        _, metadata = load_checkpoint(path)
+        assert metadata == {}
+
+    def test_json_roundtrip_with_numpy_types(self, tmp_path):
+        payload = {"acc": np.float64(0.93), "count": np.int64(5), "values": np.arange(3)}
+        path = save_json(tmp_path / "results.json", payload)
+        loaded = load_json(path)
+        assert loaded["acc"] == pytest.approx(0.93)
+        assert loaded["count"] == 5
+        assert loaded["values"] == [0, 1, 2]
+
+    def test_model_state_dict_roundtrip_through_checkpoint(self, tmp_path):
+        from repro.nn import MLP, Tensor
+
+        model = MLP([3, 4, 1], rng=0)
+        path = save_checkpoint(tmp_path / "mlp.npz", model.state_dict())
+        clone = MLP([3, 4, 1], rng=1)
+        state, _ = load_checkpoint(path)
+        clone.load_state_dict(state)
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            time.sleep(0.01)
+        assert timer.count == 2
+        assert timer.total >= 0.02
+        assert timer.mean == pytest.approx(timer.total / 2)
+
+    def test_timer_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_timed_context(self):
+        store = {}
+        with timed(store, "phase"):
+            time.sleep(0.005)
+        assert store["phase"] >= 0.005
+        with timed(store, "phase"):
+            pass
+        assert store["phase"] >= 0.005  # accumulates
