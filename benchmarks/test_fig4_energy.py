@@ -20,7 +20,11 @@ from repro.analysis import energy_comparison, format_table
 from repro.core import Trainer
 from repro.graph import NODE_NET, collate, compute_pe, extract_enclosing_subgraph, inject_link_edges
 
+import pytest
+
 from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
 
 PAPER = {
     "mape": 0.145,

@@ -16,7 +16,11 @@ from repro.core import Trainer, pretrain_link_model
 from repro.core.datasets import build_link_samples
 from repro.graph import compute_pe, sample_link_dataset
 
+import pytest
+
 from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
 
 PE_KINDS = ["none", "stats", "drnl", "rwse", "lappe", "dspd"]
 

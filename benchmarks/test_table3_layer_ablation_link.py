@@ -14,7 +14,11 @@ from repro.analysis import format_table
 from repro.core import Trainer, pretrain_link_model
 from repro.core.datasets import build_link_samples
 
+import pytest
+
 from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
 
 CONFIGURATIONS = [
     ("none", "performer"),

@@ -15,7 +15,11 @@ import numpy as np
 from repro.analysis import format_table
 from repro.graph import link_type_histogram, sample_link_dataset
 
+import pytest
+
 from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
 
 PAPER_ROWS = [
     {"design": "SSRAM", "split": "train", "N": 87_000, "N_E": 134_000, "links": 131_000,

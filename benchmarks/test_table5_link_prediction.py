@@ -12,7 +12,11 @@ from repro.analysis import format_table
 from repro.core import BaselineTrainer, evaluate_zero_shot_link
 from repro.models import DLPLCap, ParaGraph
 
+import pytest
+
 from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
 
 PAPER_ROWS = [
     {"method": "ParaGraph", "design": "DIGITAL_CLK_GEN", "accuracy": 0.768, "f1": 0.847, "auc": 0.870},

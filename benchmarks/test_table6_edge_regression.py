@@ -14,7 +14,11 @@ from repro.analysis import format_table
 from repro.core import BaselineTrainer, evaluate_regression
 from repro.models import DLPLCap, ParaGraph
 
+import pytest
+
 from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
 
 PAPER_ROWS = [
     {"method": "ParaGraph", "design": "DIGITAL_CLK_GEN", "mae": 0.153, "rmse": 0.212, "r2": 0.470},

@@ -13,7 +13,11 @@ import time
 from repro.analysis import format_table
 from repro.core import evaluate_regression, finetune_regression
 
+import pytest
+
 from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
 
 CONFIGURATIONS = [
     ("none", "performer"),

@@ -1,6 +1,15 @@
 """Core pipeline: configuration, datasets, training, pre-training, fine-tuning."""
 
 from .config import DataConfig, ExperimentConfig, ModelConfig, TrainConfig
+from .data import (
+    DataLoader,
+    PECache,
+    SubgraphDataset,
+    as_dataset,
+    attach_pe,
+    default_pe_cache,
+    set_default_pe_cache,
+)
 from .datasets import (
     CapacitanceNormalizer,
     DesignData,
@@ -33,6 +42,13 @@ __all__ = [
     "ModelConfig",
     "TrainConfig",
     "DataConfig",
+    "SubgraphDataset",
+    "DataLoader",
+    "PECache",
+    "as_dataset",
+    "attach_pe",
+    "default_pe_cache",
+    "set_default_pe_cache",
     "DesignData",
     "CapacitanceNormalizer",
     "StatsNormalizer",

@@ -1,0 +1,408 @@
+"""Dataset and loader subsystem for sampled enclosing subgraphs.
+
+The training layer used to pass raw ``list[Subgraph]`` around and batch it
+with ``batch_iterator``.  This module replaces that plumbing with three
+pieces:
+
+* :class:`PECache` — a process-wide LRU cache of positional encodings keyed by
+  ``(design, link, pe_kind, topology digest)``, so repeated epochs and
+  repeated evaluations of the same design never recompute a PE.
+* :class:`SubgraphDataset` — a sequence of subgraphs that is either
+  *materialized* (wraps a list) or *lazy* (extracts the enclosing subgraph of
+  link ``i`` on demand with a per-index deterministic RNG, so every epoch sees
+  identical samples and the PE cache stays valid).
+* :class:`DataLoader` — owns shuffling and batching; iterating yields
+  :class:`~repro.graph.batch.SubgraphBatch` objects via ``collate``.
+
+Anything that accepts training data takes a dataset, a loader or a plain list
+(:func:`as_dataset` normalises all three).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..graph import (
+    Subgraph,
+    SubgraphBatch,
+    collate,
+    compute_pe,
+    compute_pe_batch,
+    extract_enclosing_subgraph,
+)
+from ..graph.hetero import CircuitGraph, Link
+from ..utils.rng import get_rng
+
+__all__ = [
+    "PECache",
+    "default_pe_cache",
+    "set_default_pe_cache",
+    "attach_pe",
+    "attach_pe_batch",
+    "SubgraphDataset",
+    "DataLoader",
+    "as_dataset",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Positional-encoding cache
+# --------------------------------------------------------------------------- #
+class PECache:
+    """LRU cache of positional encodings.
+
+    Keys combine the design name, the target link (global anchor ids plus
+    link type), the PE kind, and a cheap digest of the subgraph topology; the
+    digest guarantees a stale entry can never be returned for a re-sampled
+    subgraph with different nodes or edges.
+    """
+
+    def __init__(self, capacity: int = 16384):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def key_for(subgraph: Subgraph, pe_kind: str, design: str | None = None) -> tuple:
+        design = design if design is not None else subgraph.extras.get("design")
+        a, b = subgraph.anchors
+        return (
+            design,
+            int(subgraph.node_ids[a]),
+            int(subgraph.node_ids[b]),
+            int(subgraph.link_type),
+            pe_kind,
+            subgraph.num_nodes,
+            subgraph.num_edges,
+            hash(subgraph.node_ids.tobytes()),
+            hash(subgraph.edge_index.tobytes()),
+        )
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: np.ndarray) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DEFAULT_PE_CACHE = PECache()
+
+
+def default_pe_cache() -> PECache:
+    """The process-wide PE cache used when no explicit cache is given."""
+    return _DEFAULT_PE_CACHE
+
+
+def set_default_pe_cache(cache: PECache) -> PECache:
+    """Swap the process-wide PE cache (returns the previous one)."""
+    global _DEFAULT_PE_CACHE
+    previous = _DEFAULT_PE_CACHE
+    _DEFAULT_PE_CACHE = cache
+    return previous
+
+
+def attach_pe(subgraph: Subgraph, pe_kind: str, design: str | None = None,
+              cache: PECache | None = None) -> np.ndarray:
+    """Ensure ``subgraph.pe`` holds the requested encoding, via the cache.
+
+    Cache hits set ``subgraph.pe`` to the stored array (shared, treated as
+    read-only); misses compute the encoding and store it.
+    """
+    cache = cache if cache is not None else _DEFAULT_PE_CACHE
+    key = PECache.key_for(subgraph, pe_kind, design=design)
+    encoding = cache.get(key)
+    if encoding is None:
+        encoding = compute_pe(subgraph, pe_kind)
+        cache.put(key, encoding)
+    else:
+        subgraph.pe = encoding
+    return encoding
+
+
+def attach_pe_batch(subgraphs: Sequence[Subgraph], pe_kind: str,
+                    design: str | None = None, cache: PECache | None = None) -> None:
+    """Attach PEs to many subgraphs, computing the cache misses in one batch.
+
+    Hits come straight from the cache; the misses are encoded together via
+    :func:`repro.graph.compute_pe_batch` (two multi-source BFS sweeps for the
+    BFS-based kinds) and stored back.
+    """
+    cache = cache if cache is not None else _DEFAULT_PE_CACHE
+    misses: list[Subgraph] = []
+    miss_keys: list[tuple] = []
+    for subgraph in subgraphs:
+        key = PECache.key_for(subgraph, pe_kind, design=design)
+        encoding = cache.get(key)
+        if encoding is None:
+            misses.append(subgraph)
+            miss_keys.append(key)
+        else:
+            subgraph.pe = encoding
+    if misses:
+        for key, encoding in zip(miss_keys, compute_pe_batch(misses, pe_kind)):
+            cache.put(key, encoding)
+
+
+# --------------------------------------------------------------------------- #
+# Dataset
+# --------------------------------------------------------------------------- #
+class SubgraphDataset:
+    """A sequence of :class:`Subgraph` samples, materialized or lazy.
+
+    Materialized datasets wrap an existing list (``from_samples``).  Lazy
+    datasets (``from_links``) keep only the host graph and the target links
+    and extract each enclosing subgraph on first access; extraction uses a
+    per-index deterministic RNG so repeated epochs produce identical samples.
+    Both modes route positional encodings through a :class:`PECache` when
+    ``pe_kind`` is set.
+    """
+
+    def __init__(self, samples: list[Subgraph] | None = None, *,
+                 factory: Callable[[int], Subgraph] | None = None,
+                 length: int | None = None,
+                 pe_kind: str | None = None,
+                 design: str | None = None,
+                 cache: PECache | None = None,
+                 memoize: bool = True):
+        if (samples is None) == (factory is None):
+            raise ValueError("provide exactly one of samples= or factory=")
+        if factory is not None and length is None:
+            raise ValueError("lazy datasets need an explicit length")
+        self._samples = list(samples) if samples is not None else None
+        self._factory = factory
+        self._length = len(self._samples) if self._samples is not None else int(length)
+        self._memo: dict[int, Subgraph] = {}
+        self._memoize = memoize
+        self.pe_kind = pe_kind
+        self.design = design
+        self.cache = cache
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_samples(cls, samples: Sequence[Subgraph], pe_kind: str | None = None,
+                     design: str | None = None, cache: PECache | None = None
+                     ) -> "SubgraphDataset":
+        """Wrap an already-extracted list of subgraphs."""
+        return cls(list(samples), pe_kind=pe_kind, design=design, cache=cache)
+
+    @classmethod
+    def from_links(cls, graph: CircuitGraph, links: Sequence[Link], *,
+                   hops: int = 1, max_nodes_per_hop: int | None = None,
+                   add_target_edge: bool = True, targets: Sequence[float] | None = None,
+                   pe_kind: str | None = "dspd", design: str | None = None,
+                   cache: PECache | None = None, seed: int = 0,
+                   memoize: bool = False) -> "SubgraphDataset":
+        """Lazy dataset: one enclosing subgraph per link, extracted on demand."""
+        links = list(links)
+        targets = None if targets is None else list(targets)
+        design = design if design is not None else graph.name
+
+        def factory(index: int) -> Subgraph:
+            link = links[index]
+            rng = np.random.default_rng([seed, index])
+            subgraph = extract_enclosing_subgraph(
+                graph, link, hops=hops, max_nodes_per_hop=max_nodes_per_hop,
+                add_target_edge=add_target_edge, rng=rng,
+            )
+            if targets is not None:
+                subgraph.target = float(targets[index])
+            subgraph.extras["design"] = design
+            return subgraph
+
+        dataset = cls(factory=factory, length=len(links), pe_kind=pe_kind,
+                      design=design, cache=cache, memoize=memoize)
+        dataset._labels = np.array([l.label for l in links], dtype=np.float64)
+        if targets is not None:
+            dataset._targets = np.array(targets, dtype=np.float64)
+        dataset._link_types = np.array([l.link_type for l in links], dtype=np.int64)
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[Subgraph]:
+        for index in range(self._length):
+            yield self[index]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.subset(range(*index.indices(self._length)))
+        index = int(index)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("dataset index out of range")
+        if self._samples is not None:
+            sample = self._samples[index]
+        elif index in self._memo:
+            sample = self._memo[index]
+        else:
+            sample = self._factory(index)
+            if self._memoize:
+                self._memo[index] = sample
+        if self.pe_kind is not None and sample.pe is None:
+            attach_pe(sample, self.pe_kind, design=self.design, cache=self.cache)
+        return sample
+
+    # ------------------------------------------------------------------ #
+    # Labels / targets (no extraction required)
+    # ------------------------------------------------------------------ #
+    def labels(self) -> np.ndarray:
+        if getattr(self, "_labels", None) is None:
+            self._labels = np.array([s.label for s in self._materialized()], dtype=np.float64)
+        return self._labels
+
+    def targets(self) -> np.ndarray:
+        if getattr(self, "_targets", None) is None:
+            self._targets = np.array([s.target for s in self._materialized()], dtype=np.float64)
+        return self._targets
+
+    def link_types(self) -> np.ndarray:
+        if getattr(self, "_link_types", None) is None:
+            self._link_types = np.array([s.link_type for s in self._materialized()],
+                                        dtype=np.int64)
+        return self._link_types
+
+    def _materialized(self) -> Iterator[Subgraph]:
+        if self._samples is not None:
+            return iter(self._samples)
+        return iter(self)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def subset(self, indices) -> "SubgraphDataset":
+        """A view selecting ``indices`` (shares factory/cache with the parent)."""
+        indices = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices,
+                             dtype=np.int64)
+        if self._samples is not None:
+            view = SubgraphDataset([self._samples[i] for i in indices], pe_kind=self.pe_kind,
+                                   design=self.design, cache=self.cache)
+        else:
+            parent = self
+
+            def factory(index: int) -> Subgraph:
+                return parent[int(indices[index])]
+
+            view = SubgraphDataset(factory=factory, length=len(indices), pe_kind=None,
+                                   design=self.design, cache=self.cache, memoize=False)
+        for name in ("_labels", "_targets", "_link_types"):
+            values = getattr(self, name, None)
+            if values is not None:
+                setattr(view, name, values[indices])
+        return view
+
+    def shuffled(self, rng=None) -> "SubgraphDataset":
+        """A permuted view of the dataset."""
+        rng = get_rng(rng)
+        return self.subset(rng.permutation(self._length))
+
+    def split(self, fraction: float, rng=None) -> tuple["SubgraphDataset", "SubgraphDataset"]:
+        """Split off the first ``round(fraction * len)`` samples as a head set.
+
+        Returns ``(head, tail)``; shuffle first (``shuffled``) for a random
+        split.  Mirrors the pre-existing ``samples[:num_val] / samples[num_val:]``
+        convention of the training code.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("split fraction must be in [0, 1]")
+        cut = int(round(self._length * fraction))
+        indices = np.arange(self._length)
+        return self.subset(indices[:cut]), self.subset(indices[cut:])
+
+    def materialize(self) -> "SubgraphDataset":
+        """Extract every sample now and return a materialized dataset."""
+        if self._samples is not None:
+            return self
+        return SubgraphDataset([self[i] for i in range(self._length)], pe_kind=self.pe_kind,
+                               design=self.design, cache=self.cache)
+
+    def to_list(self) -> list[Subgraph]:
+        return list(self)
+
+    def __repr__(self) -> str:
+        mode = "materialized" if self._samples is not None else "lazy"
+        return (f"SubgraphDataset(len={self._length}, mode={mode}, "
+                f"pe_kind={self.pe_kind!r}, design={self.design!r})")
+
+
+def as_dataset(data) -> SubgraphDataset:
+    """Normalise a dataset / loader / plain sequence of subgraphs to a dataset."""
+    if isinstance(data, SubgraphDataset):
+        return data
+    if isinstance(data, DataLoader):
+        return data.dataset
+    return SubgraphDataset.from_samples(data)
+
+
+# --------------------------------------------------------------------------- #
+# Loader
+# --------------------------------------------------------------------------- #
+class DataLoader:
+    """Shuffling + batching over a :class:`SubgraphDataset`.
+
+    Iterating yields :class:`SubgraphBatch` objects.  The loader keeps its own
+    RNG, so each epoch (each ``__iter__`` call) sees a fresh permutation.
+    """
+
+    def __init__(self, dataset, batch_size: int = 64, shuffle: bool = True,
+                 rng=None, drop_last: bool = False,
+                 collate_fn: Callable[[list[Subgraph]], SubgraphBatch] = collate):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = as_dataset(dataset)
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.collate_fn = collate_fn
+        self._rng = get_rng(rng)
+
+    def __len__(self) -> int:
+        full, rest = divmod(len(self.dataset), self.batch_size)
+        return full if (self.drop_last or rest == 0) else full + 1
+
+    def __iter__(self) -> Iterator[SubgraphBatch]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start:start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            yield self.collate_fn([self.dataset[int(i)] for i in chunk])

@@ -19,7 +19,7 @@ The flow mirrors Section IV:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,13 +28,13 @@ from ..graph import (
     CircuitGraph,
     Subgraph,
     balance_links,
-    compute_pe,
-    extract_enclosing_subgraph,
-    extract_node_subgraph,
+    extract_enclosing_subgraphs,
+    extract_node_subgraphs,
     generate_negative_links,
     inject_link_edges,
     netlist_to_graph,
 )
+from .data import attach_pe_batch
 from ..graph.hetero import Link
 from ..netlist import Circuit, ParasiticReport, Placement, build_design, extract_parasitics, place_circuit
 from ..netlist.generators import PAPER_DESIGNS, TEST_DESIGNS, TRAIN_DESIGNS
@@ -208,8 +208,8 @@ def build_link_samples(design: DesignData, config: DataConfig = DataConfig(),
         rng=rng,
     )
     for sample in samples:
-        compute_pe(sample, pe_kind)
         sample.extras["design"] = design.name
+    attach_pe_batch(samples, pe_kind, design=design.name)
     return samples
 
 
@@ -254,17 +254,16 @@ def build_edge_regression_samples(design: DesignData, config: DataConfig = DataC
         host = inject_link_edges(design.graph, list(design.graph.links) + negatives)
         add_target = False
 
-    samples: list[Subgraph] = []
-    for link in positives + negatives:
-        subgraph = extract_enclosing_subgraph(
-            host, link, hops=config.hops, max_nodes_per_hop=config.max_nodes_per_hop,
-            add_target_edge=add_target, rng=rng,
-        )
+    links = positives + negatives
+    samples = extract_enclosing_subgraphs(
+        host, links, hops=config.hops, max_nodes_per_hop=config.max_nodes_per_hop,
+        add_target_edge=add_target, rng=rng,
+    )
+    for link, subgraph in zip(links, samples):
         subgraph.target = normalizer.normalize(link.capacitance)
-        compute_pe(subgraph, pe_kind)
         subgraph.extras["design"] = design.name
         subgraph.extras["capacitance_farad"] = link.capacitance
-        samples.append(subgraph)
+    attach_pe_batch(samples, pe_kind, design=design.name)
     order = rng.permutation(len(samples))
     return [samples[i] for i in order]
 
@@ -297,17 +296,16 @@ def build_node_regression_samples(design: DesignData, config: DataConfig = DataC
         chosen = rng.choice(len(candidates), size=limit, replace=False)
         candidates = [candidates[i] for i in chosen]
 
-    samples: list[Subgraph] = []
-    for node in candidates:
-        target = normalizer.normalize(design.graph.node_ground_caps[node])
-        subgraph = extract_node_subgraph(
-            design.graph, node, hops=config.node_hops, target=target,
-            max_nodes_per_hop=config.max_nodes_per_hop, rng=rng,
-        )
-        compute_pe(subgraph, pe_kind)
+    targets = [normalizer.normalize(design.graph.node_ground_caps[node])
+               for node in candidates]
+    samples = extract_node_subgraphs(
+        design.graph, candidates, hops=config.node_hops, targets=targets,
+        max_nodes_per_hop=config.max_nodes_per_hop, rng=rng,
+    )
+    for node, subgraph in zip(candidates, samples):
         subgraph.extras["design"] = design.name
         subgraph.extras["node"] = node
         subgraph.extras["capacitance_farad"] = design.graph.node_ground_caps[node]
-        samples.append(subgraph)
+    attach_pe_batch(samples, pe_kind, design=design.name)
     order = rng.permutation(len(samples))
     return [samples[i] for i in order]

@@ -17,13 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..graph import Subgraph
 from ..models import CircuitGPS
 from ..utils.logging import MetricLogger
 from ..utils.rng import get_rng, spawn_rng
 from .config import ExperimentConfig
+from .data import SubgraphDataset
 from .datasets import (
     CapacitanceNormalizer,
     DesignData,
@@ -48,14 +46,14 @@ class FinetuneResult:
     mode: str
     task: str
     normalizer: CapacitanceNormalizer
-    train_samples: list[Subgraph] = field(default_factory=list)
-    val_samples: list[Subgraph] = field(default_factory=list)
+    train_samples: SubgraphDataset = field(default_factory=lambda: SubgraphDataset([]))
+    val_samples: SubgraphDataset = field(default_factory=lambda: SubgraphDataset([]))
     config: ExperimentConfig | None = None
 
 
-def _build_samples(designs: list[DesignData], config: ExperimentConfig, task: str,
-                   pe_kind: str, normalizer: CapacitanceNormalizer, rng) -> list[Subgraph]:
-    samples: list[Subgraph] = []
+def _build_dataset(designs: list[DesignData], config: ExperimentConfig, task: str,
+                   pe_kind: str, normalizer: CapacitanceNormalizer, rng) -> SubgraphDataset:
+    samples = []
     for design in designs:
         if task == "edge_regression":
             samples.extend(
@@ -67,8 +65,7 @@ def _build_samples(designs: list[DesignData], config: ExperimentConfig, task: st
                 build_node_regression_samples(design, config.data, pe_kind=pe_kind,
                                               normalizer=normalizer, rng=spawn_rng(rng))
             )
-    order = rng.permutation(len(samples))
-    return [samples[i] for i in order]
+    return SubgraphDataset.from_samples(samples, pe_kind=pe_kind).shuffled(rng)
 
 
 def finetune_regression(designs: list[DesignData], pretrained: CircuitGPS | None = None,
@@ -116,10 +113,8 @@ def finetune_regression(designs: list[DesignData], pretrained: CircuitGPS | None
         model.unfreeze_backbone()
 
     pe = pe_kind if pe_kind is not None else model.pe_kind
-    samples = _build_samples(designs, config, task, pe, normalizer, rng)
-    num_val = int(round(len(samples) * val_fraction))
-    val_samples = samples[:num_val]
-    train_samples = samples[num_val:]
+    dataset = _build_dataset(designs, config, task, pe, normalizer, rng)
+    val_dataset, train_dataset = dataset.split(val_fraction)
 
     if mode == "head":
         model.freeze_backbone()
@@ -129,11 +124,11 @@ def finetune_regression(designs: list[DesignData], pretrained: CircuitGPS | None
 
     trainer = Trainer(model, task=task, config=config.train, parameters=parameters,
                       rng=spawn_rng(rng))
-    history = trainer.fit(train_samples, val_samples if val_samples else None,
+    history = trainer.fit(train_dataset, val_dataset if val_dataset else None,
                           epochs=epochs, verbose=verbose)
     return FinetuneResult(model=model, trainer=trainer, history=history, mode=mode, task=task,
-                          normalizer=normalizer, train_samples=train_samples,
-                          val_samples=val_samples, config=config)
+                          normalizer=normalizer, train_samples=train_dataset,
+                          val_samples=val_dataset, config=config)
 
 
 def evaluate_regression(result_or_model, design: DesignData, task: str = "edge_regression",

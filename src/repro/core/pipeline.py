@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph import Link, collate, compute_pe, extract_enclosing_subgraph
+from ..graph import Link
 from ..netlist import Circuit
-from ..nn import no_grad
+from ..nn import no_grad, stable_sigmoid
 from ..utils.logging import get_logger
-from ..utils.rng import get_rng
 from ..utils.serialization import load_checkpoint, save_checkpoint
 from .config import ExperimentConfig
+from .data import DataLoader, SubgraphDataset
 from .datasets import CapacitanceNormalizer, DesignData, load_design_suite
 from .finetune import FinetuneResult, evaluate_regression, finetune_regression
 from .pretrain import PretrainResult, build_model, evaluate_zero_shot_link, pretrain_link_model
@@ -136,15 +136,17 @@ class CircuitGPSPipeline:
         key = (task, mode)
         if key not in self.finetune_results:
             self.finetune(mode=mode, task=task)
-        rng = get_rng(rng if rng is not None else 0)
+        if isinstance(rng, np.random.Generator):
+            seed = int(rng.integers(2 ** 31))
+        else:
+            seed = int(rng) if rng is not None else 0
 
         graph = netlist_to_graph(circuit if circuit.is_flat else circuit.flatten())
         link_model = self.pretrain_result.model
         reg_result = self.finetune_results[key]
         reg_model = reg_result.model
 
-        records = []
-        subgraphs = []
+        links = []
         for name_a, name_b in candidate_pairs:
             if not (graph.has_node(name_a) and graph.has_node(name_b)):
                 raise KeyError(f"pair ({name_a!r}, {name_b!r}) not found in circuit graph")
@@ -152,20 +154,29 @@ class CircuitGPSPipeline:
             type_a, type_b = graph.node_types[a], graph.node_types[b]
             nets = int(type_a == NODE_NET) + int(type_b == NODE_NET)
             link_type = {2: LINK_NET_NET, 1: LINK_PIN_NET, 0: LINK_PIN_PIN}[nets]
-            link = Link(source=a, target=b, link_type=link_type, label=0.0, capacitance=0.0)
-            subgraph = extract_enclosing_subgraph(
-                graph, link, hops=self.config.data.hops,
-                max_nodes_per_hop=self.config.data.max_nodes_per_hop, rng=rng,
-            )
-            compute_pe(subgraph, link_model.pe_kind)
-            subgraphs.append(subgraph)
+            links.append(Link(source=a, target=b, link_type=link_type, label=0.0,
+                              capacitance=0.0))
 
-        batch = collate(subgraphs)
+        # Lazy dataset + loader: extraction is deterministic per candidate and
+        # positional encodings go through the process-wide PE cache, so
+        # repeated annotation calls on the same circuit skip recomputation.
+        dataset = SubgraphDataset.from_links(
+            graph, links, hops=self.config.data.hops,
+            max_nodes_per_hop=self.config.data.max_nodes_per_hop,
+            pe_kind=link_model.pe_kind, design=graph.name, seed=int(seed),
+        )
+        loader = DataLoader(dataset, batch_size=max(len(links), 1), shuffle=False)
+
+        records = []
         link_model.eval()
         reg_model.eval()
         with no_grad():
-            probs = 1.0 / (1.0 + np.exp(-link_model(batch, task="link").data))
-            caps_norm = reg_model(batch, task=task).data
+            probs, caps = [], []
+            for batch in loader:
+                probs.append(stable_sigmoid(link_model(batch, task="link").data))
+                caps.append(reg_model(batch, task=task).data)
+            probs = np.concatenate(probs) if probs else np.zeros(0)
+            caps_norm = np.concatenate(caps) if caps else np.zeros(0)
         for (name_a, name_b), prob, cap_norm in zip(candidate_pairs, probs, caps_norm):
             records.append({
                 "pair": (name_a, name_b),

@@ -10,13 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..graph import Subgraph
 from ..models import CircuitGPS
 from ..utils.logging import MetricLogger
 from ..utils.rng import get_rng, spawn_rng
 from .config import ExperimentConfig
+from .data import SubgraphDataset
 from .datasets import DesignData, build_link_samples
 from .trainer import Trainer
 
@@ -25,13 +23,17 @@ __all__ = ["PretrainResult", "build_model", "pretrain_link_model", "evaluate_zer
 
 @dataclass
 class PretrainResult:
-    """Outcome of link-prediction pre-training."""
+    """Outcome of link-prediction pre-training.
+
+    ``train_samples`` / ``val_samples`` are :class:`SubgraphDataset` views
+    (sequence-compatible with the former plain lists).
+    """
 
     model: CircuitGPS
     trainer: Trainer
     history: MetricLogger
-    train_samples: list[Subgraph] = field(default_factory=list)
-    val_samples: list[Subgraph] = field(default_factory=list)
+    train_samples: SubgraphDataset = field(default_factory=lambda: SubgraphDataset([]))
+    val_samples: SubgraphDataset = field(default_factory=lambda: SubgraphDataset([]))
     config: ExperimentConfig | None = None
 
     @property
@@ -66,21 +68,17 @@ def pretrain_link_model(designs: list[DesignData], config: ExperimentConfig | No
     rng = get_rng(rng if rng is not None else config.train.seed)
     pe = pe_kind if pe_kind is not None else config.model.pe_kind
 
-    samples: list[Subgraph] = []
+    samples = []
     for design in designs:
         samples.extend(build_link_samples(design, config.data, pe_kind=pe, rng=spawn_rng(rng)))
-    order = rng.permutation(len(samples))
-    samples = [samples[i] for i in order]
-
-    num_val = int(round(len(samples) * val_fraction))
-    val_samples = samples[:num_val]
-    train_samples = samples[num_val:]
+    dataset = SubgraphDataset.from_samples(samples, pe_kind=pe).shuffled(rng)
+    val_dataset, train_dataset = dataset.split(val_fraction)
 
     model = build_model(config, pe_kind=pe, rng=spawn_rng(rng))
     trainer = Trainer(model, task="link", config=config.train, rng=spawn_rng(rng))
-    history = trainer.fit(train_samples, val_samples if val_samples else None, verbose=verbose)
+    history = trainer.fit(train_dataset, val_dataset if val_dataset else None, verbose=verbose)
     return PretrainResult(model=model, trainer=trainer, history=history,
-                          train_samples=train_samples, val_samples=val_samples, config=config)
+                          train_samples=train_dataset, val_samples=val_dataset, config=config)
 
 
 def evaluate_zero_shot_link(result_or_model, design: DesignData,

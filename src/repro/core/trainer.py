@@ -2,8 +2,10 @@
 
 Two trainers are provided:
 
-* :class:`Trainer` — mini-batch training of CircuitGPS on lists of sampled
-  enclosing subgraphs (link prediction, edge regression, node regression).
+* :class:`Trainer` — mini-batch training of CircuitGPS on sampled enclosing
+  subgraphs (link prediction, edge regression, node regression).  Training
+  data may be a :class:`~repro.core.data.SubgraphDataset`, a
+  :class:`~repro.core.data.DataLoader` or a plain ``list[Subgraph]``.
 * :class:`BaselineTrainer` — full-graph training of the ParaGraph / DLPL-Cap
   baselines, which (as in the paper) consume the entire circuit graph and the
   circuit-statistics matrix without any sampling or positional encoding.
@@ -15,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graph import Subgraph, balance_links, batch_iterator, generate_negative_links
+from ..graph import balance_links, generate_negative_links
 from ..graph.hetero import CircuitGraph, Link
 from ..models import CircuitGPS, DLPLCap, FullGraphEncoder, ParaGraph
 from ..nn import (
@@ -27,20 +29,18 @@ from ..nn import (
     clip_grad_norm,
     mse_loss,
     no_grad,
+    stable_sigmoid,
 )
 from ..utils.logging import MetricLogger, get_logger
 from ..utils.rng import get_rng
 from .config import DataConfig, TrainConfig
+from .data import DataLoader, SubgraphDataset, as_dataset
 from .datasets import CapacitanceNormalizer, DesignData
 from .metrics import classification_metrics, regression_metrics
 
 __all__ = ["Trainer", "BaselineTrainer", "link_pairs_for_design"]
 
 logger = get_logger("repro.trainer")
-
-
-def _sigmoid(values: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-values))
 
 
 class Trainer:
@@ -68,11 +68,28 @@ class Trainer:
             loss = mse_loss(predictions, batch.targets)
         return loss, predictions
 
-    def fit(self, train_samples: list[Subgraph], val_samples: list[Subgraph] | None = None,
+    def _loader(self, data, shuffle: bool, batch_size: int | None = None,
+                rng=None) -> DataLoader:
+        """Normalise data (loader / dataset / list) into a :class:`DataLoader`."""
+        if isinstance(data, DataLoader):
+            return data
+        return DataLoader(
+            as_dataset(data),
+            batch_size=batch_size if batch_size is not None else self.config.batch_size,
+            shuffle=shuffle,
+            rng=rng,
+        )
+
+    def fit(self, train_data, val_data=None,
             epochs: int | None = None, verbose: bool = False) -> MetricLogger:
-        """Train for ``epochs`` epochs; returns the metric history."""
+        """Train for ``epochs`` epochs; returns the metric history.
+
+        ``train_data`` / ``val_data`` may be a :class:`DataLoader`, a
+        :class:`SubgraphDataset` or a plain list of subgraphs.
+        """
         epochs = epochs if epochs is not None else self.config.epochs
-        steps_per_epoch = max(1, int(np.ceil(len(train_samples) / self.config.batch_size)))
+        loader = self._loader(train_data, shuffle=True, rng=self.rng)
+        steps_per_epoch = max(1, len(loader))
         schedule = CosineSchedule(
             self.optimizer,
             total_steps=epochs * steps_per_epoch,
@@ -82,7 +99,7 @@ class Trainer:
         self.model.train()
         for epoch in range(epochs):
             losses = []
-            for batch in batch_iterator(train_samples, self.config.batch_size, rng=self.rng):
+            for batch in loader:
                 loss, _ = self._loss(batch)
                 self.optimizer.zero_grad()
                 loss.backward()
@@ -91,16 +108,16 @@ class Trainer:
                 schedule.step()
                 losses.append(loss.item())
             row = {"loss": float(np.mean(losses))}
-            if val_samples:
-                row.update({f"val_{k}": v for k, v in self.evaluate(val_samples).items()})
+            if val_data is not None and len(as_dataset(val_data)):
+                row.update({f"val_{k}": v for k, v in self.evaluate(val_data).items()})
                 self.model.train()
             self.history.log(epoch, **row)
             if verbose:
                 logger.info("epoch %d: %s", epoch, row)
-        self.recalibrate_batchnorm(train_samples)
+        self.recalibrate_batchnorm(loader.dataset)
         return self.history
 
-    def recalibrate_batchnorm(self, samples: list[Subgraph]) -> None:
+    def recalibrate_batchnorm(self, data) -> None:
         """Re-estimate BatchNorm running statistics on the training set.
 
         Training runs are short (tens of steps), so the exponential running
@@ -110,46 +127,47 @@ class Trainer:
         mean/variance as the *cumulative* average over the training batches.
         """
         batchnorms = [m for m in self.model.modules() if isinstance(m, BatchNorm1d)]
-        if not batchnorms or not samples:
+        dataset = as_dataset(data)
+        if not batchnorms or not len(dataset):
             return
         saved_momentum = [bn.momentum for bn in batchnorms]
         for bn in batchnorms:
             bn.running_mean = np.zeros_like(bn.running_mean)
             bn.running_var = np.ones_like(bn.running_var)
         self.model.train()
+        loader = DataLoader(dataset, batch_size=self.config.batch_size, shuffle=False)
         with no_grad():
-            for step, batch in enumerate(
-                batch_iterator(samples, self.config.batch_size, shuffle=False)
-            ):
+            for step, batch in enumerate(loader):
                 for bn in batchnorms:
                     bn.momentum = 1.0 / (step + 1)
                 self.model(batch, task=self.task)
         for bn, momentum in zip(batchnorms, saved_momentum):
             bn.momentum = momentum
 
-    def predict(self, samples: list[Subgraph]) -> np.ndarray:
+    def predict(self, data) -> np.ndarray:
         """Scores (probabilities for link, normalised capacitances for regression)."""
         self.model.eval()
+        loader = self._loader(data, shuffle=False,
+                              batch_size=max(self.config.batch_size, 128))
         outputs = []
         with no_grad():
-            for batch in batch_iterator(samples, max(self.config.batch_size, 128), shuffle=False):
+            for batch in loader:
                 predictions = self.model(batch, task=self.task)
                 outputs.append(predictions.data.copy())
         values = np.concatenate(outputs) if outputs else np.zeros(0)
         if self.task == "link":
-            return _sigmoid(values)
+            return stable_sigmoid(values)
         # Capacitance targets are normalised to [0, 1] (Section IV-C), so
         # predictions are clipped to the valid domain.
         return np.clip(values, 0.0, 1.0)
 
-    def evaluate(self, samples: list[Subgraph]) -> dict[str, float]:
-        """Task-appropriate metric bundle on ``samples``."""
-        scores = self.predict(samples)
+    def evaluate(self, data) -> dict[str, float]:
+        """Task-appropriate metric bundle on ``data``."""
+        dataset = as_dataset(data)
+        scores = self.predict(dataset)
         if self.task == "link":
-            labels = np.array([s.label for s in samples])
-            return classification_metrics(scores, labels)
-        targets = np.array([s.target for s in samples])
-        return regression_metrics(scores, targets)
+            return classification_metrics(scores, dataset.labels())
+        return regression_metrics(scores, dataset.targets())
 
 
 # --------------------------------------------------------------------------- #
@@ -302,7 +320,7 @@ class BaselineTrainer:
             predictions = self._forward(batch)
         values = predictions.data.copy()
         if self.task == "link":
-            values = _sigmoid(values)
+            values = stable_sigmoid(values)
         return values, batch.labels, batch.targets
 
     def evaluate(self, design: DesignData) -> dict[str, float]:

@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from .csr import CSRGraph
 from .sampling import Subgraph
 
 __all__ = [
     "PE_KINDS",
     "pe_dim",
     "compute_pe",
+    "compute_pe_batch",
     "dspd_encoding",
     "drnl_encoding",
     "rwse_encoding",
@@ -45,28 +47,45 @@ LAPPE_DIM = 4
 PE_KINDS = ("none", "stats", "drnl", "rwse", "lappe", "dspd")
 
 
-def _local_adjacency(subgraph: Subgraph) -> list[list[int]]:
-    adjacency: list[list[int]] = [[] for _ in range(subgraph.num_nodes)]
-    for s, t in subgraph.edge_index.T:
-        adjacency[int(s)].append(int(t))
-        adjacency[int(t)].append(int(s))
+def _dense_adjacency(subgraph: Subgraph, dtype=np.float64) -> np.ndarray:
+    """Dense 0/1 adjacency built with one fancy-index assignment."""
+    n = subgraph.num_nodes
+    adjacency = np.zeros((n, n), dtype=dtype)
+    if subgraph.edge_index.size:
+        src, dst = subgraph.edge_index
+        adjacency[src, dst] = 1
+        adjacency[dst, src] = 1
     return adjacency
 
 
-def _bfs_distances(adjacency: list[list[int]], source: int, unreachable: int) -> np.ndarray:
-    distances = np.full(len(adjacency), unreachable, dtype=np.int64)
-    distances[source] = 0
-    frontier = [source]
+def _bfs_distances_dense(subgraph: Subgraph, sources: tuple[int, ...], unreachable: int,
+                         max_distance: int | None = None) -> np.ndarray:
+    """BFS distances from several sources at once, shape ``(len(sources), n)``.
+
+    Subgraphs are small, so the frontier expansion runs as dense matrix
+    products — one ``(S, n) @ (n, n)`` per BFS level for all sources
+    simultaneously — instead of per-node adjacency-list walks.  float64
+    operands keep the products in BLAS and, unlike narrow integer dtypes,
+    cannot wrap around on high-degree (hub) nodes.
+    """
+    n = subgraph.num_nodes
+    adjacency = _dense_adjacency(subgraph)
+    distances = np.full((len(sources), n), unreachable, dtype=np.int64)
+    frontier = np.zeros((len(sources), n))
+    frontier[np.arange(len(sources)), list(sources)] = 1.0
+    visited = frontier.astype(bool)
+    distances[visited] = 0
     depth = 0
-    while frontier:
+    while frontier.any():
+        if max_distance is not None and depth >= max_distance:
+            break
         depth += 1
-        next_frontier: list[int] = []
-        for node in frontier:
-            for neighbour in adjacency[node]:
-                if distances[neighbour] == unreachable:
-                    distances[neighbour] = depth
-                    next_frontier.append(neighbour)
-        frontier = next_frontier
+        fresh = ((frontier @ adjacency) > 0) & ~visited
+        if not fresh.any():
+            break
+        distances[fresh] = depth
+        visited |= fresh
+        frontier = fresh.astype(np.float64)
     return distances
 
 
@@ -88,12 +107,13 @@ def dspd_encoding(subgraph: Subgraph, max_distance: int = DSPD_MAX_DISTANCE) -> 
     For node-level subgraphs the two anchors coincide and ``D0 == D1``,
     exactly as described in Section IV-D.
     """
-    adjacency = _local_adjacency(subgraph)
-    unreachable = max_distance
-    d0 = _bfs_distances(adjacency, subgraph.anchors[0], unreachable=max_distance + 1)
-    d1 = _bfs_distances(adjacency, subgraph.anchors[1], unreachable=max_distance + 1)
-    d0 = np.minimum(d0, unreachable)
-    d1 = np.minimum(d1, unreachable)
+    # Distances beyond max_distance land in the same bucket as unreachable, so
+    # the BFS can stop after max_distance levels.
+    distances = _bfs_distances_dense(subgraph, subgraph.anchors,
+                                     unreachable=max_distance + 1,
+                                     max_distance=max_distance)
+    d0 = np.minimum(distances[0], max_distance)
+    d1 = np.minimum(distances[1], max_distance)
     return np.concatenate([_one_hot(d0, max_distance + 1), _one_hot(d1, max_distance + 1)], axis=1)
 
 
@@ -103,20 +123,12 @@ def drnl_encoding(subgraph: Subgraph, max_label: int = DRNL_MAX_LABEL) -> np.nda
     ``label(i) = 1 + min(dx, dy) + (d // 2) * (d // 2 + d % 2 - 1)`` with
     ``d = dx + dy``; the two anchors get label 1, unreachable nodes label 0.
     """
-    adjacency = _local_adjacency(subgraph)
     big = 10 ** 6
-    dx = _bfs_distances(adjacency, subgraph.anchors[0], unreachable=big)
-    dy = _bfs_distances(adjacency, subgraph.anchors[1], unreachable=big)
-    labels = np.zeros(subgraph.num_nodes, dtype=np.int64)
-    for i in range(subgraph.num_nodes):
-        if i in subgraph.anchors:
-            labels[i] = 1
-            continue
-        if dx[i] >= big or dy[i] >= big:
-            labels[i] = 0
-            continue
-        d = dx[i] + dy[i]
-        labels[i] = 1 + min(dx[i], dy[i]) + (d // 2) * (d // 2 + d % 2 - 1)
+    dx, dy = _bfs_distances_dense(subgraph, subgraph.anchors, unreachable=big)
+    d = dx + dy
+    hashed = 1 + np.minimum(dx, dy) + (d // 2) * (d // 2 + d % 2 - 1)
+    labels = np.where((dx < big) & (dy < big), hashed, 0)
+    labels[list(subgraph.anchors)] = 1
     labels = np.clip(labels, 0, max_label - 1)
     return _one_hot(labels, max_label)
 
@@ -124,10 +136,7 @@ def drnl_encoding(subgraph: Subgraph, max_label: int = DRNL_MAX_LABEL) -> np.nda
 def rwse_encoding(subgraph: Subgraph, steps: int = RWSE_STEPS) -> np.ndarray:
     """Random-walk structural encoding: landing-back probabilities for 1..steps."""
     n = subgraph.num_nodes
-    adjacency = np.zeros((n, n))
-    for s, t in subgraph.edge_index.T:
-        adjacency[int(s), int(t)] = 1.0
-        adjacency[int(t), int(s)] = 1.0
+    adjacency = _dense_adjacency(subgraph)
     degrees = adjacency.sum(axis=1)
     degrees[degrees == 0] = 1.0
     transition = adjacency / degrees[:, None]
@@ -147,10 +156,7 @@ def laplacian_encoding(subgraph: Subgraph, dim: int = LAPPE_DIM) -> np.ndarray:
     zero-padded.
     """
     n = subgraph.num_nodes
-    adjacency = np.zeros((n, n))
-    for s, t in subgraph.edge_index.T:
-        adjacency[int(s), int(t)] = 1.0
-        adjacency[int(t), int(s)] = 1.0
+    adjacency = _dense_adjacency(subgraph)
     degrees = adjacency.sum(axis=1)
     inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
     laplacian = np.eye(n) - (inv_sqrt[:, None] * adjacency * inv_sqrt[None, :])
@@ -197,6 +203,80 @@ def pe_dim(kind: str, stats_dim: int = 13) -> int:
     if kind == "stats":
         return stats_dim
     raise ValueError(f"unknown PE kind {kind!r}; choose from {PE_KINDS}")
+
+
+def _batched_anchor_distances(subgraphs: list[Subgraph], unreachable: int,
+                              max_distance: int | None = None
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """BFS distances to both anchors for a whole batch of subgraphs.
+
+    The subgraphs are stacked into one block-diagonal graph (the `collate`
+    idiom); because the components are disjoint, a single multi-source BFS
+    from all first anchors gives every node the distance to *its own*
+    subgraph's anchor — two BFS runs total for the whole batch, regardless of
+    batch size.  Returns ``(d0, d1, offsets)`` over the stacked node set.
+    """
+    sizes = np.array([s.num_nodes for s in subgraphs], dtype=np.int64)
+    offsets = np.cumsum(sizes) - sizes
+    total = int(sizes.sum())
+    edges = [s.edge_index + offset for s, offset in zip(subgraphs, offsets) if s.edge_index.size]
+    edge_index = (np.concatenate(edges, axis=1) if edges else np.zeros((2, 0), dtype=np.int64))
+    csr = CSRGraph.from_edges(total, edge_index)
+    anchors0 = offsets + np.array([s.anchors[0] for s in subgraphs], dtype=np.int64)
+    anchors1 = offsets + np.array([s.anchors[1] for s in subgraphs], dtype=np.int64)
+    d0 = csr.bfs_distances(anchors0, unreachable=unreachable, max_distance=max_distance)
+    d1 = csr.bfs_distances(anchors1, unreachable=unreachable, max_distance=max_distance)
+    return d0, d1, np.concatenate([offsets, [total]])
+
+
+def _dspd_encoding_batch(subgraphs: list[Subgraph],
+                         max_distance: int = DSPD_MAX_DISTANCE) -> list[np.ndarray]:
+    d0, d1, bounds = _batched_anchor_distances(subgraphs, unreachable=max_distance + 1,
+                                               max_distance=max_distance)
+    d0 = np.minimum(d0, max_distance)
+    d1 = np.minimum(d1, max_distance)
+    stacked = np.concatenate([_one_hot(d0, max_distance + 1),
+                              _one_hot(d1, max_distance + 1)], axis=1)
+    # Copies, not views: callers cache these per-subgraph, and a view would
+    # pin the whole stacked batch array for as long as any one entry lives.
+    return [stacked[bounds[i]:bounds[i + 1]].copy() for i in range(len(subgraphs))]
+
+
+def _drnl_encoding_batch(subgraphs: list[Subgraph],
+                         max_label: int = DRNL_MAX_LABEL) -> list[np.ndarray]:
+    big = 10 ** 6
+    dx, dy, bounds = _batched_anchor_distances(subgraphs, unreachable=big)
+    d = dx + dy
+    hashed = 1 + np.minimum(dx, dy) + (d // 2) * (d // 2 + d % 2 - 1)
+    labels = np.where((dx < big) & (dy < big), hashed, 0)
+    for i, subgraph in enumerate(subgraphs):
+        labels[bounds[i] + np.array(subgraph.anchors)] = 1
+    labels = np.clip(labels, 0, max_label - 1)
+    stacked = _one_hot(labels, max_label)
+    # Copies, not views (see _dspd_encoding_batch).
+    return [stacked[bounds[i]:bounds[i + 1]].copy() for i in range(len(subgraphs))]
+
+
+def compute_pe_batch(subgraphs: list[Subgraph], kind: str = "dspd") -> list[np.ndarray]:
+    """Compute one PE per subgraph, batched where the encoding allows it.
+
+    The BFS-based encodings (``dspd``, ``drnl``) run as two multi-source BFS
+    sweeps over the block-diagonal union of all subgraphs; the remaining kinds
+    fall back to per-subgraph computation.  Each subgraph's ``pe`` attribute
+    is filled, mirroring :func:`compute_pe`.
+    """
+    kind = kind.lower()
+    if not subgraphs:
+        return []
+    if kind == "dspd":
+        encodings = _dspd_encoding_batch(subgraphs)
+    elif kind == "drnl":
+        encodings = _drnl_encoding_batch(subgraphs)
+    else:
+        return [compute_pe(subgraph, kind) for subgraph in subgraphs]
+    for subgraph, encoding in zip(subgraphs, encodings):
+        subgraph.pe = encoding
+    return encodings
 
 
 def compute_pe(subgraph: Subgraph, kind: str = "dspd") -> np.ndarray:

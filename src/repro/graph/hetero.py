@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .csr import CSRGraph
+
 __all__ = [
     "NODE_NET",
     "NODE_DEVICE",
@@ -97,10 +99,8 @@ class CircuitGraph:
     links: list[Link] = field(default_factory=list)
     node_ground_caps: np.ndarray | None = None
 
-    # CSR caches (built lazily).
-    _indptr: np.ndarray | None = None
-    _indices: np.ndarray | None = None
-    _edge_ids: np.ndarray | None = None
+    # Caches (built lazily).
+    _csr: CSRGraph | None = None
     _name_to_index: dict | None = None
 
     # ------------------------------------------------------------------ #
@@ -162,80 +162,44 @@ class CircuitGraph:
                     )
 
     # ------------------------------------------------------------------ #
-    # Adjacency
+    # Adjacency (CSR kernel, built once per graph)
     # ------------------------------------------------------------------ #
-    def _build_csr(self) -> None:
-        n = self.num_nodes
-        src = np.concatenate([self.edge_index[0], self.edge_index[1]])
-        dst = np.concatenate([self.edge_index[1], self.edge_index[0]])
-        edge_ids = np.concatenate([np.arange(self.num_edges), np.arange(self.num_edges)])
-        order = np.argsort(src, kind="stable")
-        src, dst, edge_ids = src[order], dst[order], edge_ids[order]
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.add.at(indptr, src + 1, 1)
-        np.cumsum(indptr, out=indptr)
-        self._indptr, self._indices, self._edge_ids = indptr, dst, edge_ids
+    @property
+    def csr(self) -> CSRGraph:
+        """The symmetric CSR adjacency kernel (built lazily, cached)."""
+        if self._csr is None:
+            self._csr = CSRGraph.from_edges(self.num_nodes, self.edge_index, self.edge_types)
+        return self._csr
 
     @property
     def indptr(self) -> np.ndarray:
-        if self._indptr is None:
-            self._build_csr()
-        return self._indptr
+        return self.csr.indptr
 
     @property
     def indices(self) -> np.ndarray:
-        if self._indices is None:
-            self._build_csr()
-        return self._indices
+        return self.csr.indices
 
     def neighbors(self, node: int) -> np.ndarray:
         """Neighbouring node indices of ``node`` (structural edges only)."""
-        indptr, indices = self.indptr, self.indices
-        return indices[indptr[node]:indptr[node + 1]]
+        return self.csr.neighbors(node)
 
     def degree(self, node: int | None = None) -> np.ndarray | int:
-        indptr = self.indptr
-        degrees = np.diff(indptr)
+        degrees = self.csr.degrees()
         if node is None:
             return degrees
         return int(degrees[node])
 
     def k_hop_nodes(self, seeds, hops: int) -> np.ndarray:
         """All nodes within ``hops`` of any seed (including the seeds)."""
-        seeds = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
-        visited = set(seeds.tolist())
-        frontier = list(seeds.tolist())
-        for _ in range(hops):
-            next_frontier: list[int] = []
-            for node in frontier:
-                for neighbour in self.neighbors(node):
-                    neighbour = int(neighbour)
-                    if neighbour not in visited:
-                        visited.add(neighbour)
-                        next_frontier.append(neighbour)
-            frontier = next_frontier
-            if not frontier:
-                break
-        return np.array(sorted(visited), dtype=np.int64)
+        return self.csr.k_hop(seeds, hops)
 
     def shortest_path_lengths(self, source: int, max_distance: int | None = None) -> dict[int, int]:
         """BFS shortest-path lengths from ``source`` (optionally bounded)."""
-        distances = {int(source): 0}
-        frontier = [int(source)]
-        depth = 0
-        while frontier:
-            if max_distance is not None and depth >= max_distance:
-                break
-            depth += 1
-            next_frontier: list[int] = []
-            for node in frontier:
-                for neighbour in self.neighbors(node):
-                    neighbour = int(neighbour)
-                    if neighbour not in distances:
-                        distances[neighbour] = depth
-                        next_frontier.append(neighbour)
-            frontier = next_frontier
-        return distances
+        unreachable = -1
+        distances = self.csr.bfs_distances(int(source), unreachable=unreachable,
+                                           max_distance=max_distance)
+        reached = np.flatnonzero(distances != unreachable)
+        return {int(node): int(distances[node]) for node in reached}
 
     # ------------------------------------------------------------------ #
     # Summaries

@@ -29,7 +29,9 @@ __all__ = [
     "balance_links",
     "inject_link_edges",
     "extract_enclosing_subgraph",
+    "extract_enclosing_subgraphs",
     "extract_node_subgraph",
+    "extract_node_subgraphs",
     "sample_link_dataset",
 ]
 
@@ -84,34 +86,52 @@ def generate_negative_links(graph: CircuitGraph, ratio: float = 1.0, rng=None,
     links are re-paired at random; a candidate is rejected if it coincides
     with an observed link or a previously generated negative.  The node types
     of each negative therefore match its link type by construction.
+
+    Candidates are drawn in vectorised batches (PyG-style negative sampling):
+    each round draws a batch of endpoint pairs, encodes them as scalar keys
+    and filters self-loops / collisions with ``isin`` + ``unique`` instead of
+    testing one candidate at a time.
     """
     rng = get_rng(rng)
     positives_by_type: dict[int, list[Link]] = {}
     for link in graph.links:
         positives_by_type.setdefault(link.link_type, []).append(link)
 
-    existing = {link.key() for link in graph.links}
+    n = max(graph.num_nodes, 1)
+    existing = np.unique(np.array(
+        [lo * n + hi for lo, hi in (link.key() for link in graph.links)], dtype=np.int64,
+    )) if graph.links else np.zeros(0, dtype=np.int64)
+
     negatives: list[Link] = []
     for link_type, positives in positives_by_type.items():
         sources = np.array([l.source for l in positives], dtype=np.int64)
         targets = np.array([l.target for l in positives], dtype=np.int64)
         wanted = int(round(len(positives) * ratio))
+        seen = existing
+        budget = max_tries * max(1, wanted)
+        chosen_s: list[np.ndarray] = []
+        chosen_t: list[np.ndarray] = []
         produced = 0
         tries = 0
-        seen = set(existing)
-        while produced < wanted and tries < max_tries * max(1, wanted):
-            tries += 1
-            s = int(sources[rng.integers(len(sources))])
-            t = int(targets[rng.integers(len(targets))])
-            if s == t:
-                continue
-            key = (s, t) if s <= t else (t, s)
-            if key in seen:
-                continue
-            seen.add(key)
-            negatives.append(Link(source=s, target=t, link_type=link_type,
-                                  label=0.0, capacitance=0.0))
-            produced += 1
+        while produced < wanted and tries < budget:
+            size = int(min(budget - tries, max(64, 2 * (wanted - produced))))
+            tries += size
+            s = sources[rng.integers(len(sources), size=size)]
+            t = targets[rng.integers(len(targets), size=size)]
+            keys = np.minimum(s, t) * n + np.maximum(s, t)
+            candidates = np.flatnonzero((s != t) & ~np.isin(keys, seen))
+            # Keep the first occurrence of each key, in draw order.
+            _, first = np.unique(keys[candidates], return_index=True)
+            picked = candidates[np.sort(first)][:wanted - produced]
+            if picked.size:
+                chosen_s.append(s[picked])
+                chosen_t.append(t[picked])
+                seen = np.union1d(seen, keys[picked])
+                produced += int(picked.size)
+        if chosen_s:
+            for s, t in zip(np.concatenate(chosen_s), np.concatenate(chosen_t)):
+                negatives.append(Link(source=int(s), target=int(t), link_type=link_type,
+                                      label=0.0, capacitance=0.0))
     return negatives
 
 
@@ -171,30 +191,22 @@ def inject_link_edges(graph: CircuitGraph, links: list[Link]) -> CircuitGraph:
 def _induced_subgraph(graph: CircuitGraph, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Edges of ``graph`` with both endpoints inside ``nodes`` (re-indexed locally).
 
-    Uses the CSR adjacency so the cost is proportional to the degree sum of the
-    subgraph nodes, not to the size of the host graph.
+    One ragged gather over the CSR kernel: cost is proportional to the degree
+    sum of the subgraph nodes, not to the size of the host graph.
     """
-    local_of = {int(g): i for i, g in enumerate(nodes)}
-    indptr, indices = graph.indptr, graph.indices
-    edge_ids = graph._edge_ids
-    picked: set[int] = set()
-    for global_id in nodes:
-        start, stop = indptr[global_id], indptr[global_id + 1]
-        for neighbour, edge_id in zip(indices[start:stop], edge_ids[start:stop]):
-            if int(neighbour) in local_of:
-                picked.add(int(edge_id))
-    if not picked:
-        return np.zeros((2, 0), dtype=np.int64), np.zeros(0, dtype=np.int64)
-    edge_list = np.array(sorted(picked), dtype=np.int64)
-    src = np.array([local_of[int(s)] for s in graph.edge_index[0][edge_list]], dtype=np.int64)
-    dst = np.array([local_of[int(t)] for t in graph.edge_index[1][edge_list]], dtype=np.int64)
-    return np.stack([src, dst]), graph.edge_types[edge_list].copy()
+    edge_index, picked = graph.csr.induced_subgraph(nodes)
+    if picked.size == 0:
+        return edge_index, np.zeros(0, dtype=np.int64)
+    return edge_index, graph.edge_types[picked].copy()
 
 
 def extract_enclosing_subgraph(graph: CircuitGraph, link: Link, hops: int = 1,
                                max_nodes_per_hop: int | None = None,
                                add_target_edge: bool = True, rng=None) -> Subgraph:
     """Extract the h-hop enclosing subgraph of a target link (Definition 1).
+
+    The h-hop neighbourhood and the induced edges are computed as vectorised
+    frontier expansion over the host graph's CSR kernel.
 
     Parameters
     ----------
@@ -214,25 +226,12 @@ def extract_enclosing_subgraph(graph: CircuitGraph, link: Link, hops: int = 1,
         no label information.
     """
     rng = get_rng(rng)
-    seeds = [link.source, link.target]
-    visited = {int(s) for s in seeds}
-    frontier = list(visited)
-    for _ in range(hops):
-        next_frontier: list[int] = []
-        for node in frontier:
-            neighbours = graph.neighbors(node)
-            if max_nodes_per_hop is not None and len(neighbours) > max_nodes_per_hop:
-                neighbours = rng.choice(neighbours, size=max_nodes_per_hop, replace=False)
-            for neighbour in neighbours:
-                neighbour = int(neighbour)
-                if neighbour not in visited:
-                    visited.add(neighbour)
-                    next_frontier.append(neighbour)
-        frontier = next_frontier
+    visited = graph.csr.k_hop([link.source, link.target], hops,
+                              max_nodes_per_hop=max_nodes_per_hop, rng=rng)
 
-    # Anchors first so their local indices are 0 and 1.
-    others = sorted(visited - {link.source, link.target})
-    node_ids = np.array([link.source, link.target] + others, dtype=np.int64)
+    # Anchors first so their local indices are 0 and 1; the rest stays sorted.
+    others = visited[(visited != link.source) & (visited != link.target)]
+    node_ids = np.concatenate([np.array([link.source, link.target], dtype=np.int64), others])
     edge_index, edge_types = _induced_subgraph(graph, node_ids)
 
     if add_target_edge:
@@ -263,23 +262,9 @@ def extract_node_subgraph(graph: CircuitGraph, node: int, hops: int = 2,
     coincide, making ``D0 == D1``.
     """
     rng = get_rng(rng)
-    visited = {int(node)}
-    frontier = [int(node)]
-    for _ in range(hops):
-        next_frontier: list[int] = []
-        for current in frontier:
-            neighbours = graph.neighbors(current)
-            if max_nodes_per_hop is not None and len(neighbours) > max_nodes_per_hop:
-                neighbours = rng.choice(neighbours, size=max_nodes_per_hop, replace=False)
-            for neighbour in neighbours:
-                neighbour = int(neighbour)
-                if neighbour not in visited:
-                    visited.add(neighbour)
-                    next_frontier.append(neighbour)
-        frontier = next_frontier
-
-    others = sorted(visited - {int(node)})
-    node_ids = np.array([int(node)] + others, dtype=np.int64)
+    visited = graph.csr.k_hop([int(node)], hops, max_nodes_per_hop=max_nodes_per_hop, rng=rng)
+    others = visited[visited != int(node)]
+    node_ids = np.concatenate([np.array([int(node)], dtype=np.int64), others])
     edge_index, edge_types = _induced_subgraph(graph, node_ids)
     return Subgraph(
         node_ids=node_ids,
@@ -292,6 +277,191 @@ def extract_node_subgraph(graph: CircuitGraph, node: int, hops: int = 2,
         link_type=-1,
         node_stats=None if graph.node_stats is None else graph.node_stats[node_ids].copy(),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Batched extraction (all candidate links in one pass)
+# --------------------------------------------------------------------------- #
+# A chunk of queries is processed with dense (num_queries x num_nodes) masks;
+# this budget caps the number of mask cells (~5 bytes per cell transient).
+_EXTRACT_CELL_BUDGET = 8_000_000
+
+
+def _extract_many(graph: CircuitGraph, src: np.ndarray, dst: np.ndarray, hops: int,
+                  max_nodes_per_hop: int | None, rng, single_anchor: bool
+                  ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Extract the h-hop subgraphs of many ``(src, dst)`` anchor pairs at once.
+
+    Every per-hop expansion runs over the concatenated frontiers of *all*
+    queries simultaneously: frontiers are ``(query, node)`` pairs expanded
+    with one ragged CSR gather per hop, with membership and local re-indexing
+    resolved through dense per-chunk masks — pure index arithmetic, amortising
+    the numpy call overhead across the whole batch (the graphbolt idiom).
+
+    Returns one ``(node_ids, local_edge_index, edge_types)`` triple per query,
+    with the anchors first and the remaining nodes in ascending global order
+    (identical to the per-query extractors).
+    """
+    csr = graph.csr
+    num_queries = src.shape[0]
+    n = graph.num_nodes
+    num_edges = max(csr.num_edges, 1)
+
+    # (query, node) visited bitmap: row-major nonzero order == sorted by
+    # (query, ascending node id), which is exactly the legacy "others" order.
+    visited_mask = np.zeros((num_queries, n), dtype=bool)
+    query_range = np.arange(num_queries, dtype=np.int64)
+    visited_mask[query_range, src] = True
+    visited_mask[query_range, dst] = True
+    frontier_query, frontier_node = np.nonzero(visited_mask)
+    for _ in range(hops):
+        if frontier_node.size == 0:
+            break
+        flat, counts = csr._half_edges(frontier_node, max_nodes_per_hop, rng,
+                                       return_counts=True)
+        owner = np.repeat(frontier_query, counts)
+        neigh = csr.indices[flat]
+        fresh = ~visited_mask[owner, neigh]
+        if not fresh.any():
+            break
+        keys = np.unique(owner[fresh] * n + neigh[fresh])
+        frontier_query, frontier_node = keys // n, keys % n
+        visited_mask[frontier_query, frontier_node] = True
+
+    v_query, v_node = np.nonzero(visited_mask)
+    v_query = v_query.astype(np.int64)
+    v_node = v_node.astype(np.int64)
+    node_counts = visited_mask.sum(axis=1)
+    seg_offsets = np.cumsum(node_counts) - node_counts
+
+    # Local ordering: anchors first, then ascending global id.  ``rank`` is the
+    # ascending position inside each query segment; subtracting the anchors
+    # that precede a node turns it into the "others" position.
+    rank = np.arange(v_node.size, dtype=np.int64) - seg_offsets[v_query]
+    if single_anchor:
+        local = 1 + rank - (src[v_query] < v_node)
+    else:
+        local = 2 + rank - (src[v_query] < v_node) - (dst[v_query] < v_node)
+    local_map = np.full((num_queries, n), -1, dtype=np.int32)
+    local_map[v_query, v_node] = local
+    local_map[query_range, src] = 0
+    if not single_anchor:
+        local_map[query_range, dst] = 1
+
+    node_ids_flat = np.empty(v_node.size, dtype=np.int64)
+    node_ids_flat[seg_offsets[v_query] + local_map[v_query, v_node]] = v_node
+
+    # Induced edges: one ragged gather over every (query, node) pair; an edge
+    # survives when its far endpoint is in the same query's node set.  Each
+    # internal edge shows up once per endpoint — keeping only the canonical
+    # ``neighbour > node`` half (self-loops handled apart) dedupes without a
+    # full unique, leaving one sort to group edges by query in ascending id.
+    flat, counts = csr._half_edges(v_node, return_counts=True)
+    neigh = csr.indices[flat]
+    node_rep = np.repeat(v_node, counts)
+    e_query = np.repeat(v_query, counts)
+    inside = visited_mask[e_query, neigh]
+    canonical = inside & (neigh > node_rep)
+    edge_keys = e_query[canonical] * num_edges + csr.edge_ids[flat[canonical]]
+    loops = inside & (neigh == node_rep)
+    if loops.any():
+        loop_keys = np.unique(e_query[loops] * num_edges + csr.edge_ids[flat[loops]])
+        edge_keys = np.concatenate([edge_keys, loop_keys])
+    edge_keys = np.sort(edge_keys)
+    ee_query, ee_id = edge_keys // num_edges, edge_keys % num_edges
+    edge_counts = np.bincount(ee_query, minlength=num_queries)
+    local_src = local_map[ee_query, graph.edge_index[0][ee_id]].astype(np.int64)
+    local_dst = local_map[ee_query, graph.edge_index[1][ee_id]].astype(np.int64)
+    edge_types = graph.edge_types[ee_id]
+
+    node_splits = np.cumsum(node_counts)[:-1]
+    edge_splits = np.cumsum(edge_counts)[:-1]
+    per_query_nodes = np.split(node_ids_flat, node_splits)
+    per_query_src = np.split(local_src, edge_splits)
+    per_query_dst = np.split(local_dst, edge_splits)
+    per_query_types = np.split(edge_types, edge_splits)
+    return [
+        (per_query_nodes[q],
+         np.stack([per_query_src[q], per_query_dst[q]]),
+         per_query_types[q].copy())
+        for q in range(num_queries)
+    ]
+
+
+def _extract_many_chunked(graph: CircuitGraph, src: np.ndarray, dst: np.ndarray,
+                          hops: int, max_nodes_per_hop: int | None, rng,
+                          single_anchor: bool) -> list:
+    """Run :func:`_extract_many` in query chunks bounded by the cell budget."""
+    chunk = max(1, _EXTRACT_CELL_BUDGET // max(graph.num_nodes, 1))
+    if src.shape[0] <= chunk:
+        return _extract_many(graph, src, dst, hops, max_nodes_per_hop, rng, single_anchor)
+    parts: list = []
+    for start in range(0, src.shape[0], chunk):
+        parts.extend(_extract_many(graph, src[start:start + chunk], dst[start:start + chunk],
+                                   hops, max_nodes_per_hop, rng, single_anchor))
+    return parts
+
+
+def extract_enclosing_subgraphs(graph: CircuitGraph, links: list[Link], hops: int = 1,
+                                max_nodes_per_hop: int | None = None,
+                                add_target_edge: bool = True, rng=None) -> list[Subgraph]:
+    """Batched :func:`extract_enclosing_subgraph` over many links at once.
+
+    Produces the same subgraphs as the per-link extractor (hub-node sampling
+    aside) while amortising every numpy operation over the whole batch.
+    """
+    if not links:
+        return []
+    rng = get_rng(rng)
+    src = np.array([l.source for l in links], dtype=np.int64)
+    dst = np.array([l.target for l in links], dtype=np.int64)
+    parts = _extract_many_chunked(graph, src, dst, hops, max_nodes_per_hop, rng,
+                                  single_anchor=False)
+
+    subgraphs = []
+    for link, (node_ids, edge_index, edge_types) in zip(links, parts):
+        if add_target_edge:
+            edge_index = np.concatenate([edge_index, np.array([[0], [1]])], axis=1)
+            edge_types = np.concatenate([edge_types, np.array([link.link_type])])
+        subgraphs.append(Subgraph(
+            node_ids=node_ids,
+            node_types=graph.node_types[node_ids].copy(),
+            edge_index=edge_index,
+            edge_types=edge_types,
+            anchors=(0, 1),
+            label=float(link.label),
+            target=float(link.capacitance),
+            link_type=int(link.link_type),
+            node_stats=None if graph.node_stats is None else graph.node_stats[node_ids].copy(),
+        ))
+    return subgraphs
+
+
+def extract_node_subgraphs(graph: CircuitGraph, nodes, hops: int = 2,
+                           targets=None, max_nodes_per_hop: int | None = None,
+                           rng=None) -> list[Subgraph]:
+    """Batched :func:`extract_node_subgraph` over many anchor nodes at once."""
+    nodes = np.asarray(list(nodes), dtype=np.int64)
+    if nodes.size == 0:
+        return []
+    rng = get_rng(rng)
+    parts = _extract_many_chunked(graph, nodes, nodes, hops, max_nodes_per_hop, rng,
+                                  single_anchor=True)
+    targets = np.zeros(nodes.size) if targets is None else np.asarray(targets, dtype=np.float64)
+    return [
+        Subgraph(
+            node_ids=node_ids,
+            node_types=graph.node_types[node_ids].copy(),
+            edge_index=edge_index,
+            edge_types=edge_types,
+            anchors=(0, 0),
+            label=1.0,
+            target=float(target),
+            link_type=-1,
+            node_stats=None if graph.node_stats is None else graph.node_stats[node_ids].copy(),
+        )
+        for (node_ids, edge_index, edge_types), target in zip(parts, targets)
+    ]
 
 
 def sample_link_dataset(graph: CircuitGraph, max_links: int | None = None,
@@ -334,13 +504,9 @@ def sample_link_dataset(graph: CircuitGraph, max_links: int | None = None,
         host = graph
         add_target = True
 
-    samples: list[Subgraph] = []
-    for link in positives + negatives:
-        samples.append(
-            extract_enclosing_subgraph(host, link, hops=hops,
-                                       max_nodes_per_hop=max_nodes_per_hop,
-                                       add_target_edge=add_target, rng=rng)
-        )
+    samples = extract_enclosing_subgraphs(host, positives + negatives, hops=hops,
+                                          max_nodes_per_hop=max_nodes_per_hop,
+                                          add_target_edge=add_target, rng=rng)
     order = rng.permutation(len(samples))
     return [samples[i] for i in order]
 

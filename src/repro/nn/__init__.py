@@ -25,10 +25,11 @@ from .losses import bce_with_logits, cross_entropy, huber_loss, l1_loss, mse_los
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, AdamW, CosineSchedule, StepSchedule, clip_grad_norm
 from .performer import PerformerAttention
-from .tensor import Tensor, concat, no_grad, stack
+from .tensor import Tensor, concat, no_grad, stable_sigmoid, stack
 
 __all__ = [
     "Tensor",
+    "stable_sigmoid",
     "no_grad",
     "concat",
     "stack",

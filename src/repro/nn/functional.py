@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, concat, stack
+from .tensor import Tensor, concat, stable_sigmoid, stack
 
 __all__ = [
     "relu",
     "gelu",
     "sigmoid",
+    "stable_sigmoid",
     "tanh",
     "softmax",
     "log_softmax",

@@ -17,7 +17,19 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "stable_sigmoid"]
+
+
+def stable_sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function on raw numpy data.
+
+    The naive ``1 / (1 + exp(-x))`` overflows for large-magnitude negative
+    inputs; ``exp(-|x|)`` is bounded by 1 for every input, so both branches
+    below are overflow-free.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    z = np.exp(-np.abs(values))
+    return np.where(values >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
 _GRAD_ENABLED = True
 
@@ -381,7 +393,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = stable_sigmoid(self.data)
 
         def backward(grad):
             if self.requires_grad:

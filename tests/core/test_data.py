@@ -1,0 +1,199 @@
+"""Tests for the dataset/loader subsystem and the positional-encoding cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.data import (
+    DataLoader,
+    PECache,
+    SubgraphDataset,
+    as_dataset,
+    attach_pe,
+    attach_pe_batch,
+    default_pe_cache,
+    set_default_pe_cache,
+)
+from repro.core.datasets import build_link_samples
+from repro.graph import extract_enclosing_subgraphs
+
+
+@pytest.fixture()
+def samples(small_design, tiny_config):
+    return build_link_samples(small_design, tiny_config.data, pe_kind="dspd", rng=0)
+
+
+@pytest.fixture()
+def fresh_cache():
+    """Swap in an empty default cache for the duration of a test."""
+    cache = PECache(capacity=256)
+    previous = set_default_pe_cache(cache)
+    yield cache
+    set_default_pe_cache(previous)
+
+
+class TestPECache:
+    def test_put_get_and_hit_counting(self, samples):
+        cache = PECache(capacity=8)
+        key = PECache.key_for(samples[0], "dspd")
+        assert cache.get(key) is None
+        cache.put(key, samples[0].pe)
+        assert cache.get(key) is samples[0].pe
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction(self, samples):
+        cache = PECache(capacity=2)
+        keys = [PECache.key_for(s, "dspd") for s in samples[:3]]
+        cache.put(keys[0], samples[0].pe)
+        cache.put(keys[1], samples[1].pe)
+        cache.get(keys[0])                    # key 0 is now most-recently used
+        cache.put(keys[2], samples[2].pe)     # evicts key 1
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert len(cache) == 2
+
+    def test_key_distinguishes_topology(self, samples):
+        a, b = samples[0], samples[1]
+        assert PECache.key_for(a, "dspd") != PECache.key_for(b, "dspd")
+        assert PECache.key_for(a, "dspd") != PECache.key_for(a, "rwse")
+
+    def test_attach_pe_hits_on_second_call(self, samples):
+        cache = PECache()
+        subgraph = samples[0]
+        subgraph.pe = None
+        first = attach_pe(subgraph, "dspd", cache=cache)
+        subgraph.pe = None
+        second = attach_pe(subgraph, "dspd", cache=cache)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+        assert subgraph.pe is first
+
+    def test_attach_pe_batch_mixed_hits(self, samples):
+        cache = PECache()
+        for s in samples:
+            s.pe = None
+        attach_pe_batch(samples[:4], "dspd", cache=cache)
+        assert cache.misses == 4 and cache.hits == 0
+        for s in samples[:8]:
+            s.pe = None
+        attach_pe_batch(samples[:8], "dspd", cache=cache)
+        assert cache.hits == 4 and cache.misses == 8
+        assert all(s.pe is not None for s in samples[:8])
+
+    def test_repeated_build_link_samples_hits_cache(self, small_design, tiny_config,
+                                                    fresh_cache):
+        build_link_samples(small_design, tiny_config.data, pe_kind="dspd", rng=0)
+        assert fresh_cache.hits == 0
+        misses = fresh_cache.misses
+        build_link_samples(small_design, tiny_config.data, pe_kind="dspd", rng=0)
+        # Same rng -> identical subgraphs -> every PE comes from the cache.
+        assert fresh_cache.hits == misses
+        assert fresh_cache.misses == misses
+
+
+class TestSubgraphDataset:
+    def test_from_samples_roundtrip(self, samples):
+        dataset = SubgraphDataset.from_samples(samples)
+        assert len(dataset) == len(samples)
+        assert dataset[0] is samples[0]
+        assert dataset[-1] is samples[-1]
+        assert list(dataset) == samples
+        np.testing.assert_allclose(dataset.labels(), [s.label for s in samples])
+        np.testing.assert_allclose(dataset.targets(), [s.target for s in samples])
+
+    def test_bool_and_out_of_range(self, samples):
+        assert SubgraphDataset.from_samples(samples)
+        assert not SubgraphDataset.from_samples([])
+        with pytest.raises(IndexError):
+            SubgraphDataset.from_samples(samples)[len(samples)]
+
+    def test_subset_and_shuffle(self, samples):
+        dataset = SubgraphDataset.from_samples(samples)
+        sub = dataset.subset([2, 0, 5])
+        assert len(sub) == 3
+        assert sub[0] is samples[2] and sub[2] is samples[5]
+        shuffled = dataset.shuffled(rng=0)
+        assert len(shuffled) == len(dataset)
+        assert sorted(s.label for s in shuffled) == sorted(s.label for s in samples)
+
+    def test_split_head_tail(self, samples):
+        dataset = SubgraphDataset.from_samples(samples)
+        head, tail = dataset.split(0.25)
+        assert len(head) == int(round(len(samples) * 0.25))
+        assert len(head) + len(tail) == len(samples)
+        assert head[0] is samples[0]
+
+    def test_lazy_from_links_deterministic(self, small_design, fresh_cache):
+        graph = small_design.graph
+        links = graph.links[:10]
+        dataset = SubgraphDataset.from_links(graph, links, hops=1, pe_kind="dspd", seed=5)
+        assert len(dataset) == 10
+        first = dataset[3]
+        second = dataset[3]
+        np.testing.assert_array_equal(first.node_ids, second.node_ids)
+        np.testing.assert_allclose(first.pe, second.pe)
+        # Identical extraction means the PE cache served the second access.
+        assert fresh_cache.hits >= 1
+
+    def test_lazy_labels_without_extraction(self, small_design):
+        graph = small_design.graph
+        links = graph.links[:6]
+        dataset = SubgraphDataset.from_links(graph, links, pe_kind=None)
+        np.testing.assert_allclose(dataset.labels(), [l.label for l in links])
+        np.testing.assert_array_equal(dataset.link_types(), [l.link_type for l in links])
+        assert not dataset._memo  # labels came from the links, not extraction
+
+    def test_materialize_matches_lazy(self, small_design):
+        graph = small_design.graph
+        dataset = SubgraphDataset.from_links(graph, graph.links[:5], pe_kind=None, seed=1)
+        materialized = dataset.materialize()
+        for a, b in zip(dataset, materialized):
+            np.testing.assert_array_equal(a.node_ids, b.node_ids)
+
+    def test_lazy_matches_batched_extraction(self, small_design):
+        graph = small_design.graph
+        links = graph.links[:8]
+        dataset = SubgraphDataset.from_links(graph, links, hops=1, pe_kind=None)
+        batched = extract_enclosing_subgraphs(graph, links, hops=1)
+        for lazy_sample, batch_sample in zip(dataset, batched):
+            np.testing.assert_array_equal(lazy_sample.node_ids, batch_sample.node_ids)
+            np.testing.assert_array_equal(lazy_sample.edge_index, batch_sample.edge_index)
+
+    def test_as_dataset_idempotent(self, samples):
+        dataset = SubgraphDataset.from_samples(samples)
+        assert as_dataset(dataset) is dataset
+        assert as_dataset(samples)[0] is samples[0]
+        loader = DataLoader(dataset, batch_size=4)
+        assert as_dataset(loader) is dataset
+
+
+class TestDataLoader:
+    def test_batches_cover_all_samples(self, samples):
+        loader = DataLoader(samples, batch_size=16, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == len(loader)
+        assert sum(b.num_graphs for b in batches) == len(samples)
+        np.testing.assert_allclose(
+            np.concatenate([b.labels for b in batches]),
+            [s.label for s in samples],
+        )
+
+    def test_drop_last(self, samples):
+        count = (len(samples) // 16) * 16
+        loader = DataLoader(samples[: count + 3], batch_size=16, shuffle=False, drop_last=True)
+        assert sum(b.num_graphs for b in loader) == count
+
+    def test_shuffle_changes_between_epochs(self, samples):
+        loader = DataLoader(samples, batch_size=len(samples), shuffle=True, rng=0)
+        first = next(iter(loader)).labels
+        second = next(iter(loader)).labels
+        assert not np.array_equal(first, second)
+
+    def test_shuffle_deterministic_given_rng(self, samples):
+        a = next(iter(DataLoader(samples, batch_size=32, shuffle=True, rng=7))).labels
+        b = next(iter(DataLoader(samples, batch_size=32, shuffle=True, rng=7))).labels
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_batch_size(self, samples):
+        with pytest.raises(ValueError):
+            DataLoader(samples, batch_size=0)

@@ -1,0 +1,281 @@
+"""Tests for the CSR graph kernel and its parity with the legacy Python path.
+
+The vectorised extractors and encodings must produce *identical* subgraphs and
+encodings to the original per-node-loop implementations (kept in
+``repro.graph.legacy`` as the parity oracle), both on randomised graphs and on
+a real design.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CircuitGraph,
+    CSRGraph,
+    Link,
+    extract_enclosing_subgraph,
+    extract_enclosing_subgraphs,
+    extract_node_subgraph,
+    extract_node_subgraphs,
+    generate_negative_links,
+)
+from repro.graph.encodings import (
+    compute_pe_batch,
+    drnl_encoding,
+    dspd_encoding,
+    laplacian_encoding,
+    rwse_encoding,
+)
+from repro.graph.legacy import (
+    legacy_drnl_encoding,
+    legacy_dspd_encoding,
+    legacy_extract_enclosing_subgraph,
+    legacy_extract_node_subgraph,
+    legacy_generate_negative_links,
+    legacy_laplacian_encoding,
+    legacy_rwse_encoding,
+)
+
+
+def random_graph(num_nodes: int, num_edges: int, seed: int) -> CircuitGraph:
+    """A random multigraph wrapped as a CircuitGraph (types are arbitrary)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    links = []
+    for _ in range(max(4, num_edges // 4)):
+        a, b = rng.integers(0, num_nodes, size=2)
+        if a != b:
+            links.append(Link(int(a), int(b), link_type=int(rng.integers(2, 5)),
+                              capacitance=float(rng.random() * 1e-16)))
+    return CircuitGraph(
+        name=f"random-{seed}",
+        node_types=rng.integers(0, 3, size=num_nodes),
+        node_names=[f"n{i}" for i in range(num_nodes)],
+        edge_index=np.stack([src, dst]),
+        edge_types=rng.integers(0, 2, size=num_edges),
+        node_stats=rng.random((num_nodes, 5)),
+        links=links,
+    )
+
+
+class TestCSRGraph:
+    def test_known_small_graph(self):
+        # Path 0-1-2 plus edge 0-2: every node has degree 2.
+        edge_index = np.array([[0, 1, 0], [1, 2, 2]])
+        csr = CSRGraph.from_edges(3, edge_index)
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 3
+        np.testing.assert_array_equal(csr.degrees(), [2, 2, 2])
+        assert set(csr.neighbors(0).tolist()) == {1, 2}
+        assert set(csr.neighbors(1).tolist()) == {0, 2}
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_edges(4, np.zeros((2, 0), dtype=np.int64))
+        assert csr.num_nodes == 4
+        np.testing.assert_array_equal(csr.degrees(), np.zeros(4))
+        assert csr.k_hop([2], 3).tolist() == [2]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bfs_matches_dict_bfs(self, seed):
+        graph = random_graph(60, 120, seed)
+        csr = graph.csr
+        for source in (0, 17, 42):
+            distances = csr.bfs_distances(source, unreachable=-1)
+            # Reference: plain dict BFS.
+            ref = {source: 0}
+            frontier = [source]
+            while frontier:
+                nxt = []
+                for node in frontier:
+                    for neighbour in csr.neighbors(node):
+                        if int(neighbour) not in ref:
+                            ref[int(neighbour)] = ref[node] + 1
+                            nxt.append(int(neighbour))
+                frontier = nxt
+            for node in range(csr.num_nodes):
+                assert distances[node] == ref.get(node, -1)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_k_hop_matches_set_expansion(self, seed):
+        graph = random_graph(50, 90, seed)
+        csr = graph.csr
+        for hops in (1, 2, 3):
+            visited = {5, 11}
+            frontier = {5, 11}
+            for _ in range(hops):
+                frontier = {int(m) for node in frontier for m in csr.neighbors(node)} - visited
+                visited |= frontier
+            np.testing.assert_array_equal(csr.k_hop([5, 11], hops), sorted(visited))
+
+    def test_induced_subgraph_picks_internal_edges_only(self):
+        graph = random_graph(40, 80, 7)
+        nodes = np.array([3, 8, 15, 22, 31])
+        local_edges, picked = graph.csr.induced_subgraph(nodes)
+        node_set = set(nodes.tolist())
+        for edge_id in picked:
+            s, t = graph.edge_index[0][edge_id], graph.edge_index[1][edge_id]
+            assert int(s) in node_set and int(t) in node_set
+        # All internal edges picked, in ascending id order.
+        expected = [e for e in range(graph.num_edges)
+                    if int(graph.edge_index[0][e]) in node_set
+                    and int(graph.edge_index[1][e]) in node_set]
+        assert picked.tolist() == expected
+        if local_edges.size:
+            assert local_edges.max() < len(nodes)
+
+    def test_max_per_node_caps_expansion(self):
+        graph = random_graph(30, 400, 9)  # dense: high degrees
+        csr = graph.csr
+        full = csr.k_hop([0], 1)
+        capped = csr.k_hop([0], 1, max_nodes_per_hop=3, rng=0)
+        assert len(capped) <= min(len(full), 1 + 3)
+        assert set(capped.tolist()) <= set(full.tolist())
+
+
+class TestExtractionParity:
+    @pytest.mark.parametrize("seed", [10, 11, 12, 13])
+    @pytest.mark.parametrize("hops", [1, 2])
+    def test_enclosing_subgraph_matches_legacy(self, seed, hops):
+        graph = random_graph(80, 160, seed)
+        for link in graph.links[:10]:
+            new = extract_enclosing_subgraph(graph, link, hops=hops)
+            old = legacy_extract_enclosing_subgraph(graph, link, hops=hops)
+            np.testing.assert_array_equal(new.node_ids, old.node_ids)
+            np.testing.assert_array_equal(new.edge_index, old.edge_index)
+            np.testing.assert_array_equal(new.edge_types, old.edge_types)
+            np.testing.assert_array_equal(new.node_types, old.node_types)
+            np.testing.assert_allclose(new.node_stats, old.node_stats)
+            assert new.anchors == old.anchors
+            assert new.label == old.label and new.target == old.target
+
+    @pytest.mark.parametrize("seed", [14, 15])
+    @pytest.mark.parametrize("hops", [1, 2])
+    def test_batched_extraction_matches_legacy(self, seed, hops):
+        graph = random_graph(70, 140, seed)
+        batched = extract_enclosing_subgraphs(graph, graph.links, hops=hops,
+                                              add_target_edge=False)
+        assert len(batched) == len(graph.links)
+        for link, new in zip(graph.links, batched):
+            old = legacy_extract_enclosing_subgraph(graph, link, hops=hops,
+                                                    add_target_edge=False)
+            np.testing.assert_array_equal(new.node_ids, old.node_ids)
+            np.testing.assert_array_equal(new.edge_index, old.edge_index)
+            np.testing.assert_array_equal(new.edge_types, old.edge_types)
+
+    @pytest.mark.parametrize("seed", [16, 17])
+    def test_node_subgraphs_match_legacy(self, seed):
+        graph = random_graph(60, 110, seed)
+        nodes = list(range(0, graph.num_nodes, 7))
+        batched = extract_node_subgraphs(graph, nodes, hops=2)
+        for node, new in zip(nodes, batched):
+            single = extract_node_subgraph(graph, node, hops=2)
+            old = legacy_extract_node_subgraph(graph, node, hops=2)
+            for candidate in (new, single):
+                np.testing.assert_array_equal(candidate.node_ids, old.node_ids)
+                np.testing.assert_array_equal(candidate.edge_index, old.edge_index)
+                assert candidate.anchors == (0, 0)
+
+    def test_real_design_parity(self, small_design):
+        graph = small_design.graph
+        links = graph.links[:30]
+        batched = extract_enclosing_subgraphs(graph, links, hops=1)
+        for link, new in zip(links, batched):
+            old = legacy_extract_enclosing_subgraph(graph, link, hops=1)
+            np.testing.assert_array_equal(new.node_ids, old.node_ids)
+            np.testing.assert_array_equal(new.edge_index, old.edge_index)
+            np.testing.assert_array_equal(new.edge_types, old.edge_types)
+
+
+class TestEncodingParity:
+    @pytest.mark.parametrize("seed", [20, 21, 22])
+    def test_all_encodings_match_legacy(self, seed):
+        graph = random_graph(50, 100, seed)
+        for link in graph.links[:8]:
+            subgraph = extract_enclosing_subgraph(graph, link, hops=2)
+            np.testing.assert_allclose(dspd_encoding(subgraph), legacy_dspd_encoding(subgraph))
+            np.testing.assert_allclose(drnl_encoding(subgraph), legacy_drnl_encoding(subgraph))
+            np.testing.assert_allclose(rwse_encoding(subgraph), legacy_rwse_encoding(subgraph))
+            np.testing.assert_allclose(laplacian_encoding(subgraph),
+                                       legacy_laplacian_encoding(subgraph))
+
+    @pytest.mark.parametrize("kind", ["dspd", "drnl"])
+    def test_batched_pe_matches_per_subgraph(self, kind):
+        graph = random_graph(60, 120, 23)
+        subgraphs = extract_enclosing_subgraphs(graph, graph.links[:12], hops=2)
+        legacy_fn = legacy_dspd_encoding if kind == "dspd" else legacy_drnl_encoding
+        encodings = compute_pe_batch(subgraphs, kind)
+        for subgraph, encoding in zip(subgraphs, encodings):
+            np.testing.assert_allclose(encoding, legacy_fn(subgraph))
+            assert subgraph.pe is encoding
+
+    def test_hub_degree_over_256_no_wraparound(self):
+        # A star with 300 leaves: the dense BFS frontier product must not wrap
+        # in a narrow integer dtype (a node adjacent to a multiple-of-256
+        # frontier would silently look unreachable).
+        from repro.graph import Subgraph
+
+        leaves = 300
+        hub_a, hub_b = 0, 1
+        src = np.concatenate([[hub_a], np.full(leaves, hub_b)])
+        dst = np.concatenate([[hub_b], np.arange(2, leaves + 2)])
+        subgraph = Subgraph(
+            node_ids=np.arange(leaves + 2),
+            node_types=np.zeros(leaves + 2, dtype=np.int64),
+            edge_index=np.stack([src, dst]),
+            edge_types=np.zeros(leaves + 1, dtype=np.int64),
+            anchors=(hub_a, hub_b),
+        )
+        np.testing.assert_allclose(dspd_encoding(subgraph), legacy_dspd_encoding(subgraph))
+        np.testing.assert_allclose(drnl_encoding(subgraph), legacy_drnl_encoding(subgraph))
+
+    def test_disconnected_anchor_buckets(self):
+        # Two components: anchors in one, an isolated pair in the other.
+        graph = CircuitGraph(
+            name="two-islands",
+            node_types=np.zeros(5, dtype=np.int64),
+            node_names=[f"n{i}" for i in range(5)],
+            edge_index=np.array([[0, 3], [1, 4]]),
+            edge_types=np.zeros(2, dtype=np.int64),
+            links=[Link(0, 1, 2)],
+        )
+        subgraph = extract_enclosing_subgraph(graph, graph.links[0], hops=1,
+                                              add_target_edge=False)
+        np.testing.assert_allclose(dspd_encoding(subgraph),
+                                   legacy_dspd_encoding(subgraph))
+        np.testing.assert_allclose(drnl_encoding(subgraph),
+                                   legacy_drnl_encoding(subgraph))
+
+
+class TestNegativeSamplingParity:
+    @pytest.mark.parametrize("seed", [30, 31])
+    def test_same_invariants_as_legacy(self, seed):
+        graph = random_graph(80, 150, seed)
+        new = generate_negative_links(graph, ratio=1.0, rng=seed)
+        old = legacy_generate_negative_links(graph, ratio=1.0, rng=seed)
+        positive_keys = {l.key() for l in graph.links}
+        for negatives in (new, old):
+            keys = [l.key() for l in negatives]
+            assert len(keys) == len(set(keys))          # no duplicates
+            assert not (set(keys) & positive_keys)      # no collision with positives
+            assert all(l.label == 0.0 and l.capacitance == 0.0 for l in negatives)
+        # Endpoints are drawn from the same per-type endpoint pools.
+        by_type = {}
+        for link in graph.links:
+            pools = by_type.setdefault(link.link_type, (set(), set()))
+            pools[0].add(link.source)
+            pools[1].add(link.target)
+        for link in new:
+            sources, targets = by_type[link.link_type]
+            assert link.source in sources and link.target in targets
+
+    def test_counts_match_legacy(self, small_design):
+        graph = small_design.graph
+        new = generate_negative_links(graph, ratio=0.5, rng=0)
+        old = legacy_generate_negative_links(graph, ratio=0.5, rng=0)
+        assert len(new) == len(old)
+
+    def test_deterministic_given_seed(self, small_design):
+        a = generate_negative_links(small_design.graph, ratio=0.5, rng=3)
+        b = generate_negative_links(small_design.graph, ratio=0.5, rng=3)
+        assert [l.key() for l in a] == [l.key() for l in b]
