@@ -5,11 +5,17 @@ This example runs the full paper workflow on small synthetic designs:
 1. generate the design suite (SRAM macros, clock generator, control logic),
 2. pre-train the meta-learner on link prediction over the training designs,
 3. fine-tune all parameters for coupling-capacitance regression,
-4. evaluate zero-shot on an unseen design and save the meta-learner.
+4. evaluate zero-shot on an unseen design and save the full pipeline as one
+   serving artifact (config + backbone + fine-tuned head + normaliser).
 
 Run with::
 
     python examples/quickstart.py
+
+The same workflow is available from the shell::
+
+    python -m repro train --config fast --out ckpt/
+    python -m repro annotate ckpt/ your_netlist.sp
 """
 
 from __future__ import annotations
@@ -53,9 +59,10 @@ def main() -> None:
         title="Zero-shot results",
     )
 
-    checkpoint = pathlib.Path("circuitgps_meta_learner.npz")
-    pipeline.save(checkpoint)
-    print(f"\nSaved the pre-trained meta-learner to {checkpoint.resolve()}")
+    artifact = pipeline.save(pathlib.Path("ckpt"))
+    print(f"\nSaved the full pipeline artifact to {artifact.resolve()}")
+    print("Annotate any SPICE netlist against it with:")
+    print("  python -m repro annotate ckpt/ your_netlist.sp")
 
 
 if __name__ == "__main__":

@@ -5,18 +5,26 @@ This is the downstream use-case motivating the paper: a designer has a
 pairs will couple after layout and how large the coupling capacitance will be,
 so pre-layout simulation matches post-layout behaviour more closely.
 
-The script:
+The script exercises the train-once / serve-many flow:
 
 1. writes a small SRAM-macro SPICE netlist to disk and parses it back
    (exactly what you would do with your own ``.sp``/``.cdl`` file),
-2. trains the CircuitGPS pipeline on the synthetic training suite,
-3. predicts coupling probability and capacitance for candidate node pairs of
-   the parsed netlist (neighbouring bit-lines, clock nets, sense-amp pins),
-4. prints the annotations and writes them to a CSV-like report.
+2. trains the CircuitGPS pipeline on the synthetic training suite and saves
+   it as one serving artifact (``ckpt/pipeline.npz``),
+3. reloads the artifact into a fresh pipeline — no retraining — and runs the
+   batched :class:`~repro.core.serve.AnnotationEngine` over candidate node
+   pairs (neighbouring bit-lines, clock nets) plus auto-generated candidates,
+4. prints the annotations, writes a structured JSON report and an annotated
+   netlist with the predicted couplings appended as capacitor cards.
 
 Run with::
 
     python examples/spice_netlist_annotation.py
+
+or do the same from the shell::
+
+    python -m repro train --config fast --out ckpt/
+    python -m repro annotate ckpt/ user_sram_macro.sp --json report.json
 """
 
 from __future__ import annotations
@@ -24,8 +32,8 @@ from __future__ import annotations
 import pathlib
 
 from repro.analysis import print_table
-from repro.core import CircuitGPSPipeline, ExperimentConfig
-from repro.netlist import parse_spice_file, ssram, write_spice
+from repro.core import AnnotationEngine, CircuitGPSPipeline, ExperimentConfig
+from repro.netlist import ssram, write_spice
 from repro.utils import seed_all
 
 
@@ -53,18 +61,20 @@ def main() -> None:
     prepare_netlist(netlist_path)
     print(f"Wrote example schematic netlist to {netlist_path.resolve()}")
 
-    circuit = parse_spice_file(netlist_path)
-    flat = circuit.flatten()
-    print(f"Parsed netlist: {len(flat.devices)} devices, {len(flat.nets)} nets")
-
-    config = ExperimentConfig.fast()
-    pipeline = CircuitGPSPipeline(config)
+    artifact = pathlib.Path("ckpt")
+    print("Training CircuitGPS and saving the serving artifact "
+          "(this takes a minute or two)...")
+    pipeline = CircuitGPSPipeline(ExperimentConfig.fast())
     pipeline.load_designs()
-    print("Pre-training + fine-tuning CircuitGPS (this takes a minute or two)...")
     pipeline.pretrain()
     pipeline.finetune(mode="all")
+    pipeline.save(artifact)
 
-    records = pipeline.predict_couplings(flat, candidate_pairs())
+    # Serving: a fresh pipeline object, models restored from the artifact.
+    served = CircuitGPSPipeline.from_checkpoint(artifact)
+    engine = AnnotationEngine(served, batch_size=256)
+    annotation = engine.annotate(netlist_path, pairs=candidate_pairs())
+
     rows = [
         {
             "node_a": record["pair"][0],
@@ -72,19 +82,16 @@ def main() -> None:
             "coupling_probability": record["coupling_probability"],
             "capacitance_fF": record["capacitance_farad"] * 1e15,
         }
-        for record in records
+        for record in annotation.records
     ]
     print()
     print_table(rows, title="Predicted coupling annotations for USER_SRAM_MACRO")
 
-    report = pathlib.Path("coupling_annotations.csv")
-    lines = ["node_a,node_b,coupling_probability,capacitance_farad"]
-    lines += [
-        f"{r['node_a']},{r['node_b']},{r['coupling_probability']:.4f},{r['capacitance_fF'] / 1e15:.6e}"
-        for r in rows
-    ]
-    report.write_text("\n".join(lines) + "\n")
-    print(f"\nWrote annotations to {report.resolve()}")
+    report = annotation.write_json(pathlib.Path("coupling_annotations.json"))
+    annotated = pathlib.Path("user_sram_macro.annotated.sp")
+    annotated.write_text(annotation.annotated_spice())
+    print(f"\nWrote the structured report to {report.resolve()}")
+    print(f"Wrote the annotated netlist to {annotated.resolve()}")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,12 @@ Parasitic Capacitance Prediction" (DAC 2025).  The package is organised as:
 * :mod:`repro.graph`    – heterogeneous circuit graphs, subgraph sampling, PEs,
 * :mod:`repro.models`   – GPS layers, CircuitGPS, ParaGraph and DLPL-Cap baselines,
 * :mod:`repro.core`     – datasets, pre-training, fine-tuning, metrics, pipeline,
+  plus the serving layer: versioned artifacts, the batched annotation engine
+  (:mod:`repro.core.serve`) and the CLI (``python -m repro``),
 * :mod:`repro.analysis` – energy model and report formatting.
+
+See ``docs/architecture.md`` for the module map and data flow and
+``docs/api.md`` for the generated API reference.
 """
 
 __version__ = "0.1.0"

@@ -1,0 +1,10 @@
+"""``python -m repro`` — the command-line entry point.
+
+See :mod:`repro.core.cli` for the subcommands (train / annotate / evaluate /
+report) and ``docs/architecture.md`` for the workflow they implement.
+"""
+
+from .core.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

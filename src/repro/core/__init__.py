@@ -33,8 +33,14 @@ from .metrics import (
     rmse,
     roc_auc,
 )
-from .pipeline import CircuitGPSPipeline
+from .pipeline import (
+    PIPELINE_ARTIFACT_NAME,
+    PIPELINE_SCHEMA,
+    PIPELINE_SCHEMA_VERSION,
+    CircuitGPSPipeline,
+)
 from .pretrain import PretrainResult, build_model, evaluate_zero_shot_link, pretrain_link_model
+from .serve import AnnotationEngine, NetlistAnnotation, default_candidate_pairs
 from .trainer import BaselineTrainer, Trainer, link_pairs_for_design
 
 __all__ = [
@@ -70,6 +76,12 @@ __all__ = [
     "FinetuneResult",
     "FINETUNE_MODES",
     "CircuitGPSPipeline",
+    "PIPELINE_SCHEMA",
+    "PIPELINE_SCHEMA_VERSION",
+    "PIPELINE_ARTIFACT_NAME",
+    "AnnotationEngine",
+    "NetlistAnnotation",
+    "default_candidate_pairs",
     "accuracy",
     "f1_score",
     "roc_auc",

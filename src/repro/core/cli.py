@@ -1,0 +1,312 @@
+"""Command-line interface: the paper workflow from the shell.
+
+``python -m repro`` exposes four subcommands built on the serving layer:
+
+* ``train``    — build the design suite, pre-train + fine-tune, save one
+  full-pipeline artifact (:meth:`CircuitGPSPipeline.save`),
+* ``annotate`` — load an artifact and annotate one-or-many SPICE netlists
+  with predicted couplings (:class:`~repro.core.serve.AnnotationEngine`),
+* ``evaluate`` — zero-shot link / regression metrics of a saved artifact on
+  the bundled test designs,
+* ``report``   — render annotation JSON or ``benchmarks/results`` JSON files
+  as plain-text tables.
+
+Every command works against saved artifacts, so training once and serving
+many times needs no Python session::
+
+    python -m repro train --config fast --out ckpt/
+    python -m repro annotate ckpt/ my_netlist.sp --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ..analysis.reporting import format_table
+from ..utils.logging import get_logger
+from ..utils.serialization import CheckpointError, load_json, save_json
+from .config import ExperimentConfig
+from .pipeline import CircuitGPSPipeline
+
+__all__ = ["build_parser", "main"]
+
+logger = get_logger("repro.cli")
+
+CONFIG_PRESETS = {
+    "fast": ExperimentConfig.fast,
+    "default": ExperimentConfig.default,
+    "benchmark": ExperimentConfig.benchmark,
+}
+REGRESSION_TASKS = ("edge_regression", "node_regression")
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CircuitGPS reproduction: train, save and serve parasitic "
+                    "coupling predictors for AMS netlists.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train the pipeline and save one artifact")
+    train.add_argument("--config", default="fast", choices=sorted(CONFIG_PRESETS),
+                       help="configuration preset (default: fast)")
+    train.add_argument("--out", required=True,
+                       help="artifact destination: a directory (pipeline.npz is "
+                            "written inside) or a .npz path")
+    train.add_argument("--designs", nargs="*", default=None,
+                       help="subset of paper designs to build (default: all six)")
+    train.add_argument("--tasks", nargs="*", default=["edge_regression"],
+                       choices=REGRESSION_TASKS,
+                       help="regression tasks to fine-tune (default: edge_regression)")
+    train.add_argument("--mode", default="all", choices=("scratch", "head", "all"),
+                       help="fine-tuning mode (default: all)")
+    train.add_argument("--epochs", type=int, default=None, help="override training epochs")
+    train.add_argument("--scale", type=float, default=None, help="override design scale")
+    train.add_argument("--max-links", type=int, default=None,
+                       help="override max links sampled per design")
+    train.add_argument("--seed", type=int, default=None, help="override the training seed")
+    train.add_argument("--dim", type=int, default=None, help="override model width")
+    train.add_argument("--layers", type=int, default=None, help="override GPS layer count")
+    train.add_argument("--attention", default=None,
+                       choices=("transformer", "performer", "none"),
+                       help="override the attention flavour")
+    train.add_argument("--verbose", action="store_true", help="log per-epoch metrics")
+
+    annotate = sub.add_parser("annotate",
+                              help="annotate SPICE netlists using a saved artifact")
+    annotate.add_argument("checkpoint", help="artifact path (directory or .npz)")
+    annotate.add_argument("netlists", nargs="+", help="SPICE netlist file(s)")
+    annotate.add_argument("--pairs", action="append", default=None, metavar="A,B",
+                          help="explicit candidate pair (repeatable); default: "
+                               "auto-generated signal-net pairs")
+    annotate.add_argument("--max-candidates", type=int, default=200,
+                          help="cap on auto-generated candidate pairs (default: 200)")
+    annotate.add_argument("--batch-size", type=int, default=256,
+                          help="inference batch size (default: 256)")
+    annotate.add_argument("--threshold", type=float, default=0.5,
+                          help="coupling probability threshold (default: 0.5)")
+    annotate.add_argument("--json", default=None, metavar="PATH",
+                          help="write the structured report(s) as JSON")
+    annotate.add_argument("--annotated-out", default=None, metavar="DIR",
+                          help="write annotated netlists (<name>.annotated.sp) here")
+    annotate.add_argument("--seed", type=int, default=0, help="candidate sampling seed")
+
+    evaluate = sub.add_parser("evaluate",
+                              help="zero-shot metrics of a saved artifact on test designs")
+    evaluate.add_argument("checkpoint", help="artifact path (directory or .npz)")
+    evaluate.add_argument("--designs", nargs="*", default=None,
+                          help="designs to evaluate (default: the bundled test split)")
+    evaluate.add_argument("--task", default="edge_regression", choices=REGRESSION_TASKS)
+    evaluate.add_argument("--mode", default="all", choices=("scratch", "head", "all"))
+    evaluate.add_argument("--scale", type=float, default=None, help="override design scale")
+    evaluate.add_argument("--json", default=None, metavar="PATH",
+                          help="write the metric rows as JSON")
+
+    report = sub.add_parser("report", help="render result JSON files as tables")
+    report.add_argument("path", nargs="?", default="benchmarks/results",
+                        help="an annotation JSON, a results JSON, or a directory "
+                             "of them (default: benchmarks/results)")
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------------- #
+def _apply_overrides(config: ExperimentConfig, args) -> ExperimentConfig:
+    train_overrides = {}
+    if args.epochs is not None:
+        train_overrides["epochs"] = args.epochs
+    if args.seed is not None:
+        train_overrides["seed"] = args.seed
+    if train_overrides:
+        config = config.with_train(**train_overrides)
+    data_overrides = {}
+    if args.scale is not None:
+        data_overrides["scale"] = args.scale
+    if getattr(args, "max_links", None) is not None:
+        data_overrides["max_links_per_design"] = args.max_links
+    if args.seed is not None:
+        data_overrides["seed"] = args.seed
+    if data_overrides:
+        config = config.with_data(**data_overrides)
+    model_overrides = {}
+    if getattr(args, "dim", None) is not None:
+        model_overrides["dim"] = args.dim
+    if getattr(args, "layers", None) is not None:
+        model_overrides["num_layers"] = args.layers
+    if getattr(args, "attention", None) is not None:
+        model_overrides["attention"] = args.attention
+    if model_overrides:
+        config = config.with_model(**model_overrides)
+    return config
+
+
+def cmd_train(args) -> int:
+    config = _apply_overrides(CONFIG_PRESETS[args.config](), args)
+    pipeline = CircuitGPSPipeline(config)
+    print(f"Building the design suite (scale={config.data.scale}) ...")
+    pipeline.load_designs(names=args.designs)
+    print(f"Pre-training on {len(pipeline.train_designs)} training design(s) ...")
+    pretrain = pipeline.pretrain(verbose=args.verbose)
+    metrics = {k: round(v, 4) for k, v in pretrain.val_metrics.items()}
+    print(f"  link-prediction validation metrics: {metrics}")
+    for task in args.tasks:
+        print(f"Fine-tuning ({task}, mode={args.mode}) ...")
+        pipeline.finetune(mode=args.mode, task=task, verbose=args.verbose)
+    path = pipeline.save(args.out)
+    print(f"Saved full-pipeline artifact to {path}")
+    return 0
+
+
+def _annotation_row(record: dict) -> dict:
+    """One printable table row for an annotation record (dict or JSON form)."""
+    return {
+        "node_a": record["pair"][0],
+        "node_b": record["pair"][1],
+        "type": record.get("link_type", "?"),
+        "probability": record["coupling_probability"],
+        "capacitance_fF": record["capacitance_farad"] * 1e15,
+    }
+
+
+def _parse_pairs(raw: list[str] | None) -> list[tuple[str, str]] | None:
+    if raw is None:
+        return None
+    pairs = []
+    for item in raw:
+        parts = [p.strip() for p in item.split(",")]
+        if len(parts) != 2 or not all(parts):
+            raise SystemExit(f"--pairs expects 'NODE_A,NODE_B', got {item!r}")
+        pairs.append((parts[0], parts[1]))
+    return pairs
+
+
+def cmd_annotate(args) -> int:
+    from .serve import AnnotationEngine
+
+    pairs = _parse_pairs(args.pairs)
+    pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
+    engine = AnnotationEngine(pipeline, batch_size=args.batch_size,
+                              threshold=args.threshold)
+    reports = []
+    for index, netlist in enumerate(args.netlists):
+        try:
+            annotation = engine.annotate(netlist, pairs=pairs,
+                                         max_candidates=args.max_candidates,
+                                         seed=args.seed + index)
+        except KeyError as exc:
+            # Unknown candidate node names (AnnotationEngine.links_for_pairs).
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        reports.append(annotation)
+        rows = [_annotation_row(r) for r in annotation.records]
+        print(format_table(
+            rows,
+            title=f"{annotation.design}: {len(annotation.couplings)} predicted "
+                  f"coupling(s) out of {annotation.num_candidates} candidates "
+                  f"({annotation.elapsed_seconds * 1e3:.0f} ms)",
+        ))
+        print()
+        if args.annotated_out:
+            out_dir = pathlib.Path(args.annotated_out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"{pathlib.Path(netlist).stem}.annotated.sp"
+            out_path.write_text(annotation.annotated_spice())
+            print(f"Wrote annotated netlist to {out_path}")
+    if args.json:
+        payload = reports[0].as_dict() if len(reports) == 1 else {
+            "reports": [r.as_dict() for r in reports]
+        }
+        save_json(args.json, payload)
+        print(f"Wrote JSON report to {args.json}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
+    key = (args.task, args.mode)
+    if key not in pipeline.finetune_results:
+        available = sorted(pipeline.finetune_results)
+        print(f"error: artifact has no fine-tuned head for {key}; "
+              f"available: {available}", file=sys.stderr)
+        return 2
+    if args.scale is not None:
+        pipeline.config = pipeline.config.with_data(scale=args.scale)
+    names = args.designs
+    if names is None:
+        registry = [d["name"] for d in pipeline.design_registry if d.get("split") == "test"]
+        names = registry or None
+    if names is None:
+        pipeline.load_designs(names=None)
+        names = [d.name for d in pipeline.test_designs]
+    else:
+        # Training designs must load too: the X_C normaliser is fitted on them.
+        from .datasets import TRAIN_DESIGNS
+
+        pipeline.load_designs(names=sorted(set(names) | set(TRAIN_DESIGNS)))
+    rows = []
+    for name in names:
+        link_metrics = pipeline.evaluate_link(name)
+        reg_metrics = pipeline.evaluate_regression(name, task=args.task, mode=args.mode)
+        rows.append({
+            "design": name,
+            "auc": link_metrics["auc"], "f1": link_metrics["f1"],
+            "mae": reg_metrics["mae"], "rmse": reg_metrics["rmse"],
+            "r2": reg_metrics["r2"],
+        })
+    print(format_table(rows, title=f"Zero-shot evaluation ({args.task}, {args.mode})"))
+    if args.json:
+        save_json(args.json, {"task": args.task, "mode": args.mode, "rows": rows})
+        print(f"Wrote JSON metrics to {args.json}")
+    return 0
+
+
+def _report_rows(payload: dict) -> list[dict]:
+    if "records" in payload:  # annotation report
+        return [_annotation_row(r) for r in payload["records"]]
+    if "rows" in payload and isinstance(payload["rows"], list):
+        return payload["rows"]
+    return [payload]
+
+
+def cmd_report(args) -> int:
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    files = sorted(path.glob("*.json")) if path.is_dir() else [path]
+    if not files:
+        print(f"(no result JSON files under {path})")
+        return 0
+    for file in files:
+        payload = load_json(file)
+        if "reports" in payload:
+            for sub_payload in payload["reports"]:
+                print(format_table(_report_rows(sub_payload), title=str(file)))
+                print()
+            continue
+        rows = _report_rows(payload)
+        rows = [row if isinstance(row, dict) else {"value": row} for row in rows]
+        print(format_table(rows, title=str(file)))
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro``; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"train": cmd_train, "annotate": cmd_annotate,
+                "evaluate": cmd_evaluate, "report": cmd_report}
+    try:
+        return handlers[args.command](args)
+    except (CheckpointError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -8,7 +8,7 @@ returns a configuration small enough for CI-style runs.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 __all__ = ["ModelConfig", "TrainConfig", "DataConfig", "ExperimentConfig"]
 
@@ -70,19 +70,43 @@ class ExperimentConfig:
     name: str = "circuitgps"
 
     def as_dict(self) -> dict:
+        """The configuration as a nested plain dict (checkpoint metadata)."""
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentConfig":
+        """Rebuild a configuration from :meth:`as_dict` output (checkpoint metadata).
+
+        Unknown keys are ignored so configurations saved by newer revisions
+        (with extra fields) still load.
+        """
+
+        def pick(dataclass_type, values):
+            known = {f.name for f in fields(dataclass_type)}
+            return dataclass_type(**{k: v for k, v in (values or {}).items() if k in known})
+
+        return cls(
+            model=pick(ModelConfig, payload.get("model")),
+            train=pick(TrainConfig, payload.get("train")),
+            data=pick(DataConfig, payload.get("data")),
+            name=payload.get("name", "circuitgps"),
+        )
+
     def with_model(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given :class:`ModelConfig` fields replaced."""
         return replace(self, model=replace(self.model, **kwargs))
 
     def with_train(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given :class:`TrainConfig` fields replaced."""
         return replace(self, train=replace(self.train, **kwargs))
 
     def with_data(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given :class:`DataConfig` fields replaced."""
         return replace(self, data=replace(self.data, **kwargs))
 
     @classmethod
     def default(cls) -> "ExperimentConfig":
+        """The paper's default configuration."""
         return cls()
 
     @classmethod

@@ -32,6 +32,7 @@ from ..graph import (
     compute_pe,
     compute_pe_batch,
     extract_enclosing_subgraph,
+    extract_enclosing_subgraphs,
 )
 from ..graph.hetero import CircuitGraph, Link
 from ..utils.rng import get_rng
@@ -73,11 +74,13 @@ class PECache:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     @staticmethod
     def key_for(subgraph: Subgraph, pe_kind: str, design: str | None = None) -> tuple:
+        """The cache key of a subgraph: anchors, link/PE kind, topology digest."""
         design = design if design is not None else subgraph.extras.get("design")
         a, b = subgraph.anchors
         return (
@@ -93,6 +96,7 @@ class PECache:
         )
 
     def get(self, key: tuple) -> np.ndarray | None:
+        """Look up an encoding; counts a hit or miss and refreshes LRU order."""
         value = self._store.get(key)
         if value is None:
             self.misses += 1
@@ -102,12 +106,14 @@ class PECache:
         return value
 
     def put(self, key: tuple, value: np.ndarray) -> None:
+        """Store an encoding, evicting least-recently-used entries over capacity."""
         self._store[key] = value
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
@@ -201,6 +207,8 @@ class SubgraphDataset:
         self._length = len(self._samples) if self._samples is not None else int(length)
         self._memo: dict[int, Subgraph] = {}
         self._memoize = memoize
+        self._block_factory: Callable[[list[int]], list[Subgraph]] | None = None
+        self._prefetch_parent: tuple["SubgraphDataset", np.ndarray] | None = None
         self.pe_kind = pe_kind
         self.design = design
         self.cache = cache
@@ -227,6 +235,12 @@ class SubgraphDataset:
         targets = None if targets is None else list(targets)
         design = design if design is not None else graph.name
 
+        def finish(subgraph: Subgraph, index: int) -> Subgraph:
+            if targets is not None:
+                subgraph.target = float(targets[index])
+            subgraph.extras["design"] = design
+            return subgraph
+
         def factory(index: int) -> Subgraph:
             link = links[index]
             rng = np.random.default_rng([seed, index])
@@ -234,13 +248,20 @@ class SubgraphDataset:
                 graph, link, hops=hops, max_nodes_per_hop=max_nodes_per_hop,
                 add_target_edge=add_target_edge, rng=rng,
             )
-            if targets is not None:
-                subgraph.target = float(targets[index])
-            subgraph.extras["design"] = design
-            return subgraph
+            return finish(subgraph, index)
+
+        def block_factory(indices: list[int]) -> list[Subgraph]:
+            rng = np.random.default_rng([seed, len(indices), int(indices[0])])
+            subgraphs = extract_enclosing_subgraphs(
+                graph, [links[i] for i in indices], hops=hops,
+                max_nodes_per_hop=max_nodes_per_hop,
+                add_target_edge=add_target_edge, rng=rng,
+            )
+            return [finish(s, i) for s, i in zip(subgraphs, indices)]
 
         dataset = cls(factory=factory, length=len(links), pe_kind=pe_kind,
                       design=design, cache=cache, memoize=memoize)
+        dataset._block_factory = block_factory
         dataset._labels = np.array([l.label for l in links], dtype=np.float64)
         if targets is not None:
             dataset._targets = np.array(targets, dtype=np.float64)
@@ -271,7 +292,9 @@ class SubgraphDataset:
         if self._samples is not None:
             sample = self._samples[index]
         elif index in self._memo:
-            sample = self._memo[index]
+            # Non-memoizing datasets hand prefetched samples out exactly once,
+            # so prefetch buffers never outlive the batch that consumes them.
+            sample = self._memo[index] if self._memoize else self._memo.pop(index)
         else:
             sample = self._factory(index)
             if self._memoize:
@@ -280,20 +303,55 @@ class SubgraphDataset:
             attach_pe(sample, self.pe_kind, design=self.design, cache=self.cache)
         return sample
 
+    def prefetch(self, indices) -> None:
+        """Extract (and PE-encode) a block of lazy samples in one batched pass.
+
+        Used by :class:`DataLoader` before collating each batch: link-backed
+        datasets extract all requested subgraphs with the batched CSR sampler
+        (:func:`repro.graph.extract_enclosing_subgraphs`) and encode the PE
+        cache misses together via :func:`attach_pe_batch`, instead of looping
+        per index.  Subset views forward to their parent; materialized
+        datasets and plain factories are a no-op, so calling this is always
+        safe.  Samples produced by the batched path are identical to the
+        per-index path except for the RNG stream used when hub-node
+        subsampling (``max_nodes_per_hop``) triggers.
+        """
+        if self._samples is not None:
+            return
+        if self._prefetch_parent is not None:
+            parent, mapping = self._prefetch_parent
+            parent.prefetch([int(mapping[int(i)]) for i in indices])
+            return
+        if self._block_factory is None:
+            return
+        todo = [int(i) for i in indices if int(i) not in self._memo]
+        if not todo:
+            return
+        blocks = self._block_factory(todo)
+        for index, sample in zip(todo, blocks):
+            self._memo[index] = sample
+        if self.pe_kind is not None:
+            pending = [s for s in blocks if s.pe is None]
+            if pending:
+                attach_pe_batch(pending, self.pe_kind, design=self.design, cache=self.cache)
+
     # ------------------------------------------------------------------ #
     # Labels / targets (no extraction required)
     # ------------------------------------------------------------------ #
     def labels(self) -> np.ndarray:
+        """Per-sample link labels (no subgraph extraction needed)."""
         if getattr(self, "_labels", None) is None:
             self._labels = np.array([s.label for s in self._materialized()], dtype=np.float64)
         return self._labels
 
     def targets(self) -> np.ndarray:
+        """Per-sample regression targets (no subgraph extraction needed)."""
         if getattr(self, "_targets", None) is None:
             self._targets = np.array([s.target for s in self._materialized()], dtype=np.float64)
         return self._targets
 
     def link_types(self) -> np.ndarray:
+        """Per-sample link-type codes (no subgraph extraction needed)."""
         if getattr(self, "_link_types", None) is None:
             self._link_types = np.array([s.link_type for s in self._materialized()],
                                         dtype=np.int64)
@@ -322,6 +380,7 @@ class SubgraphDataset:
 
             view = SubgraphDataset(factory=factory, length=len(indices), pe_kind=None,
                                    design=self.design, cache=self.cache, memoize=False)
+            view._prefetch_parent = (self, indices)
         for name in ("_labels", "_targets", "_link_types"):
             values = getattr(self, name, None)
             if values is not None:
@@ -354,6 +413,7 @@ class SubgraphDataset:
                                design=self.design, cache=self.cache)
 
     def to_list(self) -> list[Subgraph]:
+        """Materialize the dataset into a plain list of subgraphs."""
         return list(self)
 
     def __repr__(self) -> str:
@@ -405,4 +465,5 @@ class DataLoader:
             chunk = order[start:start + self.batch_size]
             if self.drop_last and len(chunk) < self.batch_size:
                 break
+            self.dataset.prefetch(chunk)
             yield self.collate_fn([self.dataset[int(i)] for i in chunk])

@@ -77,24 +77,29 @@ class CapacitanceNormalizer:
         self._log_max = np.log10(self.cap_max)
 
     def in_range(self, value: float) -> bool:
+        """Whether ``value`` lies inside the paper's kept capacitance range."""
         return self.cap_min <= value <= self.cap_max
 
     def normalize(self, value: float) -> float:
+        """Map a capacitance in farads to [0, 1] (log10 min-max)."""
         if value <= 0:
             return 0.0
         logged = np.clip(np.log10(value), self._log_min, self._log_max)
         return float((logged - self._log_min) / (self._log_max - self._log_min))
 
     def denormalize(self, value: float) -> float:
+        """Map a normalised value in [0, 1] back to farads."""
         if value <= 0:
             return 0.0
         logged = self._log_min + float(value) * (self._log_max - self._log_min)
         return float(10.0 ** logged)
 
     def normalize_array(self, values) -> np.ndarray:
+        """Vectorised :meth:`normalize` over an array of capacitances."""
         return np.array([self.normalize(v) for v in np.asarray(values).reshape(-1)])
 
     def denormalize_array(self, values) -> np.ndarray:
+        """Vectorised :meth:`denormalize` over an array of values."""
         return np.array([self.denormalize(v) for v in np.asarray(values).reshape(-1)])
 
 
@@ -107,6 +112,7 @@ class StatsNormalizer:
 
     @classmethod
     def fit(cls, stats_matrices: list[np.ndarray], eps: float = 1e-9) -> "StatsNormalizer":
+        """Fit per-column min/range over a list of ``X_C`` matrices."""
         stacked = np.concatenate(stats_matrices, axis=0)
         minimum = stacked.min(axis=0)
         value_range = stacked.max(axis=0) - minimum
@@ -114,6 +120,7 @@ class StatsNormalizer:
         return cls(minimum=minimum, value_range=value_range)
 
     def transform(self, stats: np.ndarray) -> np.ndarray:
+        """Min-max normalise a statistics matrix to [0, 1]."""
         return np.clip((stats - self.minimum) / self.value_range, 0.0, 1.0)
 
 

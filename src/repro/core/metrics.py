@@ -84,11 +84,13 @@ def roc_auc(scores, labels) -> float:
 # Regression
 # --------------------------------------------------------------------------- #
 def mae(pred, target) -> float:
+    """Mean absolute error."""
     pred, target = _as_arrays(pred, target)
     return float(np.abs(pred - target).mean())
 
 
 def rmse(pred, target) -> float:
+    """Root-mean-square error."""
     pred, target = _as_arrays(pred, target)
     return float(np.sqrt(((pred - target) ** 2).mean()))
 

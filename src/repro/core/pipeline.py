@@ -17,22 +17,34 @@ capacitances via :meth:`predict_couplings`.
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 
-from ..graph import Link
 from ..netlist import Circuit
-from ..nn import no_grad, stable_sigmoid
 from ..utils.logging import get_logger
-from ..utils.serialization import load_checkpoint, save_checkpoint
+from ..utils.serialization import (
+    CheckpointError,
+    checkpoint_schema,
+    load_checkpoint,
+    save_checkpoint,
+    validate_state_keys,
+)
 from .config import ExperimentConfig
-from .data import DataLoader, SubgraphDataset
 from .datasets import CapacitanceNormalizer, DesignData, load_design_suite
 from .finetune import FinetuneResult, evaluate_regression, finetune_regression
 from .pretrain import PretrainResult, build_model, evaluate_zero_shot_link, pretrain_link_model
 
-__all__ = ["CircuitGPSPipeline"]
+__all__ = ["CircuitGPSPipeline", "PIPELINE_SCHEMA", "PIPELINE_SCHEMA_VERSION",
+           "PIPELINE_ARTIFACT_NAME"]
 
 logger = get_logger("repro.pipeline")
+
+# Full-pipeline artifact format: bump the version whenever the key layout or
+# metadata contract changes, so stale artifacts fail fast with CheckpointError.
+PIPELINE_SCHEMA = "circuitgps-pipeline"
+PIPELINE_SCHEMA_VERSION = 1
+PIPELINE_ARTIFACT_NAME = "pipeline.npz"
 
 
 class CircuitGPSPipeline:
@@ -44,6 +56,8 @@ class CircuitGPSPipeline:
         self.pretrain_result: PretrainResult | None = None
         self.finetune_results: dict[tuple[str, str], FinetuneResult] = {}
         self.normalizer = CapacitanceNormalizer(self.config.data.cap_min, self.config.data.cap_max)
+        # Filled by load(): the (name, split) registry saved with the artifact.
+        self.design_registry: list[dict] = []
 
     # ------------------------------------------------------------------ #
     # Data
@@ -62,10 +76,12 @@ class CircuitGPSPipeline:
 
     @property
     def train_designs(self) -> list[DesignData]:
+        """Loaded designs with ``split == "train"``."""
         return [d for d in self.designs.values() if d.split == "train"]
 
     @property
     def test_designs(self) -> list[DesignData]:
+        """Loaded designs with ``split == "test"``."""
         return [d for d in self.designs.values() if d.split == "test"]
 
     def _design(self, name: str) -> DesignData:
@@ -121,98 +137,209 @@ class CircuitGPSPipeline:
     # ------------------------------------------------------------------ #
     def predict_couplings(self, circuit: Circuit, candidate_pairs: list[tuple[str, str]],
                           task: str = "edge_regression", mode: str = "all",
-                          rng=None) -> list[dict]:
+                          rng=None, batch_size: int | None = None) -> list[dict]:
         """Predict coupling existence and capacitance for candidate node pairs.
 
         ``candidate_pairs`` holds graph-node names: net names or pins written
         as ``"<device>:<terminal>"``.  Returns one record per pair with the
         predicted existence probability and (denormalised) capacitance.
+
+        Inference is delegated to :class:`~repro.core.serve.AnnotationEngine`
+        (batched sampler/loader path, positional encodings through the
+        process-wide PE cache, so repeated calls on the same circuit skip
+        recomputation); build an engine directly to annotate many netlists or
+        to emit annotated SPICE / JSON reports.  ``batch_size`` defaults to
+        one batch over all pairs; note that when hub-node subsampling
+        (``max_nodes_per_hop``) triggers, the sampled subgraphs — and hence
+        the predictions — depend on the chunking.
         """
-        from ..graph import netlist_to_graph
-        from ..graph.hetero import LINK_NET_NET, LINK_PIN_NET, LINK_PIN_PIN, NODE_NET
+        from .data import default_pe_cache
+        from .serve import AnnotationEngine
 
         if self.pretrain_result is None:
             raise RuntimeError("pretrain() must run before inference")
-        key = (task, mode)
-        if key not in self.finetune_results:
+        if (task, mode) not in self.finetune_results:
             self.finetune(mode=mode, task=task)
         if isinstance(rng, np.random.Generator):
             seed = int(rng.integers(2 ** 31))
         else:
             seed = int(rng) if rng is not None else 0
-
-        graph = netlist_to_graph(circuit if circuit.is_flat else circuit.flatten())
-        link_model = self.pretrain_result.model
-        reg_result = self.finetune_results[key]
-        reg_model = reg_result.model
-
-        links = []
-        for name_a, name_b in candidate_pairs:
-            if not (graph.has_node(name_a) and graph.has_node(name_b)):
-                raise KeyError(f"pair ({name_a!r}, {name_b!r}) not found in circuit graph")
-            a, b = graph.node_index(name_a), graph.node_index(name_b)
-            type_a, type_b = graph.node_types[a], graph.node_types[b]
-            nets = int(type_a == NODE_NET) + int(type_b == NODE_NET)
-            link_type = {2: LINK_NET_NET, 1: LINK_PIN_NET, 0: LINK_PIN_PIN}[nets]
-            links.append(Link(source=a, target=b, link_type=link_type, label=0.0,
-                              capacitance=0.0))
-
-        # Lazy dataset + loader: extraction is deterministic per candidate and
-        # positional encodings go through the process-wide PE cache, so
-        # repeated annotation calls on the same circuit skip recomputation.
-        dataset = SubgraphDataset.from_links(
-            graph, links, hops=self.config.data.hops,
-            max_nodes_per_hop=self.config.data.max_nodes_per_hop,
-            pe_kind=link_model.pe_kind, design=graph.name, seed=int(seed),
+        engine = AnnotationEngine(
+            self, task=task, mode=mode, cache=default_pe_cache(),
+            batch_size=batch_size if batch_size is not None else max(len(candidate_pairs), 1),
         )
-        loader = DataLoader(dataset, batch_size=max(len(links), 1), shuffle=False)
-
-        records = []
-        link_model.eval()
-        reg_model.eval()
-        with no_grad():
-            probs, caps = [], []
-            for batch in loader:
-                probs.append(stable_sigmoid(link_model(batch, task="link").data))
-                caps.append(reg_model(batch, task=task).data)
-            probs = np.concatenate(probs) if probs else np.zeros(0)
-            caps_norm = np.concatenate(caps) if caps else np.zeros(0)
-        for (name_a, name_b), prob, cap_norm in zip(candidate_pairs, probs, caps_norm):
-            records.append({
-                "pair": (name_a, name_b),
-                "coupling_probability": float(prob),
-                "capacitance_normalized": float(np.clip(cap_norm, 0.0, 1.0)),
-                "capacitance_farad": self.normalizer.denormalize(float(np.clip(cap_norm, 0.0, 1.0))),
-            })
-        return records
+        annotation = engine.annotate(circuit, pairs=candidate_pairs, seed=seed)
+        return annotation.records
 
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save(self, path) -> None:
-        """Save the pre-trained meta-learner (and its config) to ``path``."""
+    @staticmethod
+    def _artifact_path(path) -> pathlib.Path:
+        """Resolve checkpoint paths: a directory (or extension-less path) maps
+        to ``<dir>/pipeline.npz`` so CLI users can pass ``ckpt/`` around."""
+        path = pathlib.Path(path)
+        if path.is_dir() or path.suffix != ".npz":
+            return path / PIPELINE_ARTIFACT_NAME
+        return path
+
+    def save(self, path) -> "pathlib.Path":
+        """Save the full pipeline to one versioned ``.npz`` artifact.
+
+        The archive bundles the pre-trained backbone, every fine-tuned head in
+        :attr:`finetune_results`, the experiment configuration, the
+        capacitance normaliser and the design registry (names + splits), under
+        schema :data:`PIPELINE_SCHEMA` v:data:`PIPELINE_SCHEMA_VERSION`.
+        ``path`` may be a directory, in which case ``pipeline.npz`` is written
+        inside it.  Reload with :meth:`load` / :meth:`from_checkpoint`.
+        """
         if self.pretrain_result is None:
             raise RuntimeError("nothing to save; run pretrain() first")
+        path = self._artifact_path(path)
         model = self.pretrain_result.model
-        save_checkpoint(path, model.state_dict(),
-                        metadata={"model": model.config(), "experiment": self.config.as_dict()})
+        state = {f"pretrain.{key}": value for key, value in model.state_dict().items()}
+        finetunes = []
+        for (task, mode), result in sorted(self.finetune_results.items()):
+            prefix = f"finetune.{task}.{mode}."
+            state.update({prefix + key: value
+                          for key, value in result.model.state_dict().items()})
+            finetunes.append({"task": task, "mode": mode, "model": result.model.config()})
+        metadata = {
+            "experiment": self.config.as_dict(),
+            "model": model.config(),
+            "finetunes": finetunes,
+            "normalizer": {"cap_min": self.normalizer.cap_min,
+                           "cap_max": self.normalizer.cap_max},
+            # Re-saving a loaded pipeline (no designs built) keeps the
+            # registry that came with the artifact.
+            "designs": ([{"name": d.name, "split": d.split} for d in self.designs.values()]
+                        or list(self.design_registry)),
+        }
+        save_checkpoint(path, state, metadata,
+                        schema=PIPELINE_SCHEMA, version=PIPELINE_SCHEMA_VERSION)
+        logger.info("saved pipeline artifact to %s (%d finetune heads)",
+                    path, len(finetunes))
+        return path
 
     def load(self, path) -> PretrainResult:
-        """Load a meta-learner checkpoint saved by :meth:`save`."""
+        """Load a checkpoint saved by :meth:`save` into this pipeline.
+
+        Full-pipeline artifacts restore the backbone, all fine-tuned heads,
+        the configuration and the normaliser; legacy single-model checkpoints
+        (pre schema stamping) restore the backbone only.  Schema-version
+        mismatches and missing/unexpected weight keys raise
+        :class:`~repro.utils.serialization.CheckpointError` before any tensor
+        is copied.
+        """
+        path = self._artifact_path(path)
+        schema, _version = checkpoint_schema(path)
+        if schema == PIPELINE_SCHEMA:
+            return self._load_pipeline_artifact(path)
+        if schema is not None:
+            raise CheckpointError(
+                f"checkpoint {path} has schema {schema!r}, expected "
+                f"{PIPELINE_SCHEMA!r} (or a legacy schema-less model checkpoint)"
+            )
+        return self._load_legacy_model(path)
+
+    @classmethod
+    def from_checkpoint(cls, path) -> "CircuitGPSPipeline":
+        """Build a fresh pipeline from a saved artifact (serving entry point)."""
+        pipeline = cls()
+        pipeline.load(path)
+        return pipeline
+
+    @classmethod
+    def from_models(cls, config: ExperimentConfig, link_model,
+                    heads: dict[tuple[str, str], object] | None = None,
+                    normalizer: CapacitanceNormalizer | None = None) -> "CircuitGPSPipeline":
+        """Assemble a pipeline around already-built models without training.
+
+        Used by :meth:`load` and by serving benchmarks; ``heads`` maps
+        ``(task, mode)`` to a regression model.
+        """
+        from ..utils.logging import MetricLogger
+        from .trainer import Trainer
+
+        pipeline = cls(config)
+        if normalizer is not None:
+            pipeline.normalizer = normalizer
+        pipeline.pretrain_result = PretrainResult(
+            model=link_model, trainer=Trainer(link_model, task="link", config=config.train),
+            history=MetricLogger("loaded"), config=config,
+        )
+        for (task, mode), model in (heads or {}).items():
+            pipeline.finetune_results[(task, mode)] = FinetuneResult(
+                model=model, trainer=Trainer(model, task=task, config=config.train),
+                history=MetricLogger("loaded"), mode=mode, task=task,
+                normalizer=pipeline.normalizer, config=config,
+            )
+        return pipeline
+
+    def _load_pipeline_artifact(self, path) -> PretrainResult:
+        state, metadata = load_checkpoint(path, schema=PIPELINE_SCHEMA,
+                                          version=PIPELINE_SCHEMA_VERSION)
+        config = ExperimentConfig.from_dict(metadata.get("experiment", {}))
+        config = config.with_model(**metadata.get("model", {}))
+
+        link_model = build_model(config)
+        expected = {f"pretrain.{key}" for key in link_model.state_dict()}
+        finetunes = metadata.get("finetunes", [])
+        head_models: dict[tuple[str, str], object] = {}
+        for entry in finetunes:
+            head_config = config.with_model(**entry.get("model", {}))
+            head = build_model(head_config)
+            head_models[(entry["task"], entry["mode"])] = head
+            prefix = f"finetune.{entry['task']}.{entry['mode']}."
+            expected |= {prefix + key for key in head.state_dict()}
+        validate_state_keys(state, expected, context=f"pipeline checkpoint {path}")
+
+        link_model.load_state_dict(
+            {key[len("pretrain."):]: value for key, value in state.items()
+             if key.startswith("pretrain.")}
+        )
+        for (task, mode), head in head_models.items():
+            prefix = f"finetune.{task}.{mode}."
+            head.load_state_dict(
+                {key[len(prefix):]: value for key, value in state.items()
+                 if key.startswith(prefix)}
+            )
+
+        norm = metadata.get("normalizer", {})
+        normalizer = CapacitanceNormalizer(norm.get("cap_min", config.data.cap_min),
+                                           norm.get("cap_max", config.data.cap_max))
+        loaded = CircuitGPSPipeline.from_models(config, link_model, heads=head_models,
+                                                normalizer=normalizer)
+        self.config = loaded.config
+        self.normalizer = loaded.normalizer
+        self.pretrain_result = loaded.pretrain_result
+        self.finetune_results = loaded.finetune_results
+        self.design_registry = metadata.get("designs", [])
+        return self.pretrain_result
+
+    def _load_legacy_model(self, path) -> PretrainResult:
+        """Load a pre-schema single-model checkpoint (backbone only)."""
         state, metadata = load_checkpoint(path)
         model_cfg = metadata.get("model", {})
-        config = self.config.with_model(
-            dim=model_cfg.get("dim", self.config.model.dim),
-            num_layers=model_cfg.get("num_layers", self.config.model.num_layers),
-            pe_kind=model_cfg.get("pe_kind", self.config.model.pe_kind),
-            pe_hidden=model_cfg.get("pe_hidden", self.config.model.pe_hidden),
-            mpnn=model_cfg.get("mpnn", self.config.model.mpnn),
-            attention=model_cfg.get("attention", self.config.model.attention),
+        # Restore the training-time experiment config when the checkpoint
+        # carries one (sampling parameters, normaliser range); otherwise keep
+        # this pipeline's config as the base.
+        base = (ExperimentConfig.from_dict(metadata["experiment"])
+                if metadata.get("experiment") else self.config)
+        config = base.with_model(
+            dim=model_cfg.get("dim", base.model.dim),
+            num_layers=model_cfg.get("num_layers", base.model.num_layers),
+            pe_kind=model_cfg.get("pe_kind", base.model.pe_kind),
+            pe_hidden=model_cfg.get("pe_hidden", base.model.pe_hidden),
+            mpnn=model_cfg.get("mpnn", base.model.mpnn),
+            attention=model_cfg.get("attention", base.model.attention),
         )
         model = build_model(config)
+        validate_state_keys(state, set(model.state_dict()),
+                            context=f"model checkpoint {path}")
         model.load_state_dict(state)
-        from .trainer import Trainer
         from ..utils.logging import MetricLogger
+        from .trainer import Trainer
 
         trainer = Trainer(model, task="link", config=config.train)
         self.pretrain_result = PretrainResult(model=model, trainer=trainer,

@@ -38,6 +38,7 @@ class PretrainResult:
 
     @property
     def val_metrics(self) -> dict[str, float]:
+        """Validation metrics of the trained model (empty if no validation split)."""
         if not self.val_samples:
             return {}
         return self.trainer.evaluate(self.val_samples)

@@ -269,6 +269,7 @@ class BaselineTrainer:
 
     def fit(self, designs: list[DesignData], epochs: int | None = None,
             verbose: bool = False) -> MetricLogger:
+        """Train the baseline on whole-design batches; returns the loss history."""
         epochs = epochs if epochs is not None else self.config.epochs
         batches = [self._prepare(design) for design in designs]
         schedule = CosineSchedule(self.optimizer, total_steps=max(1, epochs * len(batches)),
@@ -324,6 +325,7 @@ class BaselineTrainer:
         return values, batch.labels, batch.targets
 
     def evaluate(self, design: DesignData) -> dict[str, float]:
+        """Task metrics (classification or regression) on one design."""
         scores, labels, targets = self.predict(design)
         if self.task == "link":
             return classification_metrics(scores, labels)

@@ -36,17 +36,21 @@ class SubgraphBatch:
 
     @property
     def num_graphs(self) -> int:
+        """Number of subgraphs collated into this batch."""
         return int(self.labels.shape[0])
 
     @property
     def num_nodes(self) -> int:
+        """Total node count across the batch."""
         return int(self.node_types.shape[0])
 
     @property
     def num_edges(self) -> int:
+        """Total edge count across the batch."""
         return int(self.edge_index.shape[1])
 
     def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
         if self.batch.shape[0] != self.num_nodes:
             raise ValueError("batch vector length mismatch")
         if self.edge_index.size and self.edge_index.max() >= self.num_nodes:

@@ -88,10 +88,12 @@ class CSRGraph:
     # ------------------------------------------------------------------ #
     @property
     def num_nodes(self) -> int:
+        """Number of nodes."""
         return int(self.indptr.shape[0]) - 1
 
     @property
     def num_edges(self) -> int:
+        """Number of undirected edges (each stored as two half-edges)."""
         return int(self.edge_index.shape[1])
 
     def neighbors(self, node: int) -> np.ndarray:
@@ -99,6 +101,7 @@ class CSRGraph:
         return self.indices[self.indptr[node]:self.indptr[node + 1]]
 
     def degrees(self) -> np.ndarray:
+        """Degree of every node as one array."""
         return np.diff(self.indptr)
 
     # ------------------------------------------------------------------ #

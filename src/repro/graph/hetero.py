@@ -64,6 +64,7 @@ class Link:
     capacitance: float = 0.0    # coupling capacitance in farads (0 for negatives)
 
     def key(self) -> tuple[int, int]:
+        """Canonical (low, high) endpoint tuple for dedup/set membership."""
         return (self.source, self.target) if self.source <= self.target else (self.target, self.source)
 
 
@@ -108,27 +109,33 @@ class CircuitGraph:
     # ------------------------------------------------------------------ #
     @property
     def num_nodes(self) -> int:
+        """Number of nodes."""
         return int(self.node_types.shape[0])
 
     @property
     def num_edges(self) -> int:
+        """Number of (undirected) structural edges."""
         return int(self.edge_index.shape[1])
 
     @property
     def num_links(self) -> int:
+        """Number of ground-truth coupling links."""
         return len(self.links)
 
     def node_index(self, name: str) -> int:
+        """Index of the node called ``name`` (KeyError if absent)."""
         if self._name_to_index is None:
             self._name_to_index = {n: i for i, n in enumerate(self.node_names)}
         return self._name_to_index[name]
 
     def has_node(self, name: str) -> bool:
+        """Whether a node called ``name`` exists."""
         if self._name_to_index is None:
             self._name_to_index = {n: i for i, n in enumerate(self.node_names)}
         return name in self._name_to_index
 
     def nodes_of_type(self, node_type: int) -> np.ndarray:
+        """Indices of all nodes of the given type code."""
         return np.nonzero(self.node_types == node_type)[0]
 
     def validate(self) -> None:
@@ -173,10 +180,12 @@ class CircuitGraph:
 
     @property
     def indptr(self) -> np.ndarray:
+        """CSR row-pointer array of the adjacency."""
         return self.csr.indptr
 
     @property
     def indices(self) -> np.ndarray:
+        """CSR column-index array of the adjacency."""
         return self.csr.indices
 
     def neighbors(self, node: int) -> np.ndarray:
@@ -184,6 +193,7 @@ class CircuitGraph:
         return self.csr.neighbors(node)
 
     def degree(self, node: int | None = None) -> np.ndarray | int:
+        """Degree of one node, or the full degree array when ``node`` is None."""
         degrees = self.csr.degrees()
         if node is None:
             return degrees

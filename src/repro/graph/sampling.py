@@ -59,13 +59,16 @@ class Subgraph:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the subgraph."""
         return int(self.node_ids.shape[0])
 
     @property
     def num_edges(self) -> int:
+        """Number of (undirected) subgraph edges."""
         return int(self.edge_index.shape[1])
 
     def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
         n = self.num_nodes
         if self.edge_index.size and (self.edge_index.min() < 0 or self.edge_index.max() >= n):
             raise ValueError("subgraph edge_index out of range")

@@ -33,6 +33,7 @@ class CircuitStats:
     num_pins: int
 
     def as_dict(self) -> dict:
+        """The statistics as a plain dict (report rows)."""
         return {
             "num_devices": self.num_devices,
             "num_nets": self.num_nets,
@@ -54,6 +55,7 @@ class Subckt:
     instances: list[SubcktInstance] = field(default_factory=list)
 
     def add(self, device: Device) -> Device:
+        """Add a primitive device or sub-circuit instance to this subckt."""
         if isinstance(device, SubcktInstance):
             self.instances.append(device)
         else:
@@ -83,6 +85,7 @@ class Circuit:
         return device
 
     def define_subckt(self, subckt: Subckt) -> Subckt:
+        """Register a sub-circuit definition (unique by name)."""
         if subckt.name in self.subckts:
             raise ValueError(f"subckt {subckt.name!r} already defined")
         self.subckts[subckt.name] = subckt
@@ -103,6 +106,7 @@ class Circuit:
 
     @property
     def is_flat(self) -> bool:
+        """Whether the circuit contains no sub-circuit instances."""
         return not self.instances
 
     def net_devices(self) -> dict[str, list[Device]]:
@@ -129,14 +133,17 @@ class Circuit:
 
     @staticmethod
     def is_ground(net: str) -> bool:
+        """Whether ``net`` is a ground name (0/gnd/vss...)."""
         return net.lower() in GROUND_NAMES
 
     @staticmethod
     def is_supply(net: str) -> bool:
+        """Whether ``net`` is a supply name (vdd/vcc...)."""
         return net.lower() in SUPPLY_NAMES
 
     @staticmethod
     def is_power_rail(net: str) -> bool:
+        """Whether ``net`` is ground or supply."""
         return Circuit.is_ground(net) or Circuit.is_supply(net)
 
     # ------------------------------------------------------------------ #

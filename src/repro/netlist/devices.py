@@ -50,10 +50,12 @@ class Device:
 
     @property
     def device_kind(self) -> str:
+        """Human-readable device kind (mosfet/resistor/...)."""
         raise NotImplementedError
 
     @property
     def type_code(self) -> int:
+        """Integer type code used by the graph features."""
         return DEVICE_TYPE_CODES[self.device_kind]
 
     @property
@@ -89,10 +91,12 @@ class Mosfet(Device):
 
     @property
     def device_kind(self) -> str:
+        """Human-readable device kind."""
         return self.polarity
 
     @property
     def gate_area(self) -> float:
+        """Total gate area W*L*NF*M in m^2."""
         return self.width * self.length * self.multiplier
 
 
@@ -113,6 +117,7 @@ class Resistor(Device):
 
     @property
     def device_kind(self) -> str:
+        """Human-readable device kind."""
         return "resistor"
 
 
@@ -134,6 +139,7 @@ class Capacitor(Device):
 
     @property
     def device_kind(self) -> str:
+        """Human-readable device kind."""
         return "capacitor"
 
 
@@ -152,6 +158,7 @@ class Diode(Device):
 
     @property
     def device_kind(self) -> str:
+        """Human-readable device kind."""
         return "diode"
 
 
@@ -165,4 +172,5 @@ class SubcktInstance(Device):
 
     @property
     def device_kind(self) -> str:
+        """Human-readable device kind."""
         return "subckt"

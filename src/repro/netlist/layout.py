@@ -68,9 +68,11 @@ class NetBox:
 
     @property
     def center(self) -> tuple[float, float]:
+        """Geometric center of the box."""
         return (0.5 * (self.x_min + self.x_max), 0.5 * (self.y_min + self.y_max))
 
     def expanded(self, margin: float) -> tuple[float, float, float, float]:
+        """The box grown by ``margin`` on every side."""
         return (self.x_min - margin, self.y_min - margin, self.x_max + margin, self.y_max + margin)
 
     def overlap_length(self, other: "NetBox") -> float:
@@ -99,10 +101,12 @@ class Placement:
     signal_nets: list[str] = field(default_factory=list)
 
     def pins_of_net(self, net: str) -> list[PinLocation]:
+        """All placed pin locations belonging to ``net``."""
         return [pin for pin in self.pin_locations.values() if pin.net == net]
 
     @property
     def area(self) -> float:
+        """Die area (width * height) in m^2."""
         tech = self.technology
         rows = int(np.ceil(len(self.device_positions) / max(1, self.grid_columns)))
         return self.grid_columns * tech.cell_width * rows * tech.cell_height

@@ -52,6 +52,7 @@ class CouplingCap:
         return f"{kinds[0]}-{kinds[1]}"
 
     def key(self) -> tuple:
+        """Canonical (low, high) net-pair key for dedup/lookups."""
         a = (self.kind_a, self.name_a)
         b = (self.kind_b, self.name_b)
         return tuple(sorted((a, b)))
@@ -68,13 +69,16 @@ class ParasiticReport:
 
     @property
     def total_coupling(self) -> float:
+        """Sum of all coupling capacitances in farads."""
         return float(sum(c.value for c in self.couplings))
 
     @property
     def total_ground(self) -> float:
+        """Sum of all ground capacitances in farads."""
         return float(sum(self.net_ground_caps.values()) + sum(self.pin_ground_caps.values()))
 
     def coupling_by_kind(self) -> dict[str, int]:
+        """Counts of couplings per (type_a, type_b) kind string."""
         counts: dict[str, int] = {}
         for coupling in self.couplings:
             counts[coupling.link_kind] = counts.get(coupling.link_kind, 0) + 1

@@ -95,4 +95,5 @@ def parse_spf(text: str) -> ParasiticReport:
 
 
 def parse_spf_file(path) -> ParasiticReport:
+    """Parse a simplified-SPF file from disk (see :func:`parse_spf`)."""
     return parse_spf(pathlib.Path(path).read_text())

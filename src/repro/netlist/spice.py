@@ -209,6 +209,7 @@ def parse_spice(text: str, name: str = "top") -> Circuit:
 
 
 def parse_spice_file(path, name: str | None = None) -> Circuit:
+    """Parse a SPICE/CDL netlist file from disk (see :func:`parse_spice`)."""
     path = pathlib.Path(path)
     return parse_spice(path.read_text(), name=name or path.stem)
 
@@ -261,8 +262,13 @@ def _device_card(device: Device) -> str:
     raise TypeError(f"cannot write device of type {type(device)!r}")
 
 
-def write_spice(circuit: Circuit) -> str:
-    """Serialise a :class:`Circuit` (including subckt definitions) to SPICE text."""
+def write_spice(circuit: Circuit, trailer_cards: list[str] | None = None) -> str:
+    """Serialise a :class:`Circuit` (including subckt definitions) to SPICE text.
+
+    ``trailer_cards`` are extra card or comment lines appended verbatim just
+    before the final ``.end`` — the annotation engine uses this to emit
+    predicted coupling capacitors after the circuit's own cards.
+    """
     lines = [f"* Netlist of {circuit.name} (generated by repro.netlist)"]
     for subckt in circuit.subckts.values():
         lines.append(f".subckt {subckt.name} {' '.join(subckt.ports)}")
@@ -275,5 +281,6 @@ def write_spice(circuit: Circuit) -> str:
         lines.append(_device_card(device))
     for instance in circuit.instances:
         lines.append(_device_card(instance))
+    lines.extend(trailer_cards or [])
     lines.append(".end")
     return "\n".join(lines) + "\n"

@@ -2,7 +2,15 @@
 
 from .logging import MetricLogger, get_logger
 from .rng import get_rng, seed_all, spawn_rng
-from .serialization import load_checkpoint, load_json, save_checkpoint, save_json
+from .serialization import (
+    CheckpointError,
+    checkpoint_schema,
+    load_checkpoint,
+    load_json,
+    save_checkpoint,
+    save_json,
+    validate_state_keys,
+)
 from .timing import Timer, timed
 
 __all__ = [
@@ -11,10 +19,13 @@ __all__ = [
     "get_rng",
     "seed_all",
     "spawn_rng",
+    "CheckpointError",
+    "checkpoint_schema",
     "load_checkpoint",
     "load_json",
     "save_checkpoint",
     "save_json",
+    "validate_state_keys",
     "Timer",
     "timed",
 ]

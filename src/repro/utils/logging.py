@@ -39,6 +39,7 @@ class MetricLogger:
         return row
 
     def last(self) -> dict:
+        """The most recently logged metrics row."""
         if not self.history:
             raise IndexError("no metrics logged yet")
         return self.history[-1]

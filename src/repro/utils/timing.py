@@ -17,10 +17,12 @@ class Timer:
         self._start = None
 
     def start(self) -> "Timer":
+        """Start (or restart) the stopwatch; returns self for chaining."""
         self._start = time.perf_counter()
         return self
 
     def stop(self) -> float:
+        """Stop the stopwatch and return (and accumulate) the elapsed seconds."""
         if self._start is None:
             raise RuntimeError("Timer.stop() called before start()")
         elapsed = time.perf_counter() - self._start
@@ -31,6 +33,7 @@ class Timer:
 
     @property
     def mean(self) -> float:
+        """Mean elapsed seconds per start/stop cycle."""
         return self.total / self.count if self.count else 0.0
 
     def __enter__(self) -> "Timer":

@@ -1,0 +1,109 @@
+"""Tests for the ``python -m repro`` command-line interface.
+
+The end-to-end test drives the real CLI in-process (no subprocess) with a
+deliberately tiny configuration: train -> save artifact -> annotate a bundled
+SPICE netlist -> render the JSON report.
+"""
+
+import json
+
+import pytest
+
+from repro.core.cli import build_parser, main
+from repro.netlist import ssram, write_spice
+
+
+def test_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    assert "train" in capsys.readouterr().out
+
+
+def test_subcommand_required():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_presets_cover_all_configs():
+    parser = build_parser()
+    args = parser.parse_args(["train", "--out", "x", "--config", "benchmark"])
+    assert args.config == "benchmark"
+
+
+def test_bad_pairs_argument_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["annotate", str(tmp_path), "whatever.sp", "--pairs", "only_one_name"])
+
+
+def test_missing_checkpoint_is_reported(tmp_path, capsys):
+    code = main(["annotate", str(tmp_path / "nope"), "whatever.sp"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_report_on_missing_path(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "missing")]) == 2
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def workdir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli_e2e")
+        netlist = root / "user_macro.sp"
+        design = ssram(rows=4, cols=4)
+        design.name = "USER_MACRO"
+        netlist.write_text(write_spice(design))
+        return root
+
+    @pytest.fixture(scope="class")
+    def artifact(self, workdir):
+        out = workdir / "ckpt"
+        code = main([
+            "train", "--config", "fast", "--out", str(out),
+            "--designs", "SSRAM", "TIMING_CONTROL",
+            "--epochs", "1", "--scale", "0.25", "--max-links", "40",
+            "--dim", "16", "--layers", "1", "--attention", "none",
+        ])
+        assert code == 0
+        assert (out / "pipeline.npz").exists()
+        return out
+
+    def test_annotate_and_report(self, workdir, artifact, capsys):
+        report = workdir / "report.json"
+        annotated = workdir / "annotated"
+        code = main([
+            "annotate", str(artifact), str(workdir / "user_macro.sp"),
+            "--pairs", "BL0,BL1", "--pairs", "BL0,BLB0",
+            "--json", str(report), "--annotated-out", str(annotated),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BL0" in out and "candidates" in out
+
+        payload = json.loads(report.read_text())
+        assert payload["num_candidates"] == 2
+        assert payload["records"][0]["pair"] == ["BL0", "BL1"]
+        annotated_netlist = annotated / "user_macro.annotated.sp"
+        assert annotated_netlist.exists()
+        assert annotated_netlist.read_text().rstrip().endswith(".end")
+
+        code = main(["report", str(report)])
+        assert code == 0
+        assert "BL0" in capsys.readouterr().out
+
+    def test_annotate_auto_candidates(self, workdir, artifact, capsys):
+        code = main([
+            "annotate", str(artifact), str(workdir / "user_macro.sp"),
+            "--max-candidates", "6", "--threshold", "0.0",
+        ])
+        assert code == 0
+        assert "out of 6 candidates" in capsys.readouterr().out
+
+    def test_annotate_unknown_pair_reports_error(self, workdir, artifact, capsys):
+        code = main([
+            "annotate", str(artifact), str(workdir / "user_macro.sp"),
+            "--pairs", "nope,also_nope",
+        ])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core import CircuitGPSPipeline, DesignData, ExperimentConfig
+from repro.core import (
+    PIPELINE_SCHEMA,
+    PIPELINE_SCHEMA_VERSION,
+    CircuitGPSPipeline,
+    DesignData,
+    ExperimentConfig,
+)
+from repro.netlist import parse_spice_file, ssram, write_spice
+from repro.utils import CheckpointError, checkpoint_schema, load_checkpoint, save_checkpoint
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +84,100 @@ class TestPipeline:
         pipe = CircuitGPSPipeline(tiny_config)
         with pytest.raises(RuntimeError):
             pipe.save(tmp_path / "x.npz")
+
+    def test_full_artifact_roundtrip_annotate(self, pipeline, tmp_path):
+        """Train -> save -> load in a fresh pipeline -> identical annotations.
+
+        The full-pipeline artifact must carry everything inference needs
+        (backbone, fine-tuned head, normaliser, config): the loaded pipeline
+        is never allowed to retrain, and its predictions on a bundled SPICE
+        netlist must match the original bit-for-bit.
+        """
+        # Ensure a fine-tuned head exists (module fixture trains lazily).
+        if ("edge_regression", "all") not in pipeline.finetune_results:
+            pipeline.finetune(mode="all")
+        netlist_path = tmp_path / "bundled_macro.sp"
+        macro = ssram(rows=4, cols=4)
+        macro.name = "BUNDLED_MACRO"
+        netlist_path.write_text(write_spice(macro))
+        circuit = parse_spice_file(netlist_path).flatten()
+        pairs = [("BL0", "BL1"), ("BL1", "BLB1"), ("WL0", "WL1")]
+
+        artifact_dir = tmp_path / "ckpt"
+        path = pipeline.save(artifact_dir)
+        assert path == artifact_dir / "pipeline.npz"
+        assert checkpoint_schema(path) == (PIPELINE_SCHEMA, PIPELINE_SCHEMA_VERSION)
+
+        loaded = CircuitGPSPipeline.from_checkpoint(artifact_dir)
+        assert set(loaded.finetune_results) >= {("edge_regression", "all")}
+        assert loaded.normalizer.cap_min == pipeline.normalizer.cap_min
+
+        original = pipeline.predict_couplings(circuit, pairs)
+        reloaded = loaded.predict_couplings(circuit, pairs)
+        assert len(reloaded) == len(pairs)
+        for a, b in zip(original, reloaded):
+            assert a["pair"] == b["pair"]
+            assert a["coupling_probability"] == pytest.approx(
+                b["coupling_probability"], rel=1e-12)
+            assert a["capacitance_farad"] == pytest.approx(
+                b["capacitance_farad"], rel=1e-12)
+        # Loading must not have scheduled any training.
+        assert loaded.pretrain_result.history.name == "loaded"
+
+    def test_load_rejects_tampered_artifact(self, pipeline, tmp_path):
+        path = pipeline.save(tmp_path / "artifact.npz")
+        state, metadata = load_checkpoint(path)
+        state["finetune.bogus.mode.weight"] = np.zeros(2)
+        bad = tmp_path / "tampered.npz"
+        save_checkpoint(bad, state, metadata, schema=PIPELINE_SCHEMA,
+                        version=PIPELINE_SCHEMA_VERSION)
+        with pytest.raises(CheckpointError, match="unexpected"):
+            CircuitGPSPipeline.from_checkpoint(bad)
+
+    def test_load_rejects_future_schema_version(self, pipeline, tmp_path):
+        path = pipeline.save(tmp_path / "artifact.npz")
+        state, metadata = load_checkpoint(path)
+        future = tmp_path / "future.npz"
+        save_checkpoint(future, state, metadata, schema=PIPELINE_SCHEMA,
+                        version=PIPELINE_SCHEMA_VERSION + 1)
+        with pytest.raises(CheckpointError, match="version"):
+            CircuitGPSPipeline.from_checkpoint(future)
+
+    def test_load_rejects_foreign_schema(self, pipeline, tmp_path):
+        path = pipeline.save(tmp_path / "artifact.npz")
+        state, metadata = load_checkpoint(path)
+        foreign = tmp_path / "foreign.npz"
+        save_checkpoint(foreign, state, metadata, schema="some-other-artifact")
+        with pytest.raises(CheckpointError, match="schema"):
+            CircuitGPSPipeline.from_checkpoint(foreign)
+
+    def test_legacy_model_checkpoint_still_loads(self, pipeline, tmp_path):
+        """Pre-schema checkpoints (bare backbone state) keep working."""
+        model = pipeline.pretrain_result.model
+        legacy = tmp_path / "legacy.npz"
+        save_checkpoint(legacy, model.state_dict(),
+                        metadata={"model": model.config(),
+                                  "experiment": pipeline.config.as_dict()})
+        fresh = CircuitGPSPipeline()  # default config: must be replaced by the stored one
+        fresh.load(legacy)
+        np.testing.assert_allclose(
+            fresh.pretrain_result.model.state_dict()["node_encoder.weight"],
+            model.state_dict()["node_encoder.weight"],
+        )
+        # The training-time experiment config (sampling parameters) is restored.
+        assert fresh.config.data == pipeline.config.data
+
+    def test_legacy_checkpoint_with_missing_keys_raises(self, pipeline, tmp_path):
+        model = pipeline.pretrain_result.model
+        state = dict(model.state_dict())
+        state.pop(sorted(state)[0])
+        legacy = tmp_path / "broken.npz"
+        save_checkpoint(legacy, state,
+                        metadata={"model": model.config(),
+                                  "experiment": pipeline.config.as_dict()})
+        fresh = CircuitGPSPipeline(pipeline.config)
+        with pytest.raises(CheckpointError, match="missing"):
+            fresh.load(legacy)
 
     def test_load_designs_builds_paper_suite(self, tiny_config):
         pipe = CircuitGPSPipeline(tiny_config.with_data(scale=0.25))

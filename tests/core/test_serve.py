@@ -1,0 +1,161 @@
+"""Tests for the batched annotation engine (repro.core.serve)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnnotationEngine,
+    CircuitGPSPipeline,
+    NetlistAnnotation,
+    PECache,
+    build_model,
+    default_candidate_pairs,
+)
+from repro.graph import netlist_to_graph
+from repro.netlist import parse_spice_file, ssram, write_spice
+
+
+@pytest.fixture(scope="module")
+def serving_pipeline(tiny_config):
+    """An untrained pipeline with link + regression models (weights irrelevant)."""
+    link_model = build_model(tiny_config)
+    reg_model = build_model(tiny_config)
+    return CircuitGPSPipeline.from_models(
+        tiny_config, link_model, heads={("edge_regression", "all"): reg_model}
+    )
+
+
+@pytest.fixture(scope="module")
+def user_circuit():
+    circuit = ssram(rows=4, cols=4)
+    circuit.name = "SERVE_TEST"
+    return circuit
+
+
+class TestEngineConstruction:
+    def test_requires_pretrained_model(self, tiny_config):
+        with pytest.raises(RuntimeError, match="pre-trained"):
+            AnnotationEngine(CircuitGPSPipeline(tiny_config))
+
+    def test_requires_matching_head(self, tiny_config):
+        pipeline = CircuitGPSPipeline.from_models(tiny_config, build_model(tiny_config))
+        with pytest.raises(RuntimeError, match="fine-tuned head"):
+            AnnotationEngine(pipeline)
+
+    def test_rejects_bad_batch_size(self, serving_pipeline):
+        with pytest.raises(ValueError):
+            AnnotationEngine(serving_pipeline, batch_size=0)
+
+
+class TestCandidateGeneration:
+    def test_skips_power_and_ground_nets(self, user_circuit):
+        graph = netlist_to_graph(user_circuit.flatten())
+        pairs = default_candidate_pairs(graph, max_candidates=50,
+                                        rng=np.random.default_rng(0))
+        flat_names = {name.lower() for pair in pairs for name in pair}
+        assert not flat_names & {"vdd", "vss", "gnd", "0"}
+
+    def test_respects_cap_and_determinism(self, user_circuit):
+        graph = netlist_to_graph(user_circuit.flatten())
+        pairs_a = default_candidate_pairs(graph, max_candidates=17,
+                                          rng=np.random.default_rng(3))
+        pairs_b = default_candidate_pairs(graph, max_candidates=17,
+                                          rng=np.random.default_rng(3))
+        assert len(pairs_a) == 17
+        assert pairs_a == pairs_b
+        assert all(a != b for a, b in pairs_a)
+
+
+class TestAnnotate:
+    def test_explicit_pairs_records(self, serving_pipeline, user_circuit):
+        engine = AnnotationEngine(serving_pipeline, batch_size=8)
+        pairs = [("BL0", "BL1"), ("BL0", "BLB0")]
+        annotation = engine.annotate(user_circuit, pairs=pairs)
+        assert isinstance(annotation, NetlistAnnotation)
+        assert annotation.num_candidates == 2
+        for record, pair in zip(annotation.records, pairs):
+            assert record["pair"] == pair
+            assert record["link_type"] == "net-net"
+            assert 0.0 <= record["coupling_probability"] <= 1.0
+            assert 0.0 <= record["capacitance_normalized"] <= 1.0
+            assert record["capacitance_farad"] >= 0.0
+            assert record["coupled"] == (record["coupling_probability"] >= 0.5)
+
+    def test_matches_pipeline_predict_couplings(self, serving_pipeline, user_circuit):
+        flat = user_circuit.flatten()
+        pairs = [("BL0", "BL1"), ("BL1", "BLB1"), ("WL0", "WL1")]
+        # Same batch size on both paths: chunking feeds the extraction RNG, so
+        # identical chunking guarantees identical subgraphs.
+        engine = AnnotationEngine(serving_pipeline, batch_size=16)
+        annotation = engine.annotate(flat, pairs=pairs, seed=0)
+        records = serving_pipeline.predict_couplings(flat, pairs, batch_size=16)
+        for engine_record, pipeline_record in zip(annotation.records, records):
+            assert engine_record["coupling_probability"] == pytest.approx(
+                pipeline_record["coupling_probability"])
+            assert engine_record["capacitance_farad"] == pytest.approx(
+                pipeline_record["capacitance_farad"])
+
+    def test_unknown_pair_raises(self, serving_pipeline, user_circuit):
+        engine = AnnotationEngine(serving_pipeline)
+        with pytest.raises(KeyError):
+            engine.annotate(user_circuit, pairs=[("nope", "also_nope")])
+
+    def test_annotate_from_file(self, serving_pipeline, user_circuit, tmp_path):
+        path = tmp_path / "macro.sp"
+        path.write_text(write_spice(user_circuit))
+        engine = AnnotationEngine(serving_pipeline, threshold=0.0)
+        annotation = engine.annotate(path, max_candidates=10)
+        assert annotation.num_candidates == 10
+        assert annotation.couplings == annotation.records  # threshold 0 keeps all
+        text = annotation.annotated_spice()
+        assert "CPRED0" in text
+        assert text.rstrip().endswith(".end")
+        # The annotated netlist must still be parseable SPICE.
+        reparsed = parse_spice_file(path)  # original parses
+        assert reparsed.nets
+        annotated_path = tmp_path / "macro.annotated.sp"
+        annotated_path.write_text(text)
+        assert parse_spice_file(annotated_path).nets
+
+    def test_bare_graph_has_no_netlist_to_annotate(self, serving_pipeline, user_circuit):
+        graph = netlist_to_graph(user_circuit.flatten())
+        engine = AnnotationEngine(serving_pipeline)
+        annotation = engine.annotate(graph, pairs=[("BL0", "BL1")])
+        with pytest.raises(RuntimeError, match="bare graph"):
+            annotation.annotated_spice()
+
+    def test_json_report_roundtrip(self, serving_pipeline, user_circuit, tmp_path):
+        engine = AnnotationEngine(serving_pipeline)
+        annotation = engine.annotate(user_circuit, pairs=[("BL0", "BL1")])
+        path = annotation.write_json(tmp_path / "report.json")
+        payload = json.loads(path.read_text())
+        assert payload["design"] == "SERVE_TEST"
+        assert payload["num_candidates"] == 1
+        assert payload["records"][0]["pair"] == ["BL0", "BL1"]
+
+    def test_repeat_annotation_shares_cache(self, serving_pipeline, user_circuit):
+        engine = AnnotationEngine(serving_pipeline, cache=PECache())
+        pairs = [("BL0", "BL1"), ("BL1", "BLB1")]
+        first = engine.annotate(user_circuit, pairs=pairs, seed=7)
+        misses = engine.cache.misses
+        second = engine.annotate(user_circuit, pairs=pairs, seed=7)
+        # The identical workload must be served from the shared PE cache.
+        assert engine.cache.misses == misses
+        assert engine.cache.hits >= len(pairs)
+        for a, b in zip(first.records, second.records):
+            assert a == b
+
+    def test_annotate_many_returns_one_report_per_netlist(self, serving_pipeline,
+                                                          user_circuit):
+        engine = AnnotationEngine(serving_pipeline)
+        pairs = [("BL0", "BL1")]
+        reports = engine.annotate_many([user_circuit, user_circuit],
+                                       pairs=[pairs, pairs], seed=3)
+        assert [r.num_candidates for r in reports] == [1, 1]
+
+    def test_annotate_many_misaligned_pairs_raises(self, serving_pipeline, user_circuit):
+        engine = AnnotationEngine(serving_pipeline)
+        with pytest.raises(ValueError, match="align"):
+            engine.annotate_many([user_circuit], pairs=[[("BL0", "BL1")], [("x", "y")]])

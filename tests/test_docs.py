@@ -1,0 +1,38 @@
+"""The committed API reference must match the code (docs satellite gate)."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", REPO_ROOT / "scripts" / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_api_docs_are_up_to_date():
+    generator = _load_generator()
+    rendered, _missing = generator.render()
+    committed = (REPO_ROOT / "docs" / "api.md").read_text()
+    assert rendered == committed, (
+        "docs/api.md is stale; regenerate with: python scripts/gen_api_docs.py"
+    )
+
+
+def test_exported_symbols_have_docstrings():
+    generator = _load_generator()
+    _rendered, missing = generator.render()
+    assert not missing, f"exported symbols without docstrings: {missing}"
+
+
+def test_architecture_doc_mentions_every_benchmark():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    for bench in sorted((REPO_ROOT / "benchmarks").glob("test_*.py")):
+        assert bench.name in text, (
+            f"docs/architecture.md does not map {bench.name} to a paper artefact"
+        )

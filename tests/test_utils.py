@@ -6,8 +6,10 @@ import numpy as np
 import pytest
 
 from repro.utils import (
+    CheckpointError,
     MetricLogger,
     Timer,
+    checkpoint_schema,
     get_logger,
     get_rng,
     load_checkpoint,
@@ -17,6 +19,7 @@ from repro.utils import (
     seed_all,
     spawn_rng,
     timed,
+    validate_state_keys,
 )
 
 
@@ -107,6 +110,55 @@ class TestSerialization:
         clone.load_state_dict(state)
         x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
         np.testing.assert_allclose(model(x).data, clone(x).data)
+
+
+class TestCheckpointValidation:
+    def test_schema_stamp_roundtrip(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"w": np.ones(2)},
+                               schema="demo", version=3)
+        assert checkpoint_schema(path) == ("demo", 3)
+        state, _ = load_checkpoint(path, schema="demo", version=3)
+        np.testing.assert_allclose(state["w"], np.ones(2))
+
+    def test_legacy_archive_has_no_schema(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"w": np.ones(2)})
+        assert checkpoint_schema(path) == (None, None)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"w": np.ones(2)}, schema="demo")
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(path, schema="other")
+
+    def test_legacy_archive_rejected_when_schema_required(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"w": np.ones(2)})
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(path, schema="demo")
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"w": np.ones(2)},
+                               schema="demo", version=1)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path, schema="demo", version=2)
+
+    def test_missing_and_unexpected_keys_raise(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"w": np.ones(2), "extra": np.ones(1)})
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path, expected_keys={"w", "b"})
+        message = str(excinfo.value)
+        assert "missing=['b']" in message and "unexpected=['extra']" in message
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_reserved_key_rejected_on_save(self, tmp_path):
+        with pytest.raises(CheckpointError, match="reserved"):
+            save_checkpoint(tmp_path / "m.npz", {"__metadata__": np.ones(1)})
+
+    def test_validate_state_keys_passes_on_exact_match(self):
+        validate_state_keys({"a": 1, "b": 2}, {"a", "b"})
+        with pytest.raises(CheckpointError):
+            validate_state_keys({"a": 1}, {"a", "b"})
 
 
 class TestTiming:
