@@ -77,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--attention", default=None,
                        choices=("transformer", "performer", "none"),
                        help="override the attention flavour")
+    train.add_argument("--workers", type=int, default=None,
+                       help="worker processes for data loading (0 = serial, "
+                            "-1 = auto, default: serial; results are identical "
+                            "for any worker count)")
     train.add_argument("--verbose", action="store_true", help="log per-epoch metrics")
 
     annotate = sub.add_parser("annotate",
@@ -96,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the structured report(s) as JSON")
     annotate.add_argument("--annotated-out", default=None, metavar="DIR",
                           help="write annotated netlists (<name>.annotated.sp) here")
+    annotate.add_argument("--workers", type=int, default=None,
+                          help="worker processes sharding the netlists (0 = serial, "
+                               "-1 = auto, default: serial; reports are identical "
+                               "for any worker count)")
     annotate.add_argument("--seed", type=int, default=0, help="candidate sampling seed")
 
     evaluate = sub.add_parser("evaluate",
@@ -119,6 +127,21 @@ def build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------------- #
 # Commands
 # --------------------------------------------------------------------------- #
+def _resolve_cli_workers(args) -> int | None:
+    """The effective ``--workers`` value.
+
+    ``None`` means the flag was not given (keep the config's default);
+    ``-1`` means auto (cpu-count capped); an explicit ``0`` forces serial
+    even over a config whose worker count is nonzero.
+    """
+    from .parallel import default_worker_count
+
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return None
+    return default_worker_count() if workers < 0 else int(workers)
+
+
 def _apply_overrides(config: ExperimentConfig, args) -> ExperimentConfig:
     train_overrides = {}
     if args.epochs is not None:
@@ -134,6 +157,10 @@ def _apply_overrides(config: ExperimentConfig, args) -> ExperimentConfig:
         data_overrides["max_links_per_design"] = args.max_links
     if args.seed is not None:
         data_overrides["seed"] = args.seed
+    workers = _resolve_cli_workers(args)
+    if workers is not None:
+        config = config.with_train(num_workers=workers)
+        data_overrides["num_workers"] = workers
     if data_overrides:
         config = config.with_data(**data_overrides)
     model_overrides = {}
@@ -192,34 +219,44 @@ def cmd_annotate(args) -> int:
     from .serve import AnnotationEngine
 
     pairs = _parse_pairs(args.pairs)
+    workers = _resolve_cli_workers(args)
     pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
     engine = AnnotationEngine(pipeline, batch_size=args.batch_size,
-                              threshold=args.threshold)
+                              threshold=args.threshold, workers=workers)
+    # Netlists are annotated in groups of one-per-worker so completed designs
+    # are printed (and their annotated netlists written) as the run
+    # progresses; a bad netlist mid-list aborts with exit code 2 without
+    # discarding the groups already emitted.  The per-design seed is the
+    # global position (seed + index), so the grouping never changes results.
+    group_size = max(1, engine.workers)
     reports = []
-    for index, netlist in enumerate(args.netlists):
+    for start in range(0, len(args.netlists), group_size):
+        group = args.netlists[start:start + group_size]
         try:
-            annotation = engine.annotate(netlist, pairs=pairs,
-                                         max_candidates=args.max_candidates,
-                                         seed=args.seed + index)
+            annotations = engine.annotate_many(
+                group, pairs=None if pairs is None else [pairs] * len(group),
+                max_candidates=args.max_candidates, seed=args.seed + start,
+            )
         except KeyError as exc:
             # Unknown candidate node names (AnnotationEngine.links_for_pairs).
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        reports.append(annotation)
-        rows = [_annotation_row(r) for r in annotation.records]
-        print(format_table(
-            rows,
-            title=f"{annotation.design}: {len(annotation.couplings)} predicted "
-                  f"coupling(s) out of {annotation.num_candidates} candidates "
-                  f"({annotation.elapsed_seconds * 1e3:.0f} ms)",
-        ))
-        print()
-        if args.annotated_out:
-            out_dir = pathlib.Path(args.annotated_out)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            out_path = out_dir / f"{pathlib.Path(netlist).stem}.annotated.sp"
-            out_path.write_text(annotation.annotated_spice())
-            print(f"Wrote annotated netlist to {out_path}")
+        reports.extend(annotations)
+        for netlist, annotation in zip(group, annotations):
+            rows = [_annotation_row(r) for r in annotation.records]
+            print(format_table(
+                rows,
+                title=f"{annotation.design}: {len(annotation.couplings)} predicted "
+                      f"coupling(s) out of {annotation.num_candidates} candidates "
+                      f"({annotation.elapsed_seconds * 1e3:.0f} ms)",
+            ))
+            print()
+            if args.annotated_out:
+                out_dir = pathlib.Path(args.annotated_out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                out_path = out_dir / f"{pathlib.Path(netlist).stem}.annotated.sp"
+                out_path.write_text(annotation.annotated_spice())
+                print(f"Wrote annotated netlist to {out_path}")
     if args.json:
         payload = reports[0].as_dict() if len(reports) == 1 else {
             "reports": [r.as_dict() for r in reports]

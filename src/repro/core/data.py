@@ -178,6 +178,70 @@ def attach_pe_batch(subgraphs: Sequence[Subgraph], pe_kind: str,
 
 
 # --------------------------------------------------------------------------- #
+# Samplers (picklable factories behind lazy datasets)
+# --------------------------------------------------------------------------- #
+class _LinkSampler:
+    """Picklable extraction recipe of a link-backed lazy dataset.
+
+    Holds the host graph plus the sampling parameters and reproduces the
+    per-index (and per-block) deterministic extraction that used to live in
+    ``from_links`` closures.  Being a plain object (not a closure) it survives
+    ``pickle``, which is what lets a lazy :class:`SubgraphDataset` be shipped
+    to ``spawn``-style workers or written to disk; ``fork`` workers inherit it
+    for free.
+    """
+
+    def __init__(self, graph: CircuitGraph, links: Sequence[Link], *, hops: int,
+                 max_nodes_per_hop: int | None, add_target_edge: bool,
+                 targets: Sequence[float] | None, design: str, seed: int):
+        self.graph = graph
+        self.links = list(links)
+        self.hops = hops
+        self.max_nodes_per_hop = max_nodes_per_hop
+        self.add_target_edge = add_target_edge
+        self.targets = None if targets is None else list(targets)
+        self.design = design
+        self.seed = int(seed)
+
+    def _finish(self, subgraph: Subgraph, index: int) -> Subgraph:
+        if self.targets is not None:
+            subgraph.target = float(self.targets[index])
+        subgraph.extras["design"] = self.design
+        return subgraph
+
+    def __call__(self, index: int) -> Subgraph:
+        link = self.links[index]
+        rng = np.random.default_rng([self.seed, index])
+        subgraph = extract_enclosing_subgraph(
+            self.graph, link, hops=self.hops,
+            max_nodes_per_hop=self.max_nodes_per_hop,
+            add_target_edge=self.add_target_edge, rng=rng,
+        )
+        return self._finish(subgraph, index)
+
+    def block(self, indices: list[int]) -> list[Subgraph]:
+        """Extract a block of indices with the batched CSR sampler."""
+        rng = np.random.default_rng([self.seed, len(indices), int(indices[0])])
+        subgraphs = extract_enclosing_subgraphs(
+            self.graph, [self.links[i] for i in indices], hops=self.hops,
+            max_nodes_per_hop=self.max_nodes_per_hop,
+            add_target_edge=self.add_target_edge, rng=rng,
+        )
+        return [self._finish(s, i) for s, i in zip(subgraphs, indices)]
+
+
+class _SubsetSampler:
+    """Picklable per-index factory of a :meth:`SubgraphDataset.subset` view."""
+
+    def __init__(self, parent: "SubgraphDataset", indices: np.ndarray):
+        self.parent = parent
+        self.indices = indices
+
+    def __call__(self, index: int) -> Subgraph:
+        return self.parent[int(self.indices[index])]
+
+
+# --------------------------------------------------------------------------- #
 # Dataset
 # --------------------------------------------------------------------------- #
 class SubgraphDataset:
@@ -230,38 +294,20 @@ class SubgraphDataset:
                    pe_kind: str | None = "dspd", design: str | None = None,
                    cache: PECache | None = None, seed: int = 0,
                    memoize: bool = False) -> "SubgraphDataset":
-        """Lazy dataset: one enclosing subgraph per link, extracted on demand."""
+        """Lazy dataset: one enclosing subgraph per link, extracted on demand.
+
+        The extraction recipe lives in a picklable :class:`_LinkSampler`
+        (not a closure), so the dataset itself can be pickled to workers.
+        """
         links = list(links)
-        targets = None if targets is None else list(targets)
         design = design if design is not None else graph.name
-
-        def finish(subgraph: Subgraph, index: int) -> Subgraph:
-            if targets is not None:
-                subgraph.target = float(targets[index])
-            subgraph.extras["design"] = design
-            return subgraph
-
-        def factory(index: int) -> Subgraph:
-            link = links[index]
-            rng = np.random.default_rng([seed, index])
-            subgraph = extract_enclosing_subgraph(
-                graph, link, hops=hops, max_nodes_per_hop=max_nodes_per_hop,
-                add_target_edge=add_target_edge, rng=rng,
-            )
-            return finish(subgraph, index)
-
-        def block_factory(indices: list[int]) -> list[Subgraph]:
-            rng = np.random.default_rng([seed, len(indices), int(indices[0])])
-            subgraphs = extract_enclosing_subgraphs(
-                graph, [links[i] for i in indices], hops=hops,
-                max_nodes_per_hop=max_nodes_per_hop,
-                add_target_edge=add_target_edge, rng=rng,
-            )
-            return [finish(s, i) for s, i in zip(subgraphs, indices)]
-
-        dataset = cls(factory=factory, length=len(links), pe_kind=pe_kind,
+        sampler = _LinkSampler(graph, links, hops=hops,
+                               max_nodes_per_hop=max_nodes_per_hop,
+                               add_target_edge=add_target_edge,
+                               targets=targets, design=design, seed=seed)
+        dataset = cls(factory=sampler, length=len(links), pe_kind=pe_kind,
                       design=design, cache=cache, memoize=memoize)
-        dataset._block_factory = block_factory
+        dataset._block_factory = sampler.block
         dataset._labels = np.array([l.label for l in links], dtype=np.float64)
         if targets is not None:
             dataset._targets = np.array(targets, dtype=np.float64)
@@ -335,6 +381,29 @@ class SubgraphDataset:
             if pending:
                 attach_pe_batch(pending, self.pe_kind, design=self.design, cache=self.cache)
 
+    def absorb(self, indices, samples: Sequence[Subgraph]) -> None:
+        """Store externally materialized samples in the memo (if memoizing).
+
+        Used by the multi-worker :class:`DataLoader` path: samples extracted
+        inside pool workers are written back into the parent's memo, so a
+        memoizing dataset behaves identically to the serial path on later
+        epochs (serial epoch 2 reuses epoch-1 samples; without the
+        write-back, workers would re-extract with epoch-2 chunk RNG and —
+        when hub subsampling triggers — produce different subgraphs).
+        Subset views forward to their parent; non-memoizing and materialized
+        datasets ignore the call.
+        """
+        if self._samples is not None:
+            return
+        if self._prefetch_parent is not None:
+            parent, mapping = self._prefetch_parent
+            parent.absorb([int(mapping[int(i)]) for i in indices], samples)
+            return
+        if not self._memoize:
+            return
+        for index, sample in zip(indices, samples):
+            self._memo[int(index)] = sample
+
     # ------------------------------------------------------------------ #
     # Labels / targets (no extraction required)
     # ------------------------------------------------------------------ #
@@ -373,12 +442,8 @@ class SubgraphDataset:
             view = SubgraphDataset([self._samples[i] for i in indices], pe_kind=self.pe_kind,
                                    design=self.design, cache=self.cache)
         else:
-            parent = self
-
-            def factory(index: int) -> Subgraph:
-                return parent[int(indices[index])]
-
-            view = SubgraphDataset(factory=factory, length=len(indices), pe_kind=None,
+            view = SubgraphDataset(factory=_SubsetSampler(self, indices),
+                                   length=len(indices), pe_kind=None,
                                    design=self.design, cache=self.cache, memoize=False)
             view._prefetch_parent = (self, indices)
         for name in ("_labels", "_targets", "_link_types"):
@@ -439,31 +504,72 @@ class DataLoader:
 
     Iterating yields :class:`SubgraphBatch` objects.  The loader keeps its own
     RNG, so each epoch (each ``__iter__`` call) sees a fresh permutation.
+
+    With ``num_workers > 0`` the per-batch extraction + PE encoding of *lazy*
+    datasets is sharded across a ``fork`` process pool
+    (:func:`repro.core.parallel.map_dataset_chunks`): the parent still draws
+    one permutation per epoch and fixes the batch composition, workers run
+    the identical per-chunk recipe, and batches are collated in epoch order —
+    so for a fixed seed every ``num_workers`` setting yields byte-identical
+    batches.  Materialized datasets (nothing left to compute) and platforms
+    without ``fork`` fall back to the serial path automatically.
     """
 
     def __init__(self, dataset, batch_size: int = 64, shuffle: bool = True,
                  rng=None, drop_last: bool = False,
-                 collate_fn: Callable[[list[Subgraph]], SubgraphBatch] = collate):
+                 collate_fn: Callable[[list[Subgraph]], SubgraphBatch] = collate,
+                 num_workers: int = 0):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
         self.dataset = as_dataset(dataset)
         self.batch_size = int(batch_size)
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.collate_fn = collate_fn
+        self.num_workers = int(num_workers)
         self._rng = get_rng(rng)
 
     def __len__(self) -> int:
         full, rest = divmod(len(self.dataset), self.batch_size)
         return full if (self.drop_last or rest == 0) else full + 1
 
-    def __iter__(self) -> Iterator[SubgraphBatch]:
+    def _chunks(self) -> list[np.ndarray]:
+        """The epoch's batch index chunks (one RNG draw when shuffling)."""
         order = np.arange(len(self.dataset))
         if self.shuffle:
             order = self._rng.permutation(order)
-        for start in range(0, len(order), self.batch_size):
-            chunk = order[start:start + self.batch_size]
-            if self.drop_last and len(chunk) < self.batch_size:
-                break
+        chunks = [order[start:start + self.batch_size]
+                  for start in range(0, len(order), self.batch_size)]
+        if self.drop_last and chunks and len(chunks[-1]) < self.batch_size:
+            chunks.pop()
+        return chunks
+
+    def _parallel_workers(self, num_chunks: int) -> int:
+        """Worker count for this epoch (0 = serial).
+
+        Parallel loading only pays off when there is lazy extraction work to
+        shard; materialized datasets would just pickle existing samples
+        through the pool.
+        """
+        from . import parallel
+
+        if self.dataset._samples is not None:
+            return 0
+        return parallel.resolve_workers(self.num_workers, num_chunks)
+
+    def __iter__(self) -> Iterator[SubgraphBatch]:
+        chunks = self._chunks()
+        if self._parallel_workers(len(chunks)):
+            from . import parallel
+
+            for chunk, samples in zip(chunks,
+                                      parallel.map_dataset_chunks(self.dataset, chunks,
+                                                                  workers=self.num_workers)):
+                self.dataset.absorb(chunk, samples)
+                yield self.collate_fn(samples)
+            return
+        for chunk in chunks:
             self.dataset.prefetch(chunk)
             yield self.collate_fn([self.dataset[int(i)] for i in chunk])

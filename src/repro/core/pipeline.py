@@ -137,7 +137,8 @@ class CircuitGPSPipeline:
     # ------------------------------------------------------------------ #
     def predict_couplings(self, circuit: Circuit, candidate_pairs: list[tuple[str, str]],
                           task: str = "edge_regression", mode: str = "all",
-                          rng=None, batch_size: int | None = None) -> list[dict]:
+                          rng=None, batch_size: int | None = None,
+                          workers: int | None = None) -> list[dict]:
         """Predict coupling existence and capacitance for candidate node pairs.
 
         ``candidate_pairs`` holds graph-node names: net names or pins written
@@ -151,7 +152,9 @@ class CircuitGPSPipeline:
         to emit annotated SPICE / JSON reports.  ``batch_size`` defaults to
         one batch over all pairs; note that when hub-node subsampling
         (``max_nodes_per_hop``) triggers, the sampled subgraphs — and hence
-        the predictions — depend on the chunking.
+        the predictions — depend on the chunking.  ``workers`` shards the
+        inference loader across processes (:mod:`repro.core.parallel`)
+        without changing the predictions.
         """
         from .data import default_pe_cache
         from .serve import AnnotationEngine
@@ -167,6 +170,7 @@ class CircuitGPSPipeline:
         engine = AnnotationEngine(
             self, task=task, mode=mode, cache=default_pe_cache(),
             batch_size=batch_size if batch_size is not None else max(len(candidate_pairs), 1),
+            workers=workers,
         )
         annotation = engine.annotate(circuit, pairs=candidate_pairs, seed=seed)
         return annotation.records

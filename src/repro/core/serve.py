@@ -51,6 +51,7 @@ from ..utils.logging import get_logger
 from ..utils.rng import get_rng
 from ..utils.serialization import save_json
 from .data import DataLoader, PECache, SubgraphDataset
+from .parallel import parallel_map
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .pipeline import CircuitGPSPipeline
@@ -182,7 +183,8 @@ class AnnotationEngine:
 
     def __init__(self, pipeline: "CircuitGPSPipeline", task: str = "edge_regression",
                  mode: str = "all", batch_size: int = 256,
-                 cache: PECache | None = None, threshold: float = 0.5):
+                 cache: PECache | None = None, threshold: float = 0.5,
+                 workers: int | None = None):
         if pipeline.pretrain_result is None:
             raise RuntimeError("pipeline has no pre-trained link model; "
                                "run pretrain() or load a checkpoint first")
@@ -200,6 +202,10 @@ class AnnotationEngine:
         self.mode = mode
         self.batch_size = int(batch_size)
         self.threshold = float(threshold)
+        # Default worker count for annotate_many / the inference loader; the
+        # experiment config's serving default applies when not given.
+        self.workers = int(workers if workers is not None
+                           else getattr(pipeline.config.data, "num_workers", 0))
         self.cache = cache if cache is not None else PECache()
         self.link_model = pipeline.pretrain_result.model
         self.reg_model = pipeline.finetune_results[key].model
@@ -249,7 +255,8 @@ class AnnotationEngine:
             pe_kind=self.link_model.pe_kind, design=graph.name,
             cache=self.cache, seed=int(seed),
         )
-        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=False)
+        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=False,
+                            num_workers=self.workers)
         self.link_model.eval()
         self.reg_model.eval()
         probs, caps = [], []
@@ -294,20 +301,38 @@ class AnnotationEngine:
                                  threshold=self.threshold, elapsed_seconds=elapsed,
                                  circuit=circuit)
 
+    def _annotate_task(self, task: tuple) -> NetlistAnnotation:
+        """Worker body of :meth:`annotate_many`: annotate one netlist."""
+        netlist, pairs, max_candidates, seed = task
+        return self.annotate(netlist, pairs=pairs, max_candidates=max_candidates,
+                             seed=seed)
+
     def annotate_many(self, netlists: Iterable, pairs=None, max_candidates: int = 200,
-                      seed: int = 0) -> list[NetlistAnnotation]:
-        """Annotate several netlists, sharing the PE cache across all of them.
+                      seed: int = 0, max_workers: int | None = None
+                      ) -> list[NetlistAnnotation]:
+        """Annotate several netlists, optionally sharded across worker processes.
 
         ``pairs`` may be ``None`` (auto candidates per netlist) or a sequence
         of per-netlist pair lists aligned with ``netlists``.
+
+        With ``max_workers`` (default: the engine's ``workers``) the designs
+        fan out across a ``fork`` process pool
+        (:func:`repro.core.parallel.parallel_map`): each worker inherits the
+        engine — models, config, PE cache snapshot — runs the identical
+        serial recipe with the identical per-design seed (``seed + i``), and
+        the merged reports come back in input order, so the records are
+        byte-identical to a serial run.  Only the serial path accumulates
+        cross-design PE-cache warmth in this process; workers warm private
+        copies instead.
         """
         netlists = list(netlists)
         if pairs is not None:
             pairs = list(pairs)
             if len(pairs) != len(netlists):
                 raise ValueError("pairs must align with netlists")
-        return [
-            self.annotate(netlist, pairs=None if pairs is None else pairs[i],
-                          max_candidates=max_candidates, seed=seed + i)
+        tasks = [
+            (netlist, None if pairs is None else pairs[i], max_candidates, seed + i)
             for i, netlist in enumerate(netlists)
         ]
+        workers = max_workers if max_workers is not None else self.workers
+        return parallel_map(self._annotate_task, tasks, workers=workers)

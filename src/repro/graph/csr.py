@@ -84,6 +84,25 @@ class CSRGraph:
                    edge_index=edge_index.reshape(2, -1), edge_types=edge_types)
 
     # ------------------------------------------------------------------ #
+    # Pickling (worker-process transport)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle only the defining edge list, not the derived adjacency.
+
+        ``indptr`` / ``indices`` / ``edge_ids`` are a deterministic function
+        of ``(num_nodes, edge_index)``, so dropping them roughly halves the
+        payload shipped to ``spawn``-style worker processes; the receiving
+        side rebuilds an identical adjacency in :meth:`__setstate__`.
+        """
+        return {"num_nodes": self.num_nodes, "edge_index": self.edge_index,
+                "edge_types": self.edge_types}
+
+    def __setstate__(self, state: dict) -> None:
+        rebuilt = CSRGraph.from_edges(state["num_nodes"], state["edge_index"],
+                                      state["edge_types"])
+        self.__dict__.update(rebuilt.__dict__)
+
+    # ------------------------------------------------------------------ #
     # Basic queries
     # ------------------------------------------------------------------ #
     @property

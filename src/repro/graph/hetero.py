@@ -104,6 +104,18 @@ class CircuitGraph:
     _csr: CSRGraph | None = None
     _name_to_index: dict | None = None
 
+    def __getstate__(self) -> dict:
+        """Pickle without the derived caches (CSR adjacency, name index).
+
+        Both are deterministic functions of the defining arrays and rebuild
+        lazily on first use, so worker processes receiving a pickled graph
+        get a smaller payload and identical behaviour.
+        """
+        state = dict(self.__dict__)
+        state["_csr"] = None
+        state["_name_to_index"] = None
+        return state
+
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #

@@ -17,6 +17,21 @@ from repro.netlist import (
 from repro.utils import seed_all
 
 
+def pytest_addoption(parser):
+    """``--update-golden`` refreshes the files under ``tests/golden/``."""
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden regression files with the current output "
+             "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should rewrite golden files instead of comparing."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(autouse=True)
 def _seed_everything():
     """Keep every test deterministic."""

@@ -107,3 +107,29 @@ class TestEndToEnd:
         ])
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+    def test_annotate_emits_completed_reports_before_failing(self, workdir, artifact,
+                                                             tmp_path, capsys):
+        """A bad netlist mid-list must not discard earlier designs' output."""
+        bad = tmp_path / "bad.sp"
+        bad.write_text("C0 other_a other_b 1f\n.end\n")
+        annotated = tmp_path / "annotated"
+        code = main([
+            "annotate", str(artifact),
+            str(workdir / "user_macro.sp"), str(bad),
+            "--pairs", "BL0,BL1", "--annotated-out", str(annotated),
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "BL0" in captured.out              # first design was printed...
+        assert "not found" in captured.err        # ...before the error surfaced
+        assert (annotated / "user_macro.annotated.sp").exists()
+
+    def test_annotate_multiple_netlists_with_workers(self, workdir, artifact, capsys):
+        code = main([
+            "annotate", str(artifact),
+            str(workdir / "user_macro.sp"), str(workdir / "user_macro.sp"),
+            "--pairs", "BL0,BL1", "--workers", "2",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.count("out of 1 candidates") == 2

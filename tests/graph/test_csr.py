@@ -59,6 +59,97 @@ def random_graph(num_nodes: int, num_edges: int, seed: int) -> CircuitGraph:
     )
 
 
+# --------------------------------------------------------------------------- #
+# Topology generators for the randomized parity sweep
+# --------------------------------------------------------------------------- #
+def _with_random_links(rng, num_nodes: int, edge_index: np.ndarray,
+                       name: str) -> CircuitGraph:
+    """Wrap an edge list as a CircuitGraph with random metadata and links."""
+    num_edges = edge_index.shape[1]
+    links = []
+    for _ in range(6):
+        a, b = rng.integers(0, num_nodes, size=2)
+        if a != b:
+            links.append(Link(int(a), int(b), link_type=int(rng.integers(2, 5)),
+                              capacitance=float(rng.random() * 1e-16)))
+    return CircuitGraph(
+        name=name,
+        node_types=rng.integers(0, 3, size=num_nodes),
+        node_names=[f"n{i}" for i in range(num_nodes)],
+        edge_index=edge_index,
+        edge_types=rng.integers(0, 2, size=num_edges),
+        node_stats=rng.random((num_nodes, 4)),
+        links=links,
+    )
+
+
+def chain_topology(seed: int) -> CircuitGraph:
+    """A simple path 0-1-...-n: every BFS layer has exactly one new node."""
+    rng = np.random.default_rng([100, seed])
+    n = int(rng.integers(8, 32))
+    edges = np.stack([np.arange(n - 1), np.arange(1, n)])
+    return _with_random_links(rng, n, edges, f"chain-{seed}")
+
+
+def star_topology(seed: int) -> CircuitGraph:
+    """A few hubs with many leaves: degree-skewed, diameter <= 4."""
+    rng = np.random.default_rng([200, seed])
+    hubs = int(rng.integers(1, 4))
+    leaves_per_hub = int(rng.integers(5, 20))
+    sources, targets = [], []
+    next_node = hubs
+    for hub in range(hubs):
+        for _ in range(leaves_per_hub):
+            sources.append(hub)
+            targets.append(next_node)
+            next_node += 1
+        if hub:  # connect the hubs into a chain so the graph has one core
+            sources.append(hub - 1)
+            targets.append(hub)
+    edges = np.array([sources, targets], dtype=np.int64)
+    return _with_random_links(rng, next_node, edges, f"star-{seed}")
+
+
+def disconnected_topology(seed: int) -> CircuitGraph:
+    """Several random components with no edges between them."""
+    rng = np.random.default_rng([300, seed])
+    sources, targets = [], []
+    offset = 0
+    for _ in range(int(rng.integers(2, 5))):
+        n = int(rng.integers(3, 12))
+        m = int(rng.integers(n - 1, 2 * n))
+        sources.extend((offset + rng.integers(0, n, size=m)).tolist())
+        targets.extend((offset + rng.integers(0, n, size=m)).tolist())
+        offset += n
+    edges = np.array([sources, targets], dtype=np.int64)
+    return _with_random_links(rng, offset, edges, f"disconnected-{seed}")
+
+
+def multigraph_topology(seed: int) -> CircuitGraph:
+    """A self-loop-free multigraph: parallel edges, no ``(i, i)`` edges."""
+    rng = np.random.default_rng([400, seed])
+    n = int(rng.integers(10, 40))
+    m = int(rng.integers(2 * n, 4 * n))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    collision = src == dst
+    dst[collision] = (dst[collision] + 1 + rng.integers(0, n - 1, size=int(collision.sum()))) % n
+    duplicates = rng.integers(0, m, size=m // 3)  # guarantee parallel edges
+    src = np.concatenate([src, src[duplicates]])
+    dst = np.concatenate([dst, dst[duplicates]])
+    assert not (src == dst).any()
+    edges = np.stack([src, dst])
+    return _with_random_links(rng, n, edges, f"multigraph-{seed}")
+
+
+TOPOLOGIES = {
+    "chain": chain_topology,
+    "star": star_topology,
+    "disconnected": disconnected_topology,
+    "multigraph": multigraph_topology,
+}
+
+
 class TestCSRGraph:
     def test_known_small_graph(self):
         # Path 0-1-2 plus edge 0-2: every node has degree 2.
@@ -245,6 +336,66 @@ class TestEncodingParity:
                                    legacy_dspd_encoding(subgraph))
         np.testing.assert_allclose(drnl_encoding(subgraph),
                                    legacy_drnl_encoding(subgraph))
+
+
+class TestTopologySweepParity:
+    """Randomized CSR-vs-legacy sweep: 20 seeded graphs per topology family.
+
+    Chains exercise deep BFS layering, stars exercise degree skew and the
+    hub-subsampling caps, disconnected graphs exercise unreachable-node
+    bucketing, and self-loop-free multigraphs exercise parallel-edge
+    handling — each against the pure-Python legacy oracle.
+    """
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_extraction_and_encodings_match_legacy(self, topology, seed):
+        graph = TOPOLOGIES[topology](seed)
+        assert graph.links, f"{topology}-{seed} generated no links"
+        for link in graph.links[:3]:
+            new = extract_enclosing_subgraph(graph, link, hops=2)
+            old = legacy_extract_enclosing_subgraph(graph, link, hops=2)
+            np.testing.assert_array_equal(new.node_ids, old.node_ids)
+            np.testing.assert_array_equal(new.edge_index, old.edge_index)
+            np.testing.assert_array_equal(new.edge_types, old.edge_types)
+            np.testing.assert_array_equal(new.node_types, old.node_types)
+            assert new.anchors == old.anchors
+            np.testing.assert_allclose(dspd_encoding(new), legacy_dspd_encoding(old))
+            np.testing.assert_allclose(drnl_encoding(new), legacy_drnl_encoding(old))
+
+    @pytest.mark.parametrize("seed", range(0, 20, 4))
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_batched_extraction_matches_legacy(self, topology, seed):
+        graph = TOPOLOGIES[topology](seed)
+        batched = extract_enclosing_subgraphs(graph, graph.links, hops=1,
+                                              add_target_edge=False)
+        for link, new in zip(graph.links, batched):
+            old = legacy_extract_enclosing_subgraph(graph, link, hops=1,
+                                                    add_target_edge=False)
+            np.testing.assert_array_equal(new.node_ids, old.node_ids)
+            np.testing.assert_array_equal(new.edge_index, old.edge_index)
+            np.testing.assert_array_equal(new.edge_types, old.edge_types)
+
+    @pytest.mark.parametrize("seed", range(0, 20, 4))
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_bfs_distances_match_dict_bfs(self, topology, seed):
+        graph = TOPOLOGIES[topology](seed)
+        csr = graph.csr
+        topology_index = sorted(TOPOLOGIES).index(topology)
+        source = int(np.random.default_rng([topology_index, seed]).integers(csr.num_nodes))
+        distances = csr.bfs_distances(source, unreachable=-1)
+        ref = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for neighbour in csr.neighbors(node):
+                    if int(neighbour) not in ref:
+                        ref[int(neighbour)] = ref[node] + 1
+                        nxt.append(int(neighbour))
+            frontier = nxt
+        for node in range(csr.num_nodes):
+            assert distances[node] == ref.get(node, -1)
 
 
 class TestNegativeSamplingParity:

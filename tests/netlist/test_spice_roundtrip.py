@@ -1,0 +1,184 @@
+"""Property-based SPICE roundtrip tests (seeded random trials, stdlib only).
+
+Property: for any circuit the generators below can produce,
+``parse_spice(write_spice(circuit))`` must describe the *same* circuit —
+same flattened devices (names, terminals, parameters up to the 6-significant-
+digit SI formatting), and the identical heterogeneous graph
+(:func:`netlist_to_graph`): node names, node types and edge lists, byte for
+byte.
+
+The random generator draws hierarchical circuits — MOS/R/C/D primitives,
+sub-circuit definitions with 1-4 ports, nested instances, power-rail
+connections — from a seeded ``numpy`` RNG, so the 50 trials are fully
+deterministic and a failure reproduces from its seed alone (no new
+dependencies, unlike a hypothesis-based harness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import netlist_to_graph
+from repro.netlist import Circuit, parse_spice, write_spice
+from repro.netlist.circuit import Subckt
+from repro.netlist.devices import Capacitor, Diode, Mosfet, Resistor, SubcktInstance
+from repro.netlist.spice import format_si_value, parse_si_value
+
+NUM_TRIALS = 50
+POWER_NETS = ["VDD", "VSS"]
+
+
+# --------------------------------------------------------------------------- #
+# Random circuit generation
+# --------------------------------------------------------------------------- #
+def _random_device(rng: np.random.Generator, index: int, nets: list[str]):
+    """One random primitive with nets drawn (with replacement) from ``nets``."""
+
+    def net() -> str:
+        return nets[int(rng.integers(len(nets)))]
+
+    kind = int(rng.integers(4))
+    if kind == 0:
+        return Mosfet(
+            name=f"M{index}",
+            terminals={"D": net(), "G": net(), "S": net(), "B": net()},
+            polarity="pmos" if rng.random() < 0.5 else "nmos",
+            width=float(10 ** rng.uniform(-8, -6)),
+            length=float(10 ** rng.uniform(-8, -7)),
+            multiplier=int(rng.integers(1, 4)),
+            fingers=int(rng.integers(1, 5)),
+        )
+    if kind == 1:
+        return Resistor(
+            name=f"R{index}",
+            terminals={"P": net(), "N": net()},
+            resistance=float(10 ** rng.uniform(1, 6)),
+            width=float(10 ** rng.uniform(-7, -6)),
+            length=float(10 ** rng.uniform(-6, -5)),
+            multiplier=int(rng.integers(1, 3)),
+        )
+    if kind == 2:
+        return Capacitor(
+            name=f"C{index}",
+            terminals={"P": net(), "N": net()},
+            capacitance=float(10 ** rng.uniform(-16, -12)),
+            width=float(10 ** rng.uniform(-7, -6)),
+            length=float(10 ** rng.uniform(-6, -5)),
+            fingers=int(rng.integers(1, 6)),
+            multiplier=int(rng.integers(1, 3)),
+        )
+    return Diode(
+        name=f"D{index}",
+        terminals={"P": net(), "N": net()},
+        area=float(10 ** rng.uniform(-13, -11)),
+        multiplier=int(rng.integers(1, 3)),
+    )
+
+
+def random_circuit(seed: int) -> Circuit:
+    """A random hierarchical circuit: primitives + subckts + nested instances."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(f"RANDOM_{seed}")
+
+    subckt_names: list[str] = []
+    for cell_index in range(int(rng.integers(0, 4))):
+        ports = [f"p{i}" for i in range(int(rng.integers(1, 5)))]
+        internal = [f"int{i}" for i in range(int(rng.integers(0, 4)))]
+        cell = Subckt(name=f"CELL{cell_index}", ports=list(ports))
+        cell_nets = ports + internal + POWER_NETS
+        for device_index in range(int(rng.integers(1, 6))):
+            cell.add(_random_device(rng, device_index, cell_nets))
+        # Possibly instantiate an earlier cell (no cycles by construction).
+        if subckt_names and rng.random() < 0.5:
+            child = subckt_names[int(rng.integers(len(subckt_names)))]
+            child_ports = circuit.subckts[child].ports
+            cell.add(SubcktInstance(
+                name=f"X{device_index}_{cell_index}", terminals={},
+                subckt_name=child,
+                connections=[cell_nets[int(rng.integers(len(cell_nets)))]
+                             for _ in child_ports],
+            ))
+        circuit.define_subckt(cell)
+        subckt_names.append(cell.name)
+
+    top_nets = [f"net{i}" for i in range(int(rng.integers(3, 10)))] + POWER_NETS
+    for device_index in range(int(rng.integers(2, 9))):
+        circuit.add(_random_device(rng, device_index, top_nets))
+    for instance_index in range(int(rng.integers(0, len(subckt_names) + 1))):
+        cell = subckt_names[int(rng.integers(len(subckt_names)))]
+        circuit.add(SubcktInstance(
+            name=f"XTOP{instance_index}", terminals={}, subckt_name=cell,
+            connections=[top_nets[int(rng.integers(len(top_nets)))]
+                         for _ in circuit.subckts[cell].ports],
+        ))
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# Equality helpers
+# --------------------------------------------------------------------------- #
+def _numeric_fields(device) -> dict[str, float]:
+    skip = {"name", "terminals", "polarity", "subckt_name", "connections"}
+    return {key: value for key, value in vars(device).items()
+            if key not in skip and isinstance(value, (int, float))}
+
+
+def assert_flat_circuits_equal(original: Circuit, parsed: Circuit) -> None:
+    flat_a, flat_b = original.flatten(), parsed.flatten()
+    assert len(flat_a.devices) == len(flat_b.devices)
+    assert flat_a.nets == flat_b.nets
+    for dev_a, dev_b in zip(flat_a.devices, flat_b.devices):
+        assert dev_a.name == dev_b.name
+        assert type(dev_a) is type(dev_b)
+        assert dev_a.terminals == dev_b.terminals
+        if isinstance(dev_a, Mosfet):
+            assert dev_a.polarity == dev_b.polarity
+        for field, value in _numeric_fields(dev_a).items():
+            assert getattr(dev_b, field) == pytest.approx(value, rel=1e-5), (
+                f"{dev_a.name}.{field}: {value} != {getattr(dev_b, field)}"
+            )
+
+
+def assert_graphs_identical(original: Circuit, parsed: Circuit) -> None:
+    graph_a = netlist_to_graph(original, with_stats=True)
+    parsed.name = original.name  # parse_spice cannot recover the title comment
+    graph_b = netlist_to_graph(parsed, with_stats=True)
+    assert graph_a.node_names == graph_b.node_names
+    np.testing.assert_array_equal(graph_a.node_types, graph_b.node_types)
+    np.testing.assert_array_equal(graph_a.edge_index, graph_b.edge_index)
+    np.testing.assert_array_equal(graph_a.edge_types, graph_b.edge_types)
+    # X_C statistics depend on device parameters, which roundtrip through the
+    # 6-significant-digit SI formatting — equal to float precision, not bytes.
+    np.testing.assert_allclose(graph_a.node_stats, graph_b.node_stats, rtol=1e-4)
+
+
+# --------------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(NUM_TRIALS))
+def test_write_parse_roundtrip_preserves_circuit_and_graph(seed):
+    circuit = random_circuit(seed)
+    parsed = parse_spice(write_spice(circuit))
+    assert set(parsed.subckts) == set(circuit.subckts)
+    assert_flat_circuits_equal(circuit, parsed)
+    assert_graphs_identical(circuit, parsed)
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_TRIALS, 7))
+def test_second_roundtrip_is_a_fixed_point(seed):
+    """write -> parse -> write must be byte-stable (canonical form)."""
+    circuit = random_circuit(seed)
+    parsed = parse_spice(write_spice(circuit))
+    text_once = write_spice(parsed)
+    text_twice = write_spice(parse_spice(text_once))
+    assert text_once == text_twice
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_TRIALS, 5))
+def test_si_value_roundtrip(seed):
+    """format_si_value -> parse_si_value is the identity up to 6 digits."""
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        value = float(10 ** rng.uniform(-18, 12)) * (1 if rng.random() < 0.5 else -1)
+        assert parse_si_value(format_si_value(value)) == pytest.approx(value, rel=1e-5)

@@ -1,0 +1,138 @@
+"""Golden-file regression tests for the CLI ``annotate`` / ``report`` output.
+
+The committed files under ``tests/golden/`` pin the *exact* serving output of
+a deterministic workload: a tiny untrained-but-seeded pipeline artifact
+annotating a fixed SSRAM netlist.  Any unintended change to candidate
+generation, inference, report schema or table rendering shows up as a diff
+against these files.
+
+Volatile content is normalised before comparison: timings are zeroed and
+floats are rounded to 6 significant digits (the artifact's forward pass is
+deterministic per platform; the rounding absorbs BLAS last-ulp differences
+across machines).
+
+To refresh after an *intended* output change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import CircuitGPSPipeline, ExperimentConfig, build_model
+from repro.core.cli import main
+from repro.netlist import ssram, write_spice
+from repro.utils import seed_all
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+ANNOTATION_GOLDEN = GOLDEN_DIR / "annotate_report.json"
+TABLE_GOLDEN = GOLDEN_DIR / "report_table.txt"
+
+PAIRS_ARGS = ["--pairs", "BL0,BL1", "--pairs", "BL0,BLB0", "--pairs", "WL0,WL1"]
+
+
+# --------------------------------------------------------------------------- #
+# Normalisation / comparison helpers
+# --------------------------------------------------------------------------- #
+def _round_floats(value):
+    """Round every float to 6 significant digits, recursively."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.6g}")
+    if isinstance(value, dict):
+        return {key: 0.0 if key == "elapsed_seconds" else _round_floats(item)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(item) for item in value]
+    return value
+
+
+def _normalized_json(payload: dict) -> str:
+    return json.dumps(_round_floats(payload), indent=2, sort_keys=True) + "\n"
+
+
+def _check_golden(path: pathlib.Path, actual: str, update: bool) -> None:
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual)
+        return
+    assert path.exists(), (
+        f"golden file {path} is missing; create it with --update-golden"
+    )
+    expected = path.read_text()
+    assert actual == expected, (
+        f"output differs from golden file {path.name}; if the change is "
+        "intended, refresh with: pytest tests/test_golden.py --update-golden"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic serving workload
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    """A saved deterministic artifact plus the netlist it annotates."""
+    root = tmp_path_factory.mktemp("golden_cli")
+    seed_all(0)
+    config = (
+        ExperimentConfig.fast()
+        .with_model(dim=16, num_layers=1, pe_hidden=4, dropout=0.0, attention="none")
+        .with_data(max_nodes_per_hop=None)  # no hub subsampling: RNG-free inference
+    )
+    pipeline = CircuitGPSPipeline.from_models(
+        config,
+        build_model(config, rng=np.random.default_rng(0)),
+        heads={("edge_regression", "all"): build_model(config, rng=np.random.default_rng(1))},
+    )
+    pipeline.save(root / "ckpt")
+
+    circuit = ssram(rows=4, cols=4)
+    circuit.name = "GOLDEN_MACRO"
+    netlist = root / "golden_macro.sp"
+    netlist.write_text(write_spice(circuit))
+    return root
+
+
+def _annotate_json(workdir, tmp_path, extra_args: list[str]) -> dict:
+    out = tmp_path / "report.json"
+    code = main(["annotate", str(workdir / "ckpt"), str(workdir / "golden_macro.sp"),
+                 *PAIRS_ARGS, "--threshold", "0.25", "--json", str(out), *extra_args])
+    assert code == 0
+    return json.loads(out.read_text())
+
+
+# --------------------------------------------------------------------------- #
+# Golden tests
+# --------------------------------------------------------------------------- #
+def test_annotate_json_matches_golden(workdir, tmp_path, update_golden, capsys):
+    payload = _annotate_json(workdir, tmp_path, [])
+    capsys.readouterr()  # swallow the table printout
+    _check_golden(ANNOTATION_GOLDEN, _normalized_json(payload), update_golden)
+
+
+def test_annotate_json_with_workers_matches_same_golden(workdir, tmp_path, capsys):
+    """The golden file also pins the determinism contract: workers change nothing."""
+    payload = _annotate_json(workdir, tmp_path, ["--workers", "2"])
+    capsys.readouterr()
+    assert _normalized_json(payload) == ANNOTATION_GOLDEN.read_text()
+
+
+def test_report_table_matches_golden(update_golden, capsys):
+    """``repro report`` rendering of the committed annotation JSON is pinned."""
+    code = main(["report", str(ANNOTATION_GOLDEN)])
+    assert code == 0
+    out = capsys.readouterr().out
+    # The title embeds the (machine-dependent) path that was passed in.
+    out = out.replace(str(ANNOTATION_GOLDEN), "<ANNOTATION_JSON>")
+    _check_golden(TABLE_GOLDEN, out, update_golden)
+
+
+def test_golden_files_are_committed():
+    """Fail loudly (not via fixture skips) if the goldens ever go missing."""
+    assert ANNOTATION_GOLDEN.exists() and TABLE_GOLDEN.exists()
