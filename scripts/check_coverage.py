@@ -1,15 +1,19 @@
 #!/usr/bin/env python
-"""Line-coverage gate for ``src/repro/core`` (the serving/training layer).
+"""Line-coverage gates for the hot layers of the code base.
 
 Runs the tier-1 test suite and fails (exit code 1) when the line coverage of
-``src/repro/core`` drops below the threshold (default 85%).
+any gated package drops below its threshold.  Default gates:
+
+* ``src/repro/core`` >= 85% (the serving/training layer),
+* ``src/repro/nn``   >= 80% (the autograd/segment-ops model core).
 
 Two measurement backends:
 
 * **coverage.py** (preferred, used in CI): delegated via subprocesses so the
   ``[tool.coverage.*]`` configuration in ``pyproject.toml`` applies —
   including multiprocessing concurrency, so lines that only execute inside
-  ``repro.core.parallel`` fork workers are credited.
+  ``repro.core.parallel`` fork workers are credited.  One ``coverage report``
+  run per gate applies its per-package threshold.
 * **stdlib fallback**: when ``coverage`` is not installed (this repo adds no
   hard dependencies beyond numpy), a ``sys.settrace``-based collector runs
   pytest in-process and compares executed lines against the executable lines
@@ -18,7 +22,7 @@ Two measurement backends:
 
 Usage::
 
-    python scripts/check_coverage.py [--fail-under PCT]
+    python scripts/check_coverage.py [--gate PATH=PCT ...]
 """
 
 from __future__ import annotations
@@ -32,13 +36,20 @@ import types
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
-TARGET = SRC / "repro" / "core"
+DEFAULT_GATES = (("src/repro/core", 85.0), ("src/repro/nn", 80.0))
+
+
+def parse_gate(spec: str) -> tuple[str, float]:
+    path, _, pct = spec.partition("=")
+    if not pct:
+        raise argparse.ArgumentTypeError(f"expected PATH=PCT, got {spec!r}")
+    return path, float(pct)
 
 
 # --------------------------------------------------------------------------- #
 # Backend 1: coverage.py via subprocesses (honours pyproject configuration)
 # --------------------------------------------------------------------------- #
-def run_with_coverage_module(fail_under: float) -> int:
+def run_with_coverage_module(gates) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = "src" + (os.pathsep + env["PYTHONPATH"]
                                  if env.get("PYTHONPATH") else "")
@@ -48,9 +59,12 @@ def run_with_coverage_module(fail_under: float) -> int:
         # assertions; the unit/integration tests are the coverage source.
         [sys.executable, "-m", "coverage", "run", "-m", "pytest", "-q", "tests"],
         [sys.executable, "-m", "coverage", "combine"],
-        [sys.executable, "-m", "coverage", "report",
-         f"--fail-under={fail_under}"],
     ]
+    commands.extend(
+        [sys.executable, "-m", "coverage", "report",
+         f"--include={path}/*", f"--fail-under={threshold}"]
+        for path, threshold in gates
+    )
     for command in commands:
         result = subprocess.run(command, cwd=REPO_ROOT, env=env)
         if result.returncode:
@@ -75,11 +89,11 @@ def executable_lines(path: pathlib.Path) -> set[int]:
     return lines
 
 
-def run_with_settrace(fail_under: float) -> int:
+def run_with_settrace(gates) -> int:
     import pytest
 
     sys.path.insert(0, str(SRC))
-    prefix = str(TARGET) + "/"
+    prefixes = tuple(str(REPO_ROOT / path) + "/" for path, _ in gates)
     executed: dict[str, set[int]] = {}
 
     def local_tracer(frame, event, _arg):
@@ -90,7 +104,7 @@ def run_with_settrace(fail_under: float) -> int:
     def global_tracer(frame, event, _arg):
         if event == "call":
             filename = frame.f_code.co_filename
-            if filename.startswith(prefix):
+            if filename.startswith(prefixes):
                 executed.setdefault(filename, set())
                 return local_tracer
         return None
@@ -104,50 +118,59 @@ def run_with_settrace(fail_under: float) -> int:
         print(f"check_coverage: test run failed (pytest exit {exit_code})")
         return int(exit_code)
 
-    total_executable = total_hit = 0
-    rows = []
-    for path in sorted(TARGET.glob("*.py")):
-        expected = executable_lines(path)
-        hit = executed.get(str(path), set()) & expected
-        total_executable += len(expected)
-        total_hit += len(hit)
-        percent = 100.0 * len(hit) / len(expected) if expected else 100.0
-        rows.append((path.name, len(expected), len(expected) - len(hit), percent))
+    failures = 0
+    for path, threshold in gates:
+        target = REPO_ROOT / path
+        total_executable = total_hit = 0
+        rows = []
+        for source in sorted(target.glob("*.py")):
+            expected = executable_lines(source)
+            hit = executed.get(str(source), set()) & expected
+            total_executable += len(expected)
+            total_hit += len(hit)
+            percent = 100.0 * len(hit) / len(expected) if expected else 100.0
+            rows.append((source.name, len(expected), len(expected) - len(hit), percent))
 
-    print(f"\n{'Name':<18} {'Stmts':>6} {'Miss':>6} {'Cover':>7}")
-    print("-" * 40)
-    for name, statements, missed, percent in rows:
-        print(f"{name:<18} {statements:>6} {missed:>6} {percent:>6.1f}%")
-    total = 100.0 * total_hit / total_executable if total_executable else 100.0
-    print("-" * 40)
-    print(f"{'TOTAL':<18} {total_executable:>6} "
-          f"{total_executable - total_hit:>6} {total:>6.1f}%")
+        print(f"\n{path}")
+        print(f"{'Name':<18} {'Stmts':>6} {'Miss':>6} {'Cover':>7}")
+        print("-" * 40)
+        for name, statements, missed, percent in rows:
+            print(f"{name:<18} {statements:>6} {missed:>6} {percent:>6.1f}%")
+        total = 100.0 * total_hit / total_executable if total_executable else 100.0
+        print("-" * 40)
+        print(f"{'TOTAL':<18} {total_executable:>6} "
+              f"{total_executable - total_hit:>6} {total:>6.1f}%")
 
-    if total < fail_under:
-        print(f"\ncheck_coverage: FAIL — src/repro/core line coverage "
-              f"{total:.1f}% is below the {fail_under:.0f}% gate")
-        return 1
-    print(f"\ncheck_coverage: OK — src/repro/core line coverage {total:.1f}% "
-          f"(gate: {fail_under:.0f}%)")
-    return 0
+        if total < threshold:
+            print(f"check_coverage: FAIL — {path} line coverage "
+                  f"{total:.1f}% is below the {threshold:.0f}% gate")
+            failures += 1
+        else:
+            print(f"check_coverage: OK — {path} line coverage {total:.1f}% "
+                  f"(gate: {threshold:.0f}%)")
+    return 1 if failures else 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--fail-under", type=float, default=85.0,
-                        help="minimum line coverage percentage (default: 85)")
+    parser.add_argument("--gate", type=parse_gate, action="append",
+                        metavar="PATH=PCT",
+                        help="coverage gate as package-path=min-percent; "
+                             "repeatable (default: src/repro/core=85 "
+                             "src/repro/nn=80)")
     parser.add_argument("--force-fallback", action="store_true",
                         help="use the stdlib settrace backend even when "
                              "coverage.py is installed")
     args = parser.parse_args()
+    gates = args.gate or list(DEFAULT_GATES)
     if not args.force_fallback:
         try:
             import coverage  # noqa: F401
 
-            return run_with_coverage_module(args.fail_under)
+            return run_with_coverage_module(gates)
         except ImportError:
             pass
-    return run_with_settrace(args.fail_under)
+    return run_with_settrace(gates)
 
 
 if __name__ == "__main__":

@@ -57,24 +57,25 @@ def f1_score(scores, labels, threshold: float = 0.5) -> float:
 
 
 def roc_auc(scores, labels) -> float:
-    """Area under the ROC curve via the rank-sum (Mann-Whitney U) formulation."""
+    """Area under the ROC curve via the rank-sum (Mann-Whitney U) formulation.
+
+    Tied scores receive their group's average (1-based) rank, computed
+    vectorised from the unique-value inverse mapping — no Python loop over
+    the sorted scores.
+    """
     scores, labels = _as_arrays(scores, labels)
     positives = labels >= 0.5
     num_pos = int(positives.sum())
     num_neg = int((~positives).sum())
     if num_pos == 0 or num_neg == 0:
         return 0.5
-    order = np.argsort(scores, kind="mergesort")
-    ranks = np.empty_like(order, dtype=np.float64)
-    sorted_scores = scores[order]
-    # Average ranks of ties.
-    i = 0
-    while i < len(sorted_scores):
-        j = i
-        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
-            j += 1
-        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
-        i = j + 1
+    # Average ranks of ties: the tie group of the i-th unique score occupies
+    # 1-based rank positions (ends - counts, ends], whose mean is
+    # (starts + ends + 1) / 2.
+    _, inverse, counts = np.unique(scores, return_inverse=True, return_counts=True)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    ranks = (0.5 * (starts + ends + 1))[inverse.reshape(-1)]
     rank_sum_pos = float(ranks[positives].sum())
     auc = (rank_sum_pos - num_pos * (num_pos + 1) / 2.0) / (num_pos * num_neg)
     return float(auc)

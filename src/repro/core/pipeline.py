@@ -36,14 +36,18 @@ from .finetune import FinetuneResult, evaluate_regression, finetune_regression
 from .pretrain import PretrainResult, build_model, evaluate_zero_shot_link, pretrain_link_model
 
 __all__ = ["CircuitGPSPipeline", "PIPELINE_SCHEMA", "PIPELINE_SCHEMA_VERSION",
-           "PIPELINE_ARTIFACT_NAME"]
+           "PIPELINE_COMPATIBLE_VERSIONS", "PIPELINE_ARTIFACT_NAME"]
 
 logger = get_logger("repro.pipeline")
 
 # Full-pipeline artifact format: bump the version whenever the key layout or
 # metadata contract changes, so stale artifacts fail fast with CheckpointError.
+# v1: model weights + config/normalizer/design metadata.
+# v2: adds optimizer + LR-schedule state under "optim.*" keys, so resumed
+#     training keeps its Adam moments and schedule position.
 PIPELINE_SCHEMA = "circuitgps-pipeline"
-PIPELINE_SCHEMA_VERSION = 1
+PIPELINE_SCHEMA_VERSION = 2
+PIPELINE_COMPATIBLE_VERSIONS = (1, 2)
 PIPELINE_ARTIFACT_NAME = "pipeline.npz"
 
 
@@ -191,9 +195,11 @@ class CircuitGPSPipeline:
         """Save the full pipeline to one versioned ``.npz`` artifact.
 
         The archive bundles the pre-trained backbone, every fine-tuned head in
-        :attr:`finetune_results`, the experiment configuration, the
-        capacitance normaliser and the design registry (names + splits), under
-        schema :data:`PIPELINE_SCHEMA` v:data:`PIPELINE_SCHEMA_VERSION`.
+        :attr:`finetune_results`, each trainer's optimizer moments and
+        LR-schedule position (``optim.*`` keys, so resumed training keeps its
+        Adam state), the experiment configuration, the capacitance normaliser
+        and the design registry (names + splits), under schema
+        :data:`PIPELINE_SCHEMA` v:data:`PIPELINE_SCHEMA_VERSION`.
         ``path`` may be a directory, in which case ``pipeline.npz`` is written
         inside it.  Reload with :meth:`load` / :meth:`from_checkpoint`.
         """
@@ -202,11 +208,15 @@ class CircuitGPSPipeline:
         path = self._artifact_path(path)
         model = self.pretrain_result.model
         state = {f"pretrain.{key}": value for key, value in model.state_dict().items()}
+        state.update({f"optim.pretrain.{key}": value
+                      for key, value in self.pretrain_result.trainer.state_dict().items()})
         finetunes = []
         for (task, mode), result in sorted(self.finetune_results.items()):
             prefix = f"finetune.{task}.{mode}."
             state.update({prefix + key: value
                           for key, value in result.model.state_dict().items()})
+            state.update({f"optim.{prefix}{key}": value
+                          for key, value in result.trainer.state_dict().items()})
             finetunes.append({"task": task, "mode": mode, "model": result.model.config()})
         metadata = {
             "experiment": self.config.as_dict(),
@@ -229,8 +239,10 @@ class CircuitGPSPipeline:
         """Load a checkpoint saved by :meth:`save` into this pipeline.
 
         Full-pipeline artifacts restore the backbone, all fine-tuned heads,
-        the configuration and the normaliser; legacy single-model checkpoints
-        (pre schema stamping) restore the backbone only.  Schema-version
+        the configuration, the normaliser and (schema v2+) the optimizer /
+        LR-schedule state of every trainer; v1 artifacts load with fresh
+        optimizer state.  Legacy single-model checkpoints (pre schema
+        stamping) restore the backbone only.  Schema-version
         mismatches and missing/unexpected weight keys raise
         :class:`~repro.utils.serialization.CheckpointError` before any tensor
         is copied.
@@ -282,11 +294,20 @@ class CircuitGPSPipeline:
 
     def _load_pipeline_artifact(self, path) -> PretrainResult:
         state, metadata = load_checkpoint(path, schema=PIPELINE_SCHEMA,
-                                          version=PIPELINE_SCHEMA_VERSION)
+                                          version=PIPELINE_COMPATIBLE_VERSIONS)
         config = ExperimentConfig.from_dict(metadata.get("experiment", {}))
         config = config.with_model(**metadata.get("model", {}))
 
+        # Optimizer/schedule state (schema v2+) rides under "optim." keys and
+        # is restored into the rebuilt trainers after the models load; model
+        # weight keys are still validated exactly.
+        optim_state = {key: value for key, value in state.items()
+                       if key.startswith("optim.")}
+        state = {key: value for key, value in state.items()
+                 if not key.startswith("optim.")}
+
         link_model = build_model(config)
+        self._fill_missing_projections(link_model, state, "pretrain.", path)
         expected = {f"pretrain.{key}" for key in link_model.state_dict()}
         finetunes = metadata.get("finetunes", [])
         head_models: dict[tuple[str, str], object] = {}
@@ -295,6 +316,7 @@ class CircuitGPSPipeline:
             head = build_model(head_config)
             head_models[(entry["task"], entry["mode"])] = head
             prefix = f"finetune.{entry['task']}.{entry['mode']}."
+            self._fill_missing_projections(head, state, prefix, path)
             expected |= {prefix + key for key in head.state_dict()}
         validate_state_keys(state, expected, context=f"pipeline checkpoint {path}")
 
@@ -314,12 +336,47 @@ class CircuitGPSPipeline:
                                            norm.get("cap_max", config.data.cap_max))
         loaded = CircuitGPSPipeline.from_models(config, link_model, heads=head_models,
                                                 normalizer=normalizer)
+        self._restore_trainer_state(loaded.pretrain_result.trainer, optim_state,
+                                    "optim.pretrain.")
+        for (task, mode), result in loaded.finetune_results.items():
+            self._restore_trainer_state(result.trainer, optim_state,
+                                        f"optim.finetune.{task}.{mode}.")
         self.config = loaded.config
         self.normalizer = loaded.normalizer
         self.pretrain_result = loaded.pretrain_result
         self.finetune_results = loaded.finetune_results
         self.design_registry = metadata.get("designs", [])
         return self.pretrain_result
+
+    @staticmethod
+    def _fill_missing_projections(model, state: dict, prefix: str, path) -> None:
+        """Tolerate archives written before Performer random features were
+        persisted (the ``*.projection`` buffers): keep the freshly drawn
+        projection and warn, instead of failing the exact-key validation."""
+        for key, value in model.state_dict().items():
+            if key.rpartition(".")[2] == "projection" and prefix + key not in state:
+                state[prefix + key] = value
+                logger.warning(
+                    "checkpoint %s predates persisted Performer random features; "
+                    "using freshly drawn projection for %r", path, prefix + key,
+                )
+
+    @staticmethod
+    def _restore_trainer_state(trainer, optim_state: dict, prefix: str) -> None:
+        """Load one trainer's optimizer/schedule state; warn-and-skip on mismatch.
+
+        A mismatch is legitimate: e.g. a head-only fine-tune optimised fewer
+        parameters than the full model the reloaded trainer tracks.  Training
+        then resumes with fresh moments instead of failing the load.
+        """
+        sub = {key[len(prefix):]: value for key, value in optim_state.items()
+               if key.startswith(prefix)}
+        if not sub:
+            return
+        try:
+            trainer.load_state_dict(sub)
+        except (ValueError, KeyError) as exc:
+            logger.warning("not restoring optimizer state under %r: %s", prefix, exc)
 
     def _load_legacy_model(self, path) -> PretrainResult:
         """Load a pre-schema single-model checkpoint (backbone only)."""
@@ -339,6 +396,7 @@ class CircuitGPSPipeline:
             attention=model_cfg.get("attention", base.model.attention),
         )
         model = build_model(config)
+        self._fill_missing_projections(model, state, "", path)
         validate_state_keys(state, set(model.state_dict()),
                             context=f"model checkpoint {path}")
         model.load_state_dict(state)

@@ -57,7 +57,46 @@ class Trainer:
         params = list(parameters) if parameters is not None else list(model.parameters())
         self.parameters = [p for p in params if p.requires_grad]
         self.optimizer = Adam(self.parameters, lr=config.lr, weight_decay=config.weight_decay)
+        self.schedule: CosineSchedule | None = None
+        self._pending_schedule_state: dict | None = None
         self.history = MetricLogger(name=f"{task}-train")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation: optimizer moments + LR-schedule position, so resumed
+    # training does not silently restart Adam from zeroed moments.
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``str -> array`` map of optimizer and schedule state."""
+        state = {f"optimizer.{key}": np.asarray(value)
+                 for key, value in self.optimizer.state_dict().items()}
+        if self.schedule is not None:
+            schedule_state = self.schedule.state_dict()
+        else:
+            # Restored but not yet resumed: re-saving must not drop the
+            # loaded schedule position.
+            schedule_state = self._pending_schedule_state or {}
+        state.update({f"schedule.{key}": np.asarray(value)
+                      for key, value in schedule_state.items()})
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        Schedule state is applied when :meth:`fit` (re)creates the schedule,
+        so a restored trainer resumes the LR curve where it left off.  Raises
+        ``ValueError`` if the optimizer state does not fit this trainer's
+        parameter list.
+        """
+        self.optimizer.load_state_dict(
+            {key[len("optimizer."):]: value for key, value in state.items()
+             if key.startswith("optimizer.")}
+        )
+        schedule_state = {key[len("schedule."):]: value for key, value in state.items()
+                          if key.startswith("schedule.")}
+        if schedule_state:
+            self._pending_schedule_state = schedule_state
+            if self.schedule is not None:
+                self.schedule.load_state_dict(schedule_state)
 
     # ------------------------------------------------------------------ #
     def _loss(self, batch) -> tuple:
@@ -97,6 +136,10 @@ class Trainer:
             warmup_steps=self.config.warmup_epochs * steps_per_epoch,
             min_lr=self.config.min_lr,
         )
+        if self._pending_schedule_state is not None:
+            schedule.load_state_dict(self._pending_schedule_state)
+            self._pending_schedule_state = None
+        self.schedule = schedule
         self.model.train()
         for epoch in range(epochs):
             losses = []

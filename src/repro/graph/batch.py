@@ -39,6 +39,27 @@ class SubgraphBatch:
         """Number of subgraphs collated into this batch."""
         return int(self.labels.shape[0])
 
+    def segments(self):
+        """Segment layout of the ``batch`` vector, computed once and cached.
+
+        Returns the :class:`~repro.nn.functional.SegmentInfo` consumed by the
+        segment-ops engine (attention masking, padded batching, pooling); the
+        model core calls this instead of re-deriving the layout per layer.
+        """
+        seg = self.__dict__.get("_segments_cache")
+        if seg is None:
+            from ..nn.functional import segment_info
+
+            seg = segment_info(self.batch)
+            self.__dict__["_segments_cache"] = seg
+        return seg
+
+    def __getstate__(self) -> dict:
+        """Drop the derived segment cache when pickling (worker transfers)."""
+        state = dict(self.__dict__)
+        state.pop("_segments_cache", None)
+        return state
+
     @property
     def num_nodes(self) -> int:
         """Total node count across the batch."""

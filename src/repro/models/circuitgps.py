@@ -20,6 +20,7 @@ import numpy as np
 from ..graph.batch import SubgraphBatch
 from ..graph.encodings import pe_dim
 from ..nn import Embedding, Linear, Module, ModuleList, Tensor, concat
+from ..nn import functional as F
 from ..utils.rng import get_rng
 from .gps_layer import GPSLayer
 from .heads import LinkPredictionHead, RegressionHead
@@ -97,8 +98,10 @@ class CircuitGPS(Module):
         edge_attr = self.edge_encoder(edge_types) if edge_types.size else Tensor(
             np.zeros((0, self.dim))
         )
+        # One segment-layout computation shared by every attention layer.
+        seg = batch.segments() if hasattr(batch, "segments") else F.segment_info(batch.batch)
         for layer in self.layers:
-            x, edge_attr = layer(x, edge_attr, edge_index, batch.batch)
+            x, edge_attr = layer(x, edge_attr, edge_index, seg)
         return x
 
     # ------------------------------------------------------------------ #
@@ -113,10 +116,11 @@ class CircuitGPS(Module):
         if task not in TASKS:
             raise ValueError(f"task must be one of {TASKS}, got {task!r}")
         embeddings = self.encode(batch)
+        seg = batch.segments() if hasattr(batch, "segments") else batch.batch
         if task == "link":
-            return self.link_head(embeddings, batch.batch, batch.anchors)
+            return self.link_head(embeddings, seg, batch.anchors)
         head = self.edge_head if task == "edge_regression" else self.node_head
-        return head(embeddings, batch.node_stats, batch.node_types, batch.batch, batch.anchors)
+        return head(embeddings, batch.node_stats, batch.node_types, seg, batch.anchors)
 
     # ------------------------------------------------------------------ #
     # Fine-tuning helpers

@@ -69,8 +69,8 @@ class GatedGCNLayer(Module):
         gates = edge_update.sigmoid()
 
         messages = gates * self.V(x_src)
-        aggregated = messages.scatter_add(dst, num_nodes)
-        gate_sum = gates.scatter_add(dst, num_nodes) + 1e-6
+        aggregated = F.segment_sum(messages, dst, num_nodes)
+        gate_sum = F.segment_sum(gates, dst, num_nodes) + 1e-6
         node_update = self.U(x) + aggregated / gate_sum
 
         node_out = self.bn_nodes(node_update).relu()

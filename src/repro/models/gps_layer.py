@@ -67,8 +67,13 @@ class GPSLayer(Module):
         self.drop = Dropout(dropout, rng=rng)
 
     def forward(self, x: Tensor, edge_attr: Tensor, edge_index: np.ndarray,
-                batch: np.ndarray) -> tuple[Tensor, Tensor]:
-        """Update node and edge features for one GPS layer."""
+                batch) -> tuple[Tensor, Tensor]:
+        """Update node and edge features for one GPS layer.
+
+        ``batch`` may be the integer batch vector or a precomputed
+        :class:`~repro.nn.functional.SegmentInfo`; passing the latter lets all
+        layers share one segment-layout computation per forward pass.
+        """
         branches = []
         edge_out = edge_attr
         if self.mpnn is not None:

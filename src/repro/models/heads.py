@@ -33,13 +33,13 @@ class LinkPredictionHead(Module):
         hidden = hidden or dim
         self.mlp = MLP([3 * dim, hidden, 1], activation="relu", dropout=dropout, rng=rng)
 
-    def forward(self, node_embeddings: Tensor, batch: np.ndarray, anchors: np.ndarray) -> Tensor:
-        num_graphs = int(batch.max()) + 1 if batch.size else 0
-        pooled = F.global_mean_pool(node_embeddings, batch, num_graphs)
+    def forward(self, node_embeddings: Tensor, batch, anchors: np.ndarray) -> Tensor:
+        seg = F.segment_info(batch)
+        pooled = F.segment_mean(node_embeddings, seg)
         anchor_a = node_embeddings.gather_rows(anchors[:, 0])
         anchor_b = node_embeddings.gather_rows(anchors[:, 1])
         features = concat([pooled, anchor_a, anchor_b], axis=1)
-        return self.mlp(features).reshape(num_graphs)
+        return self.mlp(features).reshape(seg.num_segments)
 
 
 class CircuitStatsProjection(Module):
@@ -84,12 +84,12 @@ class RegressionHead(Module):
         self.mlp = MLP([3 * dim, hidden, 1], activation="relu", dropout=dropout, rng=rng)
 
     def forward(self, node_embeddings: Tensor, node_stats: np.ndarray, node_types: np.ndarray,
-                batch: np.ndarray, anchors: np.ndarray) -> Tensor:
-        num_graphs = int(batch.max()) + 1 if batch.size else 0
+                batch, anchors: np.ndarray) -> Tensor:
+        seg = F.segment_info(batch)
         stats_embedding = self.stats_projection(node_stats, node_types)
         combined = node_embeddings + stats_embedding
-        pooled = F.global_mean_pool(combined, batch, num_graphs)
+        pooled = F.segment_mean(combined, seg)
         anchor_a = combined.gather_rows(anchors[:, 0])
         anchor_b = combined.gather_rows(anchors[:, 1])
         features = concat([pooled, anchor_a, anchor_b], axis=1)
-        return self.mlp(features).reshape(num_graphs)
+        return self.mlp(features).reshape(seg.num_segments)

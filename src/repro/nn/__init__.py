@@ -10,6 +10,7 @@ on CPU.
 
 from . import functional
 from .attention import MultiHeadSelfAttention
+from .functional import SegmentInfo, segment_info
 from .layers import (
     MLP,
     BatchNorm1d,
@@ -48,6 +49,8 @@ __all__ = [
     "Identity",
     "MultiHeadSelfAttention",
     "PerformerAttention",
+    "SegmentInfo",
+    "segment_info",
     "SGD",
     "Adam",
     "AdamW",

@@ -3,8 +3,11 @@
 The GPS layer's ``GlobalAttn`` block is a standard multi-head softmax
 self-attention applied to the node set of each graph.  Because batches are
 disjoint unions of enclosing subgraphs, attention must not leak across graph
-boundaries; we therefore compute attention independently per segment of the
-batch vector.
+boundaries.  Instead of looping over graphs, the whole batch is packed into a
+dense padded ``(num_graphs, heads, max_n, max_n)`` score tensor via the
+segment-ops engine (:func:`repro.nn.functional.to_padded`) and masked with a
+large negative bias, so one batched softmax handles every graph at once.  The
+original per-graph loop survives as a parity oracle in :mod:`repro.nn.legacy`.
 """
 
 from __future__ import annotations
@@ -12,11 +15,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils.rng import get_rng
+from . import functional as F
 from .layers import Dropout, Linear
 from .module import Module
-from .tensor import Tensor, concat
+from .tensor import Tensor
 
 __all__ = ["MultiHeadSelfAttention"]
+
+# Finite stand-in for -inf: large enough that exp() underflows to exactly 0
+# after the softmax max-shift, small enough to keep padded rows NaN-free.
+MASK_BIAS = -1e30
 
 
 class MultiHeadSelfAttention(Module):
@@ -46,7 +54,7 @@ class MultiHeadSelfAttention(Module):
         self.out_proj = Linear(dim, dim, rng=rng)
         self.drop = Dropout(dropout, rng=rng)
 
-    def forward(self, x: Tensor, batch: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, batch) -> Tensor:
         """Apply attention to node features ``x`` segmented by ``batch``.
 
         Parameters
@@ -55,40 +63,39 @@ class MultiHeadSelfAttention(Module):
             Node features of shape ``(num_nodes, dim)``.
         batch:
             Integer array of shape ``(num_nodes,)`` assigning each node to a
-            graph in the disjoint-union batch.  Must be sorted or at least
-            grouped; attention is restricted to nodes sharing a batch id.
+            graph in the disjoint-union batch (any ordering and labelling), or
+            a precomputed :class:`~repro.nn.functional.SegmentInfo`.
         """
-        batch = np.asarray(batch, dtype=np.int64)
-        if x.shape[0] != batch.shape[0]:
+        seg = F.segment_info(batch)
+        if x.shape[0] != seg.num_rows:
             raise ValueError("x and batch must have the same number of rows")
         q = self.q_proj(x)
         k = self.k_proj(x)
         v = self.v_proj(x)
+        if seg.num_rows == 0:
+            return self.drop(self.out_proj(v))
 
-        outputs = []
-        order = []
-        scale = 1.0 / np.sqrt(self.head_dim)
-        for graph_id in np.unique(batch):
-            idx = np.nonzero(batch == graph_id)[0]
-            order.append(idx)
-            qg = q.gather_rows(idx)
-            kg = k.gather_rows(idx)
-            vg = v.gather_rows(idx)
-            n = len(idx)
-            # (heads, n, head_dim)
-            qh = qg.reshape(n, self.num_heads, self.head_dim).transpose(1, 0, 2)
-            kh = kg.reshape(n, self.num_heads, self.head_dim).transpose(1, 0, 2)
-            vh = vg.reshape(n, self.num_heads, self.head_dim).transpose(1, 0, 2)
-            scores = qh.matmul(kh.transpose(0, 2, 1)) * scale
-            attn = scores.softmax(axis=-1)
-            mixed = attn.matmul(vh)  # (heads, n, head_dim)
-            merged = mixed.transpose(1, 0, 2).reshape(n, self.dim)
-            outputs.append(merged)
+        num_graphs, length = seg.num_segments, seg.max_count
+        heads, head_dim = self.num_heads, self.head_dim
+        scale = 1.0 / np.sqrt(head_dim)
 
-        stacked = concat(outputs, axis=0)
-        # Restore the original node order.
-        permutation = np.concatenate(order)
-        inverse = np.empty_like(permutation)
-        inverse[permutation] = np.arange(len(permutation))
-        restored = stacked.gather_rows(inverse)
+        # (num_graphs, heads, max_n, head_dim) padded views of q/k/v.  The
+        # score scale is folded into q before padding: one (N, dim) multiply
+        # instead of a (num_graphs, heads, max_n, max_n) one.
+        def split_heads(t: Tensor) -> Tensor:
+            padded, _ = F.to_padded(t, seg)
+            return padded.reshape(num_graphs, length, heads, head_dim).transpose(0, 2, 1, 3)
+
+        qh = split_heads(q * scale)
+        kh = split_heads(k)
+        vh = split_heads(v)
+
+        scores = qh.matmul(kh.transpose(0, 1, 3, 2))
+        # Mask padded *key* slots everywhere; padded query rows degrade to a
+        # finite uniform attention and are dropped again by from_padded.
+        bias = np.where(seg.mask, 0.0, MASK_BIAS)[:, None, None, :]
+        attn = (scores + Tensor(bias)).softmax(axis=-1)
+        mixed = attn.matmul(vh)  # (num_graphs, heads, max_n, head_dim)
+        merged = mixed.transpose(0, 2, 1, 3).reshape(num_graphs, length, self.dim)
+        restored = F.from_padded(merged, seg)
         return self.drop(self.out_proj(restored))

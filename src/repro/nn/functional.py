@@ -3,9 +3,19 @@
 These free functions mirror a small subset of ``torch.nn.functional`` and are
 used throughout the model code so the layer implementations read like their
 PyTorch counterparts in the original GraphGPS / CircuitGPS code base.
+
+The segment-ops engine lives here: batched graphs are disjoint unions whose
+``batch`` vector assigns each node to a segment, and every per-graph reduction
+in the model core (attention normalisation, message aggregation, readout
+pooling) is expressed through :func:`segment_sum` / :func:`segment_mean` /
+:func:`segment_max` / :func:`segment_softmax` over the flat node axis, or
+through the padded dense view built by :func:`to_padded` / :func:`from_padded`.
+All of them are differentiable and loop-free.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,7 +37,14 @@ __all__ = [
     "scatter_add",
     "scatter_mean",
     "scatter_max",
+    "SegmentInfo",
+    "segment_info",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
     "segment_softmax",
+    "to_padded",
+    "from_padded",
     "global_mean_pool",
     "global_add_pool",
     "global_max_pool",
@@ -80,6 +97,66 @@ def embedding(table: Tensor, indices) -> Tensor:
     return table.gather_rows(indices)
 
 
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Precomputed segment layout of a batch vector.
+
+    Computed once per collated batch (see
+    :meth:`repro.graph.batch.SubgraphBatch.segments`) and threaded through the
+    model core so attention layers and pooling never re-derive the layout.
+    Segment ids are relabelled to a contiguous ``0..num_segments-1`` range, so
+    arbitrary (non-contiguous, interleaved) batch vectors are supported.
+    """
+
+    index: np.ndarray        # (N,) contiguous segment id per row, original order
+    num_segments: int
+    counts: np.ndarray       # (S,) rows per segment
+    slots: np.ndarray        # (N,) position of each row within its segment
+    max_count: int           # L = counts.max() (0 for an empty batch)
+    flat: np.ndarray         # (N,) row index into the (S * L) padded row axis
+    mask: np.ndarray         # (S, L) bool, True where a padded slot holds a row
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.index.shape[0])
+
+
+def segment_info(index) -> SegmentInfo:
+    """Build (or pass through) the :class:`SegmentInfo` for a batch vector."""
+    if isinstance(index, SegmentInfo):
+        return index
+    raw = np.asarray(index, dtype=np.int64)
+    if raw.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return SegmentInfo(index=empty, num_segments=0, counts=np.zeros(0, dtype=np.int64),
+                           slots=empty, max_count=0, flat=empty,
+                           mask=np.zeros((0, 0), dtype=bool))
+    _, ids, counts = np.unique(raw, return_inverse=True, return_counts=True)
+    ids = ids.astype(np.int64).reshape(-1)
+    num_segments = int(counts.shape[0])
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    order = np.argsort(ids, kind="stable")
+    slots = np.empty_like(ids)
+    slots[order] = np.arange(ids.shape[0], dtype=np.int64) - np.repeat(starts, counts)
+    max_count = int(counts.max())
+    flat = ids * max_count + slots
+    mask = np.zeros((num_segments, max_count), dtype=bool)
+    mask.reshape(-1)[flat] = True
+    return SegmentInfo(index=ids, num_segments=num_segments,
+                       counts=counts.astype(np.int64), slots=slots,
+                       max_count=max_count, flat=flat, mask=mask)
+
+
+def _segment_args(index, num_segments: int | None) -> tuple[np.ndarray, int]:
+    """Normalise ``(index, num_segments)``; ``index`` may be a SegmentInfo."""
+    if isinstance(index, SegmentInfo):
+        return index.index, index.num_segments
+    idx = np.asarray(index, dtype=np.int64)
+    if num_segments is None:
+        num_segments = int(idx.max()) + 1 if idx.size else 0
+    return idx, int(num_segments)
+
+
 def scatter_add(src: Tensor, index, num_rows: int) -> Tensor:
     """Scatter-add rows of ``src`` into ``num_rows`` buckets."""
     return src.scatter_add(index, num_rows)
@@ -98,28 +175,42 @@ def scatter_mean(src: Tensor, index, num_rows: int) -> Tensor:
 def scatter_max(src: Tensor, index, num_rows: int) -> Tensor:
     """Scatter-max (non-differentiable through the argmax selection mask).
 
-    Gradients flow only to the winning entries, matching PyTorch-scatter
-    semantics.
+    Gradients flow only to the winning entries (ties split evenly), matching
+    PyTorch-scatter semantics.
     """
-    idx = np.asarray(index, dtype=np.int64)
-    out = np.full((num_rows,) + src.shape[1:], -np.inf, dtype=np.float64)
-    np.maximum.at(out, idx, src.data)
-    out[np.isneginf(out)] = 0.0
-    winners = (src.data == out[idx]).astype(np.float64)
-    # Re-express as a differentiable weighted scatter-add over winners.
-    weighted = src * Tensor(winners)
-    denom = np.zeros((num_rows,) + src.shape[1:], dtype=np.float64)
-    np.add.at(denom, idx, winners)
-    denom = np.maximum(denom, 1.0)
-    return weighted.scatter_add(idx, num_rows) * Tensor(1.0 / denom)
+    return src.segment_max(index, num_rows)
 
 
-def segment_softmax(scores: Tensor, index, num_segments: int) -> Tensor:
+def segment_sum(src: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Per-segment sum over the leading axis of ``src``."""
+    idx, num_segments = _segment_args(index, num_segments)
+    return src.segment_sum(idx, num_segments)
+
+
+def segment_mean(src: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Per-segment mean over the leading axis (empty segments yield zeros)."""
+    if isinstance(index, SegmentInfo):
+        # Reuse the precomputed per-segment counts.
+        sums = src.segment_sum(index.index, index.num_segments)
+        counts = np.maximum(index.counts.astype(np.float64), 1.0)
+        counts = counts.reshape((index.num_segments,) + (1,) * (src.ndim - 1))
+        return sums * Tensor(1.0 / counts)
+    idx, num_segments = _segment_args(index, num_segments)
+    return scatter_mean(src, idx, num_segments)
+
+
+def segment_max(src: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Per-segment maximum over the leading axis (empty segments yield zeros)."""
+    idx, num_segments = _segment_args(index, num_segments)
+    return src.segment_max(idx, num_segments)
+
+
+def segment_softmax(scores: Tensor, index, num_segments: int | None = None) -> Tensor:
     """Softmax of ``scores`` normalised within segments given by ``index``.
 
     Used for attention over variable-sized neighbourhoods / subgraphs.
     """
-    idx = np.asarray(index, dtype=np.int64)
+    idx, num_segments = _segment_args(index, num_segments)
     # Numerically stabilise per segment using a stop-gradient max.
     seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf, dtype=np.float64)
     np.maximum.at(seg_max, idx, scores.data)
@@ -131,16 +222,45 @@ def segment_softmax(scores: Tensor, index, num_segments: int) -> Tensor:
     return exp / (denom_gathered + 1e-16)
 
 
-def global_add_pool(x: Tensor, batch, num_graphs: int) -> Tensor:
+def to_padded(x: Tensor, index, pad_value: float = 0.0) -> tuple[Tensor, SegmentInfo]:
+    """Pack flat per-row features into a dense padded ``(S, L, ...)`` view.
+
+    ``index`` may be a batch vector or a precomputed :class:`SegmentInfo`.
+    Returns the padded tensor (segments × ``max_count`` slots, rows placed in
+    their segment order, unused slots holding ``pad_value``) together with the
+    segment layout, whose ``mask`` marks the valid slots.  Differentiable:
+    gradients of padded slots flow back to the originating rows only.
+    """
+    seg = segment_info(index)
+    if x.shape[0] != seg.num_rows:
+        raise ValueError(f"x has {x.shape[0]} rows but the batch vector has {seg.num_rows}")
+    padded_rows = seg.num_segments * seg.max_count
+    flat = x.scatter_add(seg.flat, padded_rows, unique=True)  # placement, not a sum
+    padded = flat.reshape((seg.num_segments, seg.max_count) + x.shape[1:])
+    if pad_value != 0.0:
+        fill = np.where(seg.mask.reshape(seg.mask.shape + (1,) * (x.ndim - 1)),
+                        0.0, float(pad_value))
+        padded = padded + Tensor(fill)
+    return padded, seg
+
+
+def from_padded(padded: Tensor, index) -> Tensor:
+    """Inverse of :func:`to_padded`: gather valid slots back to the flat rows."""
+    seg = segment_info(index)
+    flat = padded.reshape((seg.num_segments * seg.max_count,) + padded.shape[2:])
+    return flat.gather_rows(seg.flat, unique=True)
+
+
+def global_add_pool(x: Tensor, batch, num_graphs: int | None = None) -> Tensor:
     """Sum node features per graph in a batched disjoint union."""
-    return x.scatter_add(batch, num_graphs)
+    return segment_sum(x, batch, num_graphs)
 
 
-def global_mean_pool(x: Tensor, batch, num_graphs: int) -> Tensor:
+def global_mean_pool(x: Tensor, batch, num_graphs: int | None = None) -> Tensor:
     """Average node features per graph in a batched disjoint union."""
-    return scatter_mean(x, batch, num_graphs)
+    return segment_mean(x, batch, num_graphs)
 
 
-def global_max_pool(x: Tensor, batch, num_graphs: int) -> Tensor:
+def global_max_pool(x: Tensor, batch, num_graphs: int | None = None) -> Tensor:
     """Max-pool node features per graph in a batched disjoint union."""
-    return scatter_max(x, batch, num_graphs)
+    return segment_max(x, batch, num_graphs)

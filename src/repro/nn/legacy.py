@@ -1,0 +1,137 @@
+"""Per-graph loop implementations of the attention blocks (parity oracles).
+
+Until PR 4 the model core iterated over ``np.unique(batch)`` (and, for the
+Performer, over heads) in Python for every forward pass.  The segment-ops
+engine in :mod:`repro.nn.functional` replaced those loops with batched padded
+softmax attention and flat segment reductions; the loop implementations are
+kept here — mathematically identical, including the FAVOR+ stabilizer — as
+
+* parity oracles for the vectorized modules (``tests/nn/test_attention.py``),
+* the baseline of the train-throughput gate
+  (``benchmarks/test_train_throughput.py``).
+
+Mirrors :mod:`repro.graph.legacy`, the pure-Python oracle of the CSR kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadSelfAttention
+from .performer import PerformerAttention
+from .tensor import Tensor, concat
+
+__all__ = [
+    "loop_multihead_attention",
+    "loop_performer_attention",
+    "LoopMultiHeadSelfAttention",
+    "LoopPerformerAttention",
+]
+
+
+def loop_multihead_attention(module: MultiHeadSelfAttention, x: Tensor,
+                             batch: np.ndarray) -> Tensor:
+    """The pre-segment-engine forward of :class:`MultiHeadSelfAttention`."""
+    batch = np.asarray(batch, dtype=np.int64)
+    if x.shape[0] != batch.shape[0]:
+        raise ValueError("x and batch must have the same number of rows")
+    q = module.q_proj(x)
+    k = module.k_proj(x)
+    v = module.v_proj(x)
+
+    outputs = []
+    order = []
+    scale = 1.0 / np.sqrt(module.head_dim)
+    for graph_id in np.unique(batch):
+        idx = np.nonzero(batch == graph_id)[0]
+        order.append(idx)
+        qg = q.gather_rows(idx)
+        kg = k.gather_rows(idx)
+        vg = v.gather_rows(idx)
+        n = len(idx)
+        # (heads, n, head_dim)
+        qh = qg.reshape(n, module.num_heads, module.head_dim).transpose(1, 0, 2)
+        kh = kg.reshape(n, module.num_heads, module.head_dim).transpose(1, 0, 2)
+        vh = vg.reshape(n, module.num_heads, module.head_dim).transpose(1, 0, 2)
+        scores = qh.matmul(kh.transpose(0, 2, 1)) * scale
+        attn = scores.softmax(axis=-1)
+        mixed = attn.matmul(vh)  # (heads, n, head_dim)
+        merged = mixed.transpose(1, 0, 2).reshape(n, module.dim)
+        outputs.append(merged)
+
+    stacked = concat(outputs, axis=0)
+    # Restore the original node order.
+    permutation = np.concatenate(order)
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(len(permutation))
+    restored = stacked.gather_rows(inverse)
+    return module.drop(module.out_proj(restored))
+
+
+def loop_performer_attention(module: PerformerAttention, x: Tensor,
+                             batch: np.ndarray) -> Tensor:
+    """The pre-segment-engine forward of :class:`PerformerAttention`.
+
+    Includes the FAVOR+ max-subtraction stabilizer of the vectorized module:
+    per-row maxima for queries, the per-graph/per-head maximum for keys.
+    """
+    batch = np.asarray(batch, dtype=np.int64)
+    if x.shape[0] != batch.shape[0]:
+        raise ValueError("x and batch must have the same number of rows")
+    q = module.q_proj(x)
+    k = module.k_proj(x)
+    v = module.v_proj(x)
+
+    outputs = []
+    order = []
+    scale = 1.0 / np.sqrt(np.sqrt(module.head_dim))
+    for graph_id in np.unique(batch):
+        idx = np.nonzero(batch == graph_id)[0]
+        order.append(idx)
+        head_outputs = []
+        for head in range(module.num_heads):
+            cols = slice(head * module.head_dim, (head + 1) * module.head_dim)
+            qh = q.gather_rows(idx)[:, cols] * scale
+            kh = k.gather_rows(idx)[:, cols] * scale
+            vh = v.gather_rows(idx)[:, cols]
+            q_logits = module._logits(qh, head)
+            k_logits = module._logits(kh, head)
+            q_stab = q_logits.data.max(axis=-1, keepdims=True)
+            k_stab = k_logits.data.max()
+            q_feat = module._positive_features(q_logits, q_stab)
+            k_feat = module._positive_features(k_logits, k_stab)
+            kv = k_feat.transpose().matmul(vh)  # (m, head_dim)
+            numerator = q_feat.matmul(kv)  # (n, head_dim)
+            k_sum = k_feat.sum(axis=0)  # (m,)
+            denominator = q_feat.matmul(k_sum.reshape(module.num_features, 1)) + 1e-8
+            head_outputs.append(numerator / denominator)
+        outputs.append(concat(head_outputs, axis=1))
+
+    stacked = concat(outputs, axis=0)
+    permutation = np.concatenate(order)
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(len(permutation))
+    restored = stacked.gather_rows(inverse)
+    return module.drop(module.out_proj(restored))
+
+
+class LoopMultiHeadSelfAttention(MultiHeadSelfAttention):
+    """Drop-in attention module running the per-graph Python loop."""
+
+    def forward(self, x: Tensor, batch) -> Tensor:
+        from .functional import SegmentInfo, segment_info
+
+        if isinstance(batch, SegmentInfo):
+            batch = segment_info(batch).index
+        return loop_multihead_attention(self, x, batch)
+
+
+class LoopPerformerAttention(PerformerAttention):
+    """Drop-in Performer module running the per-graph × per-head Python loop."""
+
+    def forward(self, x: Tensor, batch) -> Tensor:
+        from .functional import SegmentInfo, segment_info
+
+        if isinstance(batch, SegmentInfo):
+            batch = segment_info(batch).index
+        return loop_performer_attention(self, x, batch)

@@ -38,6 +38,50 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Serialisation: flat ``str -> np.ndarray`` maps, checkpoint-friendly.
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Internal optimiser state (moments, step counters) as flat arrays."""
+        return {"lr": np.float64(self.lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        Raises ``ValueError`` when the state does not match this optimiser's
+        parameter list (wrong count or shapes).
+        """
+        if "lr" in state:
+            self.lr = float(state["lr"])
+
+    def _checked_slots(self, state: dict, name: str,
+                       slots: list[np.ndarray]) -> list[np.ndarray] | None:
+        """Validate per-parameter arrays ``{name}.{i}`` against ``slots``.
+
+        Returns the new arrays (or ``None`` when the state carries none), so
+        callers can validate *everything* before mutating — a failed load must
+        leave the optimiser untouched.
+        """
+        keys = [f"{name}.{i}" for i in range(len(self.parameters))]
+        present = [key for key in keys if key in state]
+        if not present:
+            return None
+        if len(present) != len(keys):
+            raise ValueError(
+                f"optimizer state has {len(present)} {name!r} entries for "
+                f"{len(keys)} parameters"
+            )
+        loaded = []
+        for i, key in enumerate(keys):
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != slots[i].shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {key}: "
+                    f"{value.shape} vs {slots[i].shape}"
+                )
+            loaded.append(value.copy())
+        return loaded
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -64,6 +108,18 @@ class SGD(Optimizer):
                 update = grad
             param.data = param.data - self.lr * update
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i, velocity in enumerate(self._velocity):
+            state[f"velocity.{i}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = self._checked_slots(state, "velocity", self._velocity)
+        super().load_state_dict(state)
+        if velocity is not None:
+            self._velocity = velocity
+
 
 class Adam(Optimizer):
     """Adam optimiser (Kingma & Ba, 2015)."""
@@ -78,6 +134,19 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
 
+    def _apply_weight_decay(self, param: Parameter) -> np.ndarray:
+        """Apply this optimiser's weight-decay policy for one parameter and
+        return the gradient to feed the moment estimates.
+
+        Called exactly once per parameter per :meth:`step`.  Adam folds the
+        coupled (L2) decay term into the gradient; :class:`AdamW` overrides
+        this to decay ``param.data`` in place (decoupled) instead.
+        """
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
@@ -85,9 +154,7 @@ class Adam(Optimizer):
         for param, m, v in zip(self.parameters, self._m, self._v):
             if param.grad is None:
                 continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+            grad = self._apply_weight_decay(param)
             m *= self.beta1
             m += (1 - self.beta1) * grad
             v *= self.beta2
@@ -96,20 +163,44 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["t"] = np.int64(self._t)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        m = self._checked_slots(state, "m", self._m)
+        v = self._checked_slots(state, "v", self._v)
+        # All-or-nothing across the moment families: restoring m without v
+        # (or either without the step count) would divide fresh-zero v_hat
+        # into restored momenta on the next step and blow up the update.
+        if (m is None) != (v is None) or (m is not None and "t" not in state):
+            raise ValueError(
+                "optimizer state is inconsistent: m/v moment arrays and the "
+                "step count 't' must be saved and restored together"
+            )
+        super().load_state_dict(state)
+        if m is not None:
+            self._m = m
+            self._v = v
+            self._t = int(state["t"])
+
 
 class AdamW(Adam):
-    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
 
-    def step(self) -> None:
+    The decay ``theta <- theta * (1 - lr * lambda)`` is applied per parameter
+    inside the update loop, before the Adam step, and never enters the
+    gradient or the moment estimates.
+    """
+
+    def _apply_weight_decay(self, param: Parameter) -> np.ndarray:
         if self.weight_decay:
-            for param in self.parameters:
-                if param.grad is not None:
-                    param.data = param.data * (1.0 - self.lr * self.weight_decay)
-        decay, self.weight_decay = self.weight_decay, 0.0
-        try:
-            super().step()
-        finally:
-            self.weight_decay = decay
+            param.data = param.data * (1.0 - self.lr * self.weight_decay)
+        return param.grad
 
 
 class CosineSchedule:
@@ -126,18 +217,26 @@ class CosineSchedule:
         self.min_lr = float(min_lr)
         self._step = 0
 
+    def _lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return float(self.base_lr * step / self.warmup_steps)
+        progress = (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        return float(self.min_lr + 0.5 * (self.base_lr - self.min_lr)
+                     * (1 + np.cos(np.pi * progress)))
+
     def step(self) -> float:
         self._step += 1
-        if self.warmup_steps and self._step <= self.warmup_steps:
-            lr = self.base_lr * self._step / self.warmup_steps
-        else:
-            progress = (self._step - self.warmup_steps) / max(
-                1, self.total_steps - self.warmup_steps
-            )
-            progress = min(1.0, progress)
-            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
-        self.optimizer.lr = float(lr)
+        self.optimizer.lr = self._lr_at(self._step)
         return self.optimizer.lr
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"step": np.int64(self._step)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step = int(state.get("step", self._step))
+        if self._step > 0:
+            self.optimizer.lr = self._lr_at(self._step)
 
 
 class StepSchedule:
@@ -156,3 +255,11 @@ class StepSchedule:
         if self._step % self.step_size == 0:
             self.optimizer.lr *= self.gamma
         return self.optimizer.lr
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"step": np.int64(self._step), "lr": np.float64(self.optimizer.lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step = int(state.get("step", self._step))
+        if "lr" in state:
+            self.optimizer.lr = float(state["lr"])

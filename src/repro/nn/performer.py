@@ -5,6 +5,17 @@ the linear-complexity Performer.  The kernelised attention follows
 Choromanski et al. (2021): queries and keys are mapped through positive random
 features so that attention can be computed as two associative matrix products
 without materialising the full attention matrix.
+
+Both per-segment reductions run through the segment-ops engine's padded dense
+view (:func:`repro.nn.functional.to_padded`), so all graphs and heads are
+processed by one batched matmul and one axis sum with no Python loop; the
+original per-graph × per-head loop survives as a parity oracle in
+:mod:`repro.nn.legacy`.
+
+The positive feature map is stabilised as prescribed by Choromanski et al.:
+the maximum of the projected logits is subtracted (per row for queries, per
+segment for keys — a per-segment constant cancels in the attention ratio)
+before exponentiation, so large-norm inputs no longer overflow to inf/NaN.
 """
 
 from __future__ import annotations
@@ -12,9 +23,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils.rng import get_rng
+from . import functional as F
 from .layers import Dropout, Linear
 from .module import Module
-from .tensor import Tensor, concat
+from .tensor import Tensor
 
 __all__ = ["PerformerAttention"]
 
@@ -38,7 +50,10 @@ class PerformerAttention(Module):
         self.out_proj = Linear(dim, dim, rng=rng)
         self.drop = Dropout(dropout, rng=rng)
         # Fixed (non-learned) random projection matrix, one per head.
-        self.projection = self._orthogonal_features(rng)
+        # Registered as a buffer so checkpoints persist it: the kernel
+        # approximation is defined by these features, and reloading a saved
+        # model must not silently redraw them.
+        self.register_buffer("projection", self._orthogonal_features(rng))
 
     def _orthogonal_features(self, rng: np.random.Generator) -> np.ndarray:
         """Draw a block-orthogonal Gaussian projection (heads, head_dim, m)."""
@@ -58,48 +73,96 @@ class PerformerAttention(Module):
             blocks.append(block * norms[None, :])
         return np.stack(blocks, axis=0)
 
-    def _feature_map(self, x: Tensor, head: int) -> Tensor:
-        """Positive softmax-kernel features phi(x) for one head."""
-        w = Tensor(self.projection[head])  # (head_dim, m)
-        projected = x.matmul(w)  # (n, m)
-        sq_norm = (x * x).sum(axis=-1, keepdims=True) * 0.5
-        scale = 1.0 / np.sqrt(self.num_features)
-        return (projected - sq_norm).exp() * scale + 1e-6
+    def _logits(self, x: Tensor, head: int | None = None) -> Tensor:
+        """Softmax-kernel logits ``w^T x - ||x||^2 / 2``.
 
-    def forward(self, x: Tensor, batch: np.ndarray) -> Tensor:
-        """Apply linear attention to ``x`` segmented by ``batch``."""
-        batch = np.asarray(batch, dtype=np.int64)
-        if x.shape[0] != batch.shape[0]:
+        ``x`` is ``(n, head_dim)`` for a single ``head``, or the batched
+        ``(heads, n, head_dim)`` view with ``head=None`` — the one formula
+        used by :meth:`forward`, :meth:`_feature_map` and the loop oracle in
+        :mod:`repro.nn.legacy`.
+        """
+        w = Tensor(self.projection if head is None else self.projection[head])
+        projected = x.matmul(w)
+        sq_norm = (x * x).sum(axis=-1, keepdims=True) * 0.5
+        return projected - sq_norm
+
+    def _positive_features(self, logits: Tensor, stabilizer) -> Tensor:
+        """``exp(logits - stabilizer) / sqrt(m) + eps`` — the positive FAVOR+
+        feature map; ``stabilizer`` is a detached max (see :meth:`forward`)."""
+        scale = 1.0 / np.sqrt(self.num_features)
+        return (logits - Tensor(stabilizer)).exp() * scale + 1e-6
+
+    def _feature_map(self, x: Tensor, head: int) -> Tensor:
+        """Positive softmax-kernel features phi(x) for one head.
+
+        Stabilised with the standard FAVOR+ max-subtraction: the (detached)
+        per-row maximum of the logits is removed before ``exp`` so that
+        large-norm inputs cannot overflow.
+        """
+        logits = self._logits(x, head)
+        stabilizer = logits.data.max(axis=-1, keepdims=True) if logits.data.size else 0.0
+        return self._positive_features(logits, stabilizer)
+
+    def forward(self, x: Tensor, batch) -> Tensor:
+        """Apply linear attention to ``x`` segmented by ``batch``.
+
+        ``batch`` may be an integer batch vector (any ordering / labelling) or
+        a precomputed :class:`~repro.nn.functional.SegmentInfo`.
+        """
+        seg = F.segment_info(batch)
+        if x.shape[0] != seg.num_rows:
             raise ValueError("x and batch must have the same number of rows")
         q = self.q_proj(x)
         k = self.k_proj(x)
         v = self.v_proj(x)
+        if seg.num_rows == 0:
+            return self.drop(self.out_proj(v))
 
-        outputs = []
-        order = []
-        scale = 1.0 / np.sqrt(np.sqrt(self.head_dim))
-        for graph_id in np.unique(batch):
-            idx = np.nonzero(batch == graph_id)[0]
-            order.append(idx)
-            n = len(idx)
-            head_outputs = []
-            for head in range(self.num_heads):
-                cols = slice(head * self.head_dim, (head + 1) * self.head_dim)
-                qh = q.gather_rows(idx)[:, cols] * scale
-                kh = k.gather_rows(idx)[:, cols] * scale
-                vh = v.gather_rows(idx)[:, cols]
-                q_feat = self._feature_map(qh, head)  # (n, m)
-                k_feat = self._feature_map(kh, head)  # (n, m)
-                kv = k_feat.transpose().matmul(vh)  # (m, head_dim)
-                numerator = q_feat.matmul(kv)  # (n, head_dim)
-                k_sum = k_feat.sum(axis=0)  # (m,)
-                denominator = q_feat.matmul(k_sum.reshape(self.num_features, 1)) + 1e-8
-                head_outputs.append(numerator / denominator)
-            outputs.append(concat(head_outputs, axis=1))
+        num_nodes = seg.num_rows
+        heads, head_dim = self.num_heads, self.head_dim
+        scale = 1.0 / np.sqrt(np.sqrt(head_dim))
 
-        stacked = concat(outputs, axis=0)
-        permutation = np.concatenate(order)
-        inverse = np.empty_like(permutation)
-        inverse[permutation] = np.arange(len(permutation))
-        restored = stacked.gather_rows(inverse)
-        return self.drop(self.out_proj(restored))
+        # (heads, N, head_dim) views; per-head column blocks match the legacy
+        # per-head slicing of the projection output.
+        qh = (q * scale).reshape(num_nodes, heads, head_dim).transpose(1, 0, 2)
+        kh = (k * scale).reshape(num_nodes, heads, head_dim).transpose(1, 0, 2)
+
+        q_logits = self._logits(qh)  # (heads, N, m)
+        k_logits = self._logits(kh)
+
+        # FAVOR+ stabilizers (detached): per row for queries; per segment and
+        # head for keys, where the constant cancels in the attention ratio.
+        q_stab = q_logits.data.max(axis=-1, keepdims=True)  # (heads, N, 1)
+        k_row_max = k_logits.data.max(axis=-1).T  # (N, heads)
+        k_seg_max = np.full((seg.num_segments, heads), -np.inf)
+        np.maximum.at(k_seg_max, seg.index, k_row_max)
+        k_stab = k_seg_max[seg.index].T[:, :, None]  # (heads, N, 1)
+
+        q_feat = self._positive_features(q_logits, q_stab)
+        k_feat = self._positive_features(k_logits, k_stab)
+
+        # Back to node-major layout for the segment reductions.
+        q_feat = q_feat.transpose(1, 0, 2)  # (N, heads, m)
+        k_feat = k_feat.transpose(1, 0, 2)
+        vh = v.reshape(num_nodes, heads, head_dim)
+
+        # Two per-segment reductions over the node axis, both through the
+        # padded dense view (padded slots are zero rows, so they contribute
+        # nothing to either reduction):
+        #   kv[s]    = sum_{j in s} phi(k_j) v_j^T     (one batched matmul)
+        #   k_sum[s] = sum_{j in s} phi(k_j)           (axis sum over slots)
+        num_graphs, length = seg.num_segments, seg.max_count
+        k_pad, _ = F.to_padded(k_feat, seg)  # (S, L, heads, m)
+        v_pad, _ = F.to_padded(vh, seg)      # (S, L, heads, head_dim)
+        kv = k_pad.transpose(0, 2, 3, 1).matmul(v_pad.transpose(0, 2, 1, 3))  # (S, heads, m, head_dim)
+        k_sum = k_pad.sum(axis=1)            # (S, heads, m)
+
+        q_pad, _ = F.to_padded(q_feat, seg)  # (S, L, heads, m)
+        numerator_pad = q_pad.transpose(0, 2, 1, 3).matmul(kv)  # (S, heads, L, head_dim)
+        numerator = F.from_padded(
+            numerator_pad.transpose(0, 2, 1, 3).reshape(num_graphs, length, heads * head_dim), seg
+        ).reshape(num_nodes, heads, head_dim)
+        denominator = (q_feat * k_sum.gather_rows(seg.index)).sum(
+            axis=-1, keepdims=True) + 1e-8                          # (N, heads, 1)
+        out = (numerator / denominator).reshape(num_nodes, self.dim)
+        return self.drop(self.out_proj(out))

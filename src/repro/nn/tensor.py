@@ -486,34 +486,72 @@ class Tensor:
 
         return self._make(out_data, (self,), backward, "getitem")
 
-    def gather_rows(self, indices) -> "Tensor":
-        """Select rows by integer index (differentiable embedding lookup)."""
+    def gather_rows(self, indices, unique: bool = False) -> "Tensor":
+        """Select rows by integer index (differentiable embedding lookup).
+
+        Pass ``unique=True`` when no index repeats: the backward pass then
+        uses direct assignment instead of the much slower ``np.add.at``.
+        """
         idx = np.asarray(indices, dtype=np.int64)
         out_data = self.data[idx]
 
         def backward(grad):
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, idx, grad)
+                if unique:
+                    full[idx] = grad
+                else:
+                    np.add.at(full, idx, grad)
                 self._accumulate(full)
 
         return self._make(out_data, (self,), backward, "gather_rows")
 
-    def scatter_add(self, indices, num_rows: int) -> "Tensor":
+    def scatter_add(self, indices, num_rows: int, unique: bool = False) -> "Tensor":
         """Sum rows of ``self`` into ``num_rows`` buckets given by ``indices``.
 
         This is the aggregation primitive used by message passing: messages on
-        edges are scattered into their destination nodes.
+        edges are scattered into their destination nodes.  With ``unique=True``
+        (no duplicate indices — e.g. padded-slot placement) the forward uses
+        direct assignment instead of ``np.add.at``.
         """
         idx = np.asarray(indices, dtype=np.int64)
         out_data = np.zeros((num_rows,) + self.shape[1:], dtype=np.float64)
-        np.add.at(out_data, idx, self.data)
+        if unique:
+            out_data[idx] = self.data
+        else:
+            np.add.at(out_data, idx, self.data)
 
         def backward(grad):
             if self.requires_grad:
                 self._accumulate(grad[idx])
 
         return self._make(out_data, (self,), backward, "scatter_add")
+
+    def segment_sum(self, indices, num_segments: int) -> "Tensor":
+        """Per-segment sum of rows: the segment-ops engine name for scatter-add."""
+        return self.scatter_add(indices, num_segments)
+
+    def segment_max(self, indices, num_segments: int) -> "Tensor":
+        """Per-segment maximum of rows.
+
+        Empty segments yield zero rows.  Gradients flow only to the winning
+        entries; ties split the gradient evenly, matching PyTorch-scatter
+        semantics.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        out_data = np.full((num_segments,) + self.shape[1:], -np.inf, dtype=np.float64)
+        np.maximum.at(out_data, idx, self.data)
+        out_data[np.isneginf(out_data)] = 0.0
+        winners = (self.data == out_data[idx]).astype(np.float64)
+        counts = np.zeros_like(out_data)
+        np.add.at(counts, idx, winners)
+        share = winners / np.maximum(counts, 1.0)[idx]
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad[idx] * share)
+
+        return self._make(out_data, (self,), backward, "segment_max")
 
     # ------------------------------------------------------------------ #
     # Softmax family

@@ -104,7 +104,8 @@ def validate_state_keys(state: dict, expected_keys, context: str = "checkpoint")
         )
 
 
-def load_checkpoint(path, *, schema: str | None = None, version: int | None = None,
+def load_checkpoint(path, *, schema: str | None = None,
+                    version: int | tuple[int, ...] | set[int] | None = None,
                     expected_keys=None) -> tuple[dict[str, np.ndarray], dict]:
     """Load a checkpoint written by :func:`save_checkpoint`.
 
@@ -115,8 +116,10 @@ def load_checkpoint(path, *, schema: str | None = None, version: int | None = No
         schema-less legacy archives and foreign schemas raise
         :class:`CheckpointError`.
     version:
-        When given (requires ``schema``), the stored schema version must
-        match exactly.
+        When given (requires ``schema``), the stored schema version must be
+        this integer — or any member, when an iterable of accepted versions
+        is passed (how callers keep loading older compatible revisions after
+        a schema bump).
     expected_keys:
         When given, the loaded state keys must equal this set; missing or
         unexpected keys raise :class:`CheckpointError` naming them, instead
@@ -141,11 +144,14 @@ def load_checkpoint(path, *, schema: str | None = None, version: int | None = No
             raise CheckpointError(
                 f"checkpoint {path} has schema {found!r}, expected {schema!r}"
             )
-        if version is not None and stamp.get("version") != int(version):
-            raise CheckpointError(
-                f"checkpoint {path} has schema version {stamp.get('version')!r}, "
-                f"expected {int(version)}"
-            )
+        if version is not None:
+            accepted = ({int(version)} if isinstance(version, (int, np.integer))
+                        else {int(v) for v in version})
+            if stamp.get("version") not in accepted:
+                raise CheckpointError(
+                    f"checkpoint {path} has schema version {stamp.get('version')!r}, "
+                    f"expected one of {sorted(accepted)}"
+                )
     if expected_keys is not None:
         validate_state_keys(state, expected_keys, context=f"checkpoint {path}")
     return state, metadata

@@ -54,6 +54,40 @@ class TestClassification:
         pairs = [(1.0 if p > n else 0.5 if p == n else 0.0) for p in pos for n in neg]
         assert roc_auc(scores, labels) == pytest.approx(np.mean(pairs))
 
+    @settings(max_examples=100, deadline=None)
+    @given(
+        scores=st.lists(st.sampled_from([0.0, 0.1, 0.25, 0.25, 0.5, 0.5, 0.9, 1.0]),
+                        min_size=2, max_size=40),
+        seed=st.integers(0, 2 ** 16),
+    )
+    def test_auc_matches_pairwise_definition_with_ties(self, scores, seed):
+        """Property: the vectorized tie-ranked AUC equals the naive pairwise
+        AUC on arbitrary tied/untied score vectors."""
+        rng = np.random.default_rng(seed)
+        scores = np.array(scores)
+        labels = rng.integers(0, 2, len(scores))
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]  # ensure both classes are present
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        pairwise = np.mean([1.0 if p > n else 0.5 if p == n else 0.0
+                            for p in pos for n in neg])
+        assert roc_auc(scores, labels) == pytest.approx(pairwise)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2 ** 16), size=st.integers(2, 60))
+    def test_auc_matches_pairwise_on_continuous_scores(self, seed, size):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(size).round(1)  # rounding forces occasional ties
+        labels = rng.integers(0, 2, size)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        pairwise = np.mean([1.0 if p > n else 0.5 if p == n else 0.0
+                            for p in pos for n in neg])
+        assert roc_auc(scores, labels) == pytest.approx(pairwise)
+
     def test_bundle_keys(self):
         bundle = classification_metrics([0.9, 0.1], [1, 0])
         assert set(bundle) == {"accuracy", "f1", "auc"}

@@ -124,6 +124,85 @@ class TestPipeline:
         # Loading must not have scheduled any training.
         assert loaded.pretrain_result.history.name == "loaded"
 
+    def test_optimizer_state_survives_roundtrip(self, pipeline, tmp_path):
+        """Resumed training keeps its Adam moments instead of silently
+        restarting from zeros (the pre-v2 behaviour)."""
+        trainer = pipeline.pretrain_result.trainer
+        assert trainer.optimizer._t > 0  # the fixture actually trained
+        path = pipeline.save(tmp_path / "resume.npz")
+        loaded = CircuitGPSPipeline.from_checkpoint(path)
+        restored = loaded.pretrain_result.trainer.optimizer
+        assert restored._t == trainer.optimizer._t
+        for original_m, restored_m in zip(trainer.optimizer._m, restored._m):
+            np.testing.assert_allclose(restored_m, original_m)
+        for original_v, restored_v in zip(trainer.optimizer._v, restored._v):
+            np.testing.assert_allclose(restored_v, original_v)
+        if trainer.schedule is not None:
+            assert (loaded.pretrain_result.trainer._pending_schedule_state
+                    is not None)
+
+    def test_v1_artifact_loads_with_fresh_optimizer_state(self, pipeline, tmp_path):
+        """Backward compatibility: schema-v1 archives (no optim.* keys) load."""
+        path = pipeline.save(tmp_path / "v2.npz")
+        state, metadata = load_checkpoint(path)
+        legacy_state = {key: value for key, value in state.items()
+                        if not key.startswith("optim.")}
+        v1 = tmp_path / "v1.npz"
+        save_checkpoint(v1, legacy_state, metadata, schema=PIPELINE_SCHEMA, version=1)
+        loaded = CircuitGPSPipeline.from_checkpoint(v1)
+        assert loaded.pretrain_result.trainer.optimizer._t == 0
+        np.testing.assert_allclose(
+            loaded.pretrain_result.model.state_dict()["node_encoder.weight"],
+            pipeline.pretrain_result.model.state_dict()["node_encoder.weight"],
+        )
+
+    def test_resave_after_load_keeps_schedule_state(self, pipeline, tmp_path):
+        """load -> save (no fit in between) must not drop the LR-schedule
+        position that the loaded artifact carried."""
+        first = pipeline.save(tmp_path / "first.npz")
+        schedule_keys = {key for key in load_checkpoint(first)[0]
+                         if key.startswith("optim.pretrain.schedule.")}
+        assert schedule_keys, "fixture training produced no schedule state"
+        loaded = CircuitGPSPipeline.from_checkpoint(first)
+        second = loaded.save(tmp_path / "second.npz")
+        state, _ = load_checkpoint(second)
+        for key in schedule_keys:
+            assert key in state, f"re-saved artifact dropped {key}"
+
+    def test_pre_buffer_performer_archive_still_loads(self, tmp_path, tiny_config,
+                                                      small_design):
+        """Archives written before Performer projections were persisted lack
+        the ``*.projection`` buffer keys; loading keeps the fresh draw and
+        warns instead of raising."""
+        config = tiny_config.with_model(attention="performer")
+        pipe = CircuitGPSPipeline(config)
+        pipe.add_design(small_design)
+        pipe.pretrain()
+        path = pipe.save(tmp_path / "performer.npz")
+        state, metadata = load_checkpoint(path)
+        stripped = {key: value for key, value in state.items()
+                    if not key.endswith(".projection")}
+        assert len(stripped) < len(state)
+        legacy = tmp_path / "pre_buffer.npz"
+        save_checkpoint(legacy, stripped, metadata, schema=PIPELINE_SCHEMA, version=1)
+        loaded = CircuitGPSPipeline.from_checkpoint(legacy)  # must not raise
+        attn = loaded.pretrain_result.model.layers[0].attention
+        assert np.all(np.isfinite(attn.projection))
+
+    def test_incompatible_optimizer_state_is_skipped_not_fatal(self, pipeline, tmp_path):
+        """A head-only fine-tune optimises fewer parameters than the reloaded
+        full-model trainer tracks; the load warns and starts fresh moments."""
+        path = pipeline.save(tmp_path / "mismatch.npz")
+        state, metadata = load_checkpoint(path)
+        # Drop one moment entry to fake a parameter-count mismatch.
+        victim = sorted(key for key in state if key.startswith("optim.pretrain.optimizer.m."))[0]
+        state.pop(victim)
+        bad = tmp_path / "mismatched.npz"
+        save_checkpoint(bad, state, metadata, schema=PIPELINE_SCHEMA,
+                        version=PIPELINE_SCHEMA_VERSION)
+        loaded = CircuitGPSPipeline.from_checkpoint(bad)  # must not raise
+        assert loaded.pretrain_result.trainer.optimizer._t == 0
+
     def test_load_rejects_tampered_artifact(self, pipeline, tmp_path):
         path = pipeline.save(tmp_path / "artifact.npz")
         state, metadata = load_checkpoint(path)

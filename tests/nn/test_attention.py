@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.nn import MultiHeadSelfAttention, PerformerAttention, Tensor
+from repro.nn import MultiHeadSelfAttention, PerformerAttention, Tensor, segment_info
+from repro.nn.legacy import loop_multihead_attention, loop_performer_attention
 
 
 def _inputs(num_nodes=10, dim=16, seed=0):
@@ -112,3 +113,138 @@ class TestPerformerAttention:
         loss = (attn(x, batch) ** 2).sum()
         loss.backward()
         assert x.grad is not None
+
+    def test_projection_persists_in_state_dict(self):
+        """Regression: reloading a saved Performer must not redraw the random
+        features — the kernel approximation is defined by them."""
+        saved = PerformerAttention(8, num_heads=2, num_features=8, rng=0)
+        restored = PerformerAttention(8, num_heads=2, num_features=8, rng=123)
+        assert not np.array_equal(saved.projection, restored.projection)
+        restored.load_state_dict(saved.state_dict())
+        np.testing.assert_array_equal(restored.projection, saved.projection)
+        saved.eval()
+        restored.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(6, 8)))
+        batch = np.array([0, 0, 0, 1, 1, 1])
+        np.testing.assert_allclose(restored(x, batch).data, saved(x, batch).data)
+
+    def test_feature_map_finite_on_large_inputs(self):
+        """Regression: the FAVOR+ stabilizer keeps exp() from overflowing."""
+        attn = PerformerAttention(8, num_heads=2, num_features=8, rng=0)
+        huge = Tensor(np.random.default_rng(0).normal(size=(5, 4)) * 1e3)
+        features = attn._feature_map(huge, head=0)
+        assert np.all(np.isfinite(features.data))
+        assert np.all(features.data > 0)
+
+    def test_forward_finite_on_large_inputs(self):
+        """Pre-stabilizer the forward produced inf/nan on large activations."""
+        attn = PerformerAttention(8, num_heads=2, num_features=8, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(10, 8)) * 100.0)
+        batch = np.array([0] * 5 + [1] * 5)
+        out = attn(x, batch)
+        assert np.all(np.isfinite(out.data))
+
+    def test_stabilizer_preserves_small_input_behaviour(self):
+        """On small inputs the stabilized features match the legacy map."""
+        attn = PerformerAttention(8, num_heads=2, num_features=8, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(9, 8)))
+        batch = np.array([0] * 4 + [1] * 5)
+        out = attn(x, batch).data
+
+        # Legacy (pre-PR-4, unstabilized) per-graph x per-head forward.
+        def legacy_feature_map(values, head):
+            projected = values @ attn.projection[head]
+            sq_norm = (values * values).sum(axis=-1, keepdims=True) * 0.5
+            return np.exp(projected - sq_norm) / np.sqrt(attn.num_features) + 1e-6
+
+        q = attn.q_proj(x).data
+        k = attn.k_proj(x).data
+        v = attn.v_proj(x).data
+        scale = 1.0 / np.sqrt(np.sqrt(attn.head_dim))
+        rows = []
+        for graph_id in np.unique(batch):
+            idx = np.nonzero(batch == graph_id)[0]
+            head_outputs = []
+            for head in range(attn.num_heads):
+                cols = slice(head * attn.head_dim, (head + 1) * attn.head_dim)
+                q_feat = legacy_feature_map(q[idx][:, cols] * scale, head)
+                k_feat = legacy_feature_map(k[idx][:, cols] * scale, head)
+                kv = k_feat.T @ v[idx][:, cols]
+                denominator = q_feat @ k_feat.sum(axis=0)[:, None] + 1e-8
+                head_outputs.append((q_feat @ kv) / denominator)
+            rows.append(np.concatenate(head_outputs, axis=1))
+        legacy = np.concatenate(rows, axis=0) @ attn.out_proj.weight.data
+        legacy = legacy + attn.out_proj.bias.data
+        # The stabilizer shift cancels exactly in the attention ratio except
+        # through the 1e-6 positivity epsilon of the feature map, which does
+        # not rescale with it — deviations stay at the epsilon level.
+        np.testing.assert_allclose(out, legacy, rtol=5e-3, atol=1e-4)
+
+
+PARITY_BATCHES = {
+    "single_graph": np.zeros(7, dtype=np.int64),
+    "ragged_sizes": np.array([0] * 1 + [1] * 9 + [2] * 4 + [3] * 2),
+    "non_contiguous_ids": np.array([7, 3, 7, 3, 3, 11, 7, 11]),
+    "interleaved_order": np.array([0, 1, 2, 0, 1, 2, 0, 1]),
+}
+
+
+class TestLoopParity:
+    """The vectorized modules must match the per-graph loop oracles ≤ 1e-8."""
+
+    @pytest.mark.parametrize("name", sorted(PARITY_BATCHES))
+    def test_multihead_matches_loop(self, name):
+        batch = PARITY_BATCHES[name]
+        attn = MultiHeadSelfAttention(16, num_heads=4, rng=0)
+        attn.eval()
+        x = Tensor(np.random.default_rng(3).normal(size=(len(batch), 16)))
+        vectorized = attn(x, batch).data
+        looped = loop_multihead_attention(attn, x, batch).data
+        np.testing.assert_allclose(vectorized, looped, atol=1e-8, rtol=1e-8)
+
+    @pytest.mark.parametrize("name", sorted(PARITY_BATCHES))
+    def test_performer_matches_loop(self, name):
+        batch = PARITY_BATCHES[name]
+        attn = PerformerAttention(16, num_heads=4, num_features=8, rng=0)
+        attn.eval()
+        x = Tensor(np.random.default_rng(4).normal(size=(len(batch), 16)))
+        vectorized = attn(x, batch).data
+        looped = loop_performer_attention(attn, x, batch).data
+        np.testing.assert_allclose(vectorized, looped, atol=1e-8, rtol=1e-8)
+
+    def test_multihead_gradient_matches_loop(self):
+        batch = np.array([0] * 3 + [1] * 5)
+        attn = MultiHeadSelfAttention(16, num_heads=2, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(5)
+        x = Tensor(rng.normal(size=(8, 16)), requires_grad=True)
+        (attn(x, batch) ** 2).sum().backward()
+        vectorized = x.grad.copy()
+        x.grad = None
+        (loop_multihead_attention(attn, x, batch) ** 2).sum().backward()
+        np.testing.assert_allclose(vectorized, x.grad, atol=1e-8, rtol=1e-8)
+
+    def test_performer_gradient_matches_loop(self):
+        batch = np.array([0] * 3 + [1] * 5)
+        attn = PerformerAttention(16, num_heads=2, num_features=8, rng=0)
+        attn.eval()
+        rng = np.random.default_rng(6)
+        x = Tensor(rng.normal(size=(8, 16)), requires_grad=True)
+        (attn(x, batch) ** 2).sum().backward()
+        vectorized = x.grad.copy()
+        x.grad = None
+        (loop_performer_attention(attn, x, batch) ** 2).sum().backward()
+        np.testing.assert_allclose(vectorized, x.grad, atol=1e-8, rtol=1e-8)
+
+    def test_accepts_precomputed_segment_info(self):
+        batch = np.array([0, 0, 1, 1, 1])
+        seg = segment_info(batch)
+        x = Tensor(np.random.default_rng(7).normal(size=(5, 8)))
+        for attn in (MultiHeadSelfAttention(8, num_heads=2, rng=0),
+                     PerformerAttention(8, num_heads=2, num_features=8, rng=0)):
+            attn.eval()
+            np.testing.assert_allclose(attn(x, seg).data, attn(x, batch).data)

@@ -77,6 +77,127 @@ class TestOptimizers:
         assert not np.allclose(w1.data, w2.data)
 
 
+class TestAdamWDecoupling:
+    def test_weight_decay_attribute_untouched_by_step(self):
+        """Regression: the old implementation temporarily zeroed the attribute."""
+        w = Parameter(np.ones(2))
+        optimizer = AdamW([w], lr=0.1, weight_decay=0.1)
+        w.grad = np.ones(2)
+        optimizer.step()
+        assert optimizer.weight_decay == 0.1
+
+    def test_decay_skips_parameters_without_grad(self):
+        with_grad = Parameter(np.ones(2) * 4)
+        without_grad = Parameter(np.ones(2) * 4)
+        optimizer = AdamW([with_grad, without_grad], lr=0.1, weight_decay=0.5)
+        with_grad.grad = np.zeros(2)
+        optimizer.step()
+        np.testing.assert_allclose(without_grad.data, np.ones(2) * 4)
+        np.testing.assert_allclose(with_grad.data, np.ones(2) * 4 * (1 - 0.1 * 0.5))
+
+    def test_decay_never_enters_moments(self):
+        """With zero gradients the moments stay zero while weights shrink."""
+        w = Parameter(np.ones(3) * 2)
+        optimizer = AdamW([w], lr=0.1, weight_decay=0.2)
+        for _ in range(3):
+            w.grad = np.zeros(3)
+            optimizer.step()
+        np.testing.assert_allclose(optimizer._m[0], np.zeros(3))
+        np.testing.assert_allclose(optimizer._v[0], np.zeros(3))
+        np.testing.assert_allclose(w.data, np.ones(3) * 2 * (1 - 0.1 * 0.2) ** 3)
+
+
+class TestOptimizerState:
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.1}),
+        (AdamW, {"lr": 0.1, "weight_decay": 1e-2}),
+    ])
+    def test_resume_matches_uninterrupted_run(self, optimizer_cls, kwargs):
+        """save -> fresh optimizer -> load -> continue == never interrupted."""
+        def run(steps, w, optimizer):
+            target = Tensor(np.array([1.0, -2.0, 3.0]))
+            for _ in range(steps):
+                diff = w - target
+                loss = (diff * diff).sum()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+        w_ref = Parameter(np.zeros(3))
+        ref = optimizer_cls([w_ref], **kwargs)
+        run(10, w_ref, ref)
+
+        w_resumed = Parameter(np.zeros(3))
+        first = optimizer_cls([w_resumed], **kwargs)
+        run(6, w_resumed, first)
+        state = first.state_dict()
+
+        second = optimizer_cls([w_resumed], **kwargs)
+        second.load_state_dict(state)
+        run(4, w_resumed, second)
+        np.testing.assert_allclose(w_resumed.data, w_ref.data, rtol=1e-12)
+
+    def test_adam_state_dict_contains_moments_and_step(self):
+        w = Parameter(np.ones(2))
+        optimizer = Adam([w], lr=0.1)
+        w.grad = np.ones(2)
+        optimizer.step()
+        state = optimizer.state_dict()
+        assert int(state["t"]) == 1
+        assert np.any(state["m.0"] != 0) and np.any(state["v.0"] != 0)
+
+    def test_load_rejects_shape_mismatch(self):
+        good = Adam([Parameter(np.ones(2))], lr=0.1)
+        other = Adam([Parameter(np.ones(5))], lr=0.1)
+        with pytest.raises(ValueError):
+            other.load_state_dict(good.state_dict())
+
+    def test_load_rejects_count_mismatch(self):
+        pair = Adam([Parameter(np.ones(2)), Parameter(np.ones(2))], lr=0.1)
+        single = Adam([Parameter(np.ones(2))], lr=0.1)
+        with pytest.raises(ValueError):
+            pair.load_state_dict(single.state_dict())
+
+    def test_load_rejects_partial_moment_state(self):
+        """m without v (or without t) would blow up the next update."""
+        w = Parameter(np.ones(2))
+        source = Adam([w], lr=0.1)
+        w.grad = np.ones(2)
+        source.step()
+        full = source.state_dict()
+        for missing in ("v.0", "t"):
+            partial = {key: value for key, value in full.items() if key != missing}
+            target = Adam([Parameter(np.ones(2))], lr=0.1)
+            with pytest.raises(ValueError, match="together"):
+                target.load_state_dict(partial)
+            np.testing.assert_allclose(target._m[0], np.zeros(2))  # untouched
+
+    def test_cosine_schedule_state_roundtrip(self):
+        first = Adam([Parameter(np.ones(1))], lr=1.0)
+        schedule = CosineSchedule(first, total_steps=10, warmup_steps=2, min_lr=0.1)
+        for _ in range(4):
+            schedule.step()
+        state = schedule.state_dict()
+
+        second = Adam([Parameter(np.ones(1))], lr=1.0)
+        resumed = CosineSchedule(second, total_steps=10, warmup_steps=2, min_lr=0.1)
+        resumed.load_state_dict(state)
+        assert second.lr == pytest.approx(first.lr)
+        assert resumed.step() == pytest.approx(schedule.step())
+
+    def test_step_schedule_state_roundtrip(self):
+        first = Adam([Parameter(np.ones(1))], lr=1.0)
+        schedule = StepSchedule(first, step_size=2, gamma=0.5)
+        for _ in range(3):
+            schedule.step()
+        second = Adam([Parameter(np.ones(1))], lr=1.0)
+        resumed = StepSchedule(second, step_size=2, gamma=0.5)
+        resumed.load_state_dict(schedule.state_dict())
+        assert second.lr == pytest.approx(first.lr)
+        assert resumed.step() == pytest.approx(schedule.step())
+
+
 class TestClipGradNorm:
     def test_norm_reported(self):
         w = Parameter(np.array([3.0, 4.0]))
