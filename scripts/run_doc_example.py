@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Extract and execute the ``python`` code blocks of a markdown document.
+
+Used by CI (the ``public-api`` job) to run the ``docs/extending.md``
+walkthrough *verbatim*: every fenced ```python block is concatenated in
+order and executed as one module, so the documented example can never drift
+from the working API.
+
+Usage::
+
+    python scripts/run_doc_example.py docs/extending.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_blocks(text: str) -> list[str]:
+    """The contents of every ```python fenced block, in document order."""
+    return [match.group(1) for match in FENCE.finditer(text)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("document", help="markdown file with ```python blocks")
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.document)
+    blocks = extract_blocks(path.read_text())
+    if not blocks:
+        print(f"error: no ```python blocks found in {path}", file=sys.stderr)
+        return 1
+    source = "\n".join(blocks)
+    print(f"running {len(blocks)} code block(s) from {path} "
+          f"({len(source.splitlines())} lines)")
+    exec(compile(source, str(path), "exec"), {"__name__": "__main__"})
+    print(f"OK: {path} example ran to completion")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,10 @@
 Reproduction of "Few-shot Learning on AMS Circuits and Its Application to
 Parasitic Capacitance Prediction" (DAC 2025).  The package is organised as:
 
+* :mod:`repro.api`      – the public surface: component registries
+  (backbones/attention/heads/encodings/samplers/tasks), the ``Task``
+  abstraction, declarative ``ExperimentSpec`` configs and the
+  ``fit``/``evaluate``/``annotate``/``load`` facade,
 * :mod:`repro.nn`       – numpy autograd + neural-network library,
 * :mod:`repro.netlist`  – SPICE netlists, synthetic designs, layout, parasitics,
 * :mod:`repro.graph`    – heterogeneous circuit graphs, subgraph sampling, PEs,
@@ -12,8 +16,10 @@ Parasitic Capacitance Prediction" (DAC 2025).  The package is organised as:
   (:mod:`repro.core.serve`) and the CLI (``python -m repro``),
 * :mod:`repro.analysis` – energy model and report formatting.
 
-See ``docs/architecture.md`` for the module map and data flow and
-``docs/api.md`` for the generated API reference.
+See ``docs/architecture.md`` for the module map and data flow,
+``docs/api.md`` for the generated API reference and ``docs/extending.md``
+for the one-file plugin walkthrough (new backbone/head/task via
+``repro.api``).
 """
 
 __version__ = "0.1.0"

@@ -1,7 +1,9 @@
 """``python -m repro`` — the command-line entry point.
 
 See :mod:`repro.core.cli` for the subcommands (train / annotate / evaluate /
-report) and ``docs/architecture.md`` for the workflow they implement.
+report / components) and ``docs/architecture.md`` for the workflow they
+implement; ``train --spec`` consumes declarative
+:class:`repro.api.ExperimentSpec` JSON files.
 """
 
 from .core.cli import main

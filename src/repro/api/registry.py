@@ -1,0 +1,209 @@
+"""A generic, decorator-based component registry.
+
+This is the mechanism behind every pluggable component family of the public
+API (:mod:`repro.api.registries`): a :class:`Registry` maps string names to
+classes or factory callables, and :meth:`Registry.build` instantiates an
+entry from a declarative spec — either a bare name or a ``{"type": name,
+**kwargs}`` dict, the shape used throughout
+:class:`~repro.api.spec.ExperimentSpec` and checkpoint metadata.
+
+Registering is one decorator in the module that defines the component::
+
+    from repro.api import BACKBONES
+
+    @BACKBONES.register("my_backbone")
+    class MyBackbone(Module):
+        ...
+
+after which ``BACKBONES.build({"type": "my_backbone", "dim": 32})`` works
+from anywhere — the CLI, checkpoint loading, serving — without that code
+knowing the class.  Duplicate names and unknown lookups raise
+:class:`RegistryError` (a ``ValueError``) whose message lists the available
+names, so a typo in a config fails with an actionable error instead of a
+``KeyError`` deep in a build stack.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Iterator
+
+__all__ = ["Registry", "RegistryError"]
+
+
+class RegistryError(ValueError):
+    """A registry name collision or a lookup of an unknown component name."""
+
+
+class Registry:
+    """Name -> component map with decorator registration and spec building.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular name of the component family (``"backbone"``,
+        ``"task"`` ...); used in error messages.
+    ensure_loaded:
+        Optional zero-argument callable invoked before every lookup; the
+        public registries use it to import the modules that register the
+        built-in components, so ``BACKBONES.get("circuitgps")`` works even
+        when ``repro.models`` has not been imported yet.
+    """
+
+    def __init__(self, kind: str, ensure_loaded: Callable[[], None] | None = None):
+        self.kind = str(kind)
+        self._entries: dict[str, Any] = {}
+        self._ensure_loaded = ensure_loaded
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, obj: Any = None):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``@REGISTRY.register("name")`` above a class/function registers it
+        and returns it unchanged (the registered object also gains a
+        ``registry_name`` attribute for reverse lookup).  Registering an
+        already-taken name raises :class:`RegistryError`.
+        """
+        if obj is None:
+            def decorator(target):
+                self.register(name, target)
+                return target
+            return decorator
+        key = str(name).lower()
+        if key in self._entries:
+            raise RegistryError(
+                f"duplicate {self.kind} registration {name!r}: already registered "
+                f"as {self._entries[key]!r}"
+            )
+        self._entries[key] = obj
+        try:
+            obj.registry_name = key
+        except (AttributeError, TypeError):  # builtins / slotted objects
+            pass
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (primarily for tests tearing down plugins)."""
+        self._entries.pop(str(name).lower(), None)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def _loaded_entries(self) -> dict[str, Any]:
+        if self._ensure_loaded is not None:
+            self._ensure_loaded()
+        return self._entries
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered component."""
+        return sorted(self._loaded_entries())
+
+    def get(self, name: str) -> Any:
+        """The component registered under ``name``.
+
+        Unknown names raise :class:`RegistryError` listing what *is*
+        available — the error a typo'd config surfaces to the user.
+        """
+        entries = self._loaded_entries()
+        key = str(name).lower()
+        if key not in entries:
+            available = ", ".join(sorted(entries)) or "(none registered)"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}, available: {available}"
+            )
+        return entries[key]
+
+    def name_of(self, obj: Any) -> str | None:
+        """Reverse lookup: the registered name of ``obj`` (or its class)."""
+        entries = self._loaded_entries()
+        for candidate in (obj, type(obj)):
+            for name, entry in entries.items():
+                if entry is candidate:
+                    return name
+        return None
+
+    def __contains__(self, name: object) -> bool:
+        return str(name).lower() in self._loaded_entries()
+
+    def __len__(self) -> int:
+        return len(self._loaded_entries())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def items(self) -> list[tuple[str, Any]]:
+        """Sorted ``(name, component)`` pairs."""
+        return sorted(self._loaded_entries().items())
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def spec_of(spec) -> tuple[str, dict]:
+        """Normalise a spec (name or ``{"type": ..., **kwargs}``) to a pair."""
+        if isinstance(spec, str):
+            return spec, {}
+        if isinstance(spec, dict):
+            if "type" not in spec:
+                raise RegistryError(
+                    f"component spec {spec!r} has no 'type' key"
+                )
+            kwargs = {key: value for key, value in spec.items() if key != "type"}
+            return str(spec["type"]), kwargs
+        raise RegistryError(
+            f"component spec must be a name or a {{'type': ...}} dict, "
+            f"got {type(spec).__name__}"
+        )
+
+    def build(self, spec, **common) -> Any:
+        """Instantiate the component described by ``spec``.
+
+        ``spec`` is either a registered name or a ``{"type": name,
+        **kwargs}`` dict; the kwargs are passed to the registered
+        class/factory.  ``common`` kwargs (e.g. ``rng=``) are merged in, but
+        only those the constructor actually accepts — so generic call sites
+        can offer an RNG without forcing every plugin to declare one.
+        """
+        name, kwargs = self.spec_of(spec)
+        factory = self.get(name)
+        if not callable(factory):
+            if common or kwargs:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is not callable and cannot take "
+                    f"arguments {sorted({**kwargs, **common})}"
+                )
+            return factory
+        for key, value in common.items():
+            if key in kwargs:
+                continue
+            if _accepts_kwarg(factory, key):
+                kwargs[key] = value
+        try:
+            return factory(**kwargs)
+        except TypeError as exc:
+            raise RegistryError(
+                f"could not build {self.kind} {name!r} from spec kwargs "
+                f"{sorted(kwargs)}: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"
+
+
+def _accepts_kwarg(factory: Callable, name: str) -> bool:
+    """Whether calling ``factory(name=...)`` is valid (``**kwargs`` counts)."""
+    try:
+        target = factory if inspect.isroutine(factory) else factory.__init__
+        signature = inspect.signature(target)
+    except (TypeError, ValueError):
+        return True
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY
+        ):
+            return True
+    return False

@@ -1,0 +1,258 @@
+"""First-class :class:`Task` abstraction: what used to be ``task=`` strings.
+
+A :class:`Task` bundles everything the training/serving stack needs to know
+about one workload — how to build its dataset from a design, which backbone
+head it drives, its loss, its prediction transform and its metric bundle.
+The trainer, fine-tuning layer, pipeline and annotation engine all dispatch
+through these objects instead of ``if task == "edge_regression"`` chains, so
+registering a new task in the :data:`~repro.api.registries.TASKS` registry
+is all it takes to train and serve a new workload.
+
+Legacy string values (``"link"``, ``"edge_regression"``,
+``"node_regression"``) resolve through the registry via
+:func:`resolve_task`, so every existing config and checkpoint keeps working.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.config import DataConfig
+from ..core.datasets import (
+    CapacitanceNormalizer,
+    DesignData,
+    build_edge_regression_samples,
+    build_link_samples,
+    build_node_regression_samples,
+)
+from ..core.metrics import classification_metrics, regression_metrics
+from ..nn import bce_with_logits, mse_loss, stable_sigmoid
+from .registries import TASKS
+from .registry import RegistryError
+
+__all__ = [
+    "Task",
+    "LinkPredictionTask",
+    "EdgeRegressionTask",
+    "NodeRegressionTask",
+    "GraphPropertyTask",
+    "resolve_task",
+]
+
+
+class Task(ABC):
+    """One workload: dataset construction, head wiring, loss and metrics.
+
+    Subclasses set :attr:`name` (the registry name), :attr:`kind`
+    (``"classification"`` or ``"regression"``) and :attr:`model_task` (the
+    task string handed to the backbone's ``forward`` — built-in tasks map to
+    one of CircuitGPS's heads; custom tasks default it to their own name)
+    and implement :meth:`build_samples`.
+    """
+
+    name: str = "task"
+    kind: str = "regression"
+    #: Head selector passed to ``model(batch, task=...)``; defaults to ``name``.
+    model_task: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # Dataset construction
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def build_samples(self, design: DesignData, config: DataConfig, *,
+                      pe_kind: str = "dspd",
+                      normalizer: CapacitanceNormalizer | None = None,
+                      rng=None) -> list:
+        """Sampled subgraphs (with targets/labels attached) for one design."""
+
+    def build_dataset(self, designs, config, *, pe_kind: str = "dspd",
+                      normalizer: CapacitanceNormalizer | None = None, rng=None):
+        """Pooled, shuffled :class:`~repro.core.data.SubgraphDataset` over designs.
+
+        One :meth:`build_samples` call per design (each with a spawned RNG),
+        then a single shuffle — the sampling recipe the training layer has
+        always used.
+        """
+        from ..core.data import SubgraphDataset
+        from ..utils.rng import get_rng, spawn_rng
+
+        rng = get_rng(rng)
+        samples = []
+        for design in designs:
+            samples.extend(
+                self.build_samples(design, config, pe_kind=pe_kind,
+                                   normalizer=normalizer, rng=spawn_rng(rng))
+            )
+        return SubgraphDataset.from_samples(samples, pe_kind=pe_kind).shuffled(rng)
+
+    # ------------------------------------------------------------------ #
+    # Model wiring
+    # ------------------------------------------------------------------ #
+    @property
+    def head_task(self) -> str:
+        """The task string the backbone's forward/head plumbing receives."""
+        return self.model_task if self.model_task is not None else self.name
+
+    def forward(self, model, batch):
+        """Backbone predictions for one batch (override for exotic models)."""
+        return model(batch, task=self.head_task)
+
+    def build_head(self, dim: int, *, stats_dim: int = 13, dropout: float = 0.0,
+                   rng=None):
+        """A fresh head module suited to this task (for custom backbones)."""
+        from .registries import HEADS
+
+        head = "link_prediction" if self.kind == "classification" else "regression"
+        return HEADS.build({"type": head, "dim": dim}, stats_dim=stats_dim,
+                           dropout=dropout, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Loss / prediction / metrics
+    # ------------------------------------------------------------------ #
+    def loss(self, predictions, batch):
+        """Training loss for one batch of predictions."""
+        if self.kind == "classification":
+            return bce_with_logits(predictions, batch.labels)
+        return mse_loss(predictions, batch.targets)
+
+    def predict(self, raw: np.ndarray) -> np.ndarray:
+        """Map raw model outputs to scores (probabilities / clipped values)."""
+        if self.kind == "classification":
+            return stable_sigmoid(raw)
+        # Regression targets are normalised to [0, 1] (Section IV-C).
+        return np.clip(raw, 0.0, 1.0)
+
+    def metrics(self, scores: np.ndarray, dataset) -> dict[str, float]:
+        """The task-appropriate metric bundle over a scored dataset."""
+        if self.kind == "classification":
+            return classification_metrics(scores, dataset.labels())
+        return regression_metrics(scores, dataset.targets())
+
+    # ------------------------------------------------------------------ #
+    def spec(self) -> dict:
+        """The declarative ``{"type": name}`` form of this task."""
+        return {"type": self.name}
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.spec() == self.spec()
+
+    def __hash__(self) -> int:
+        return hash((type(self), tuple(sorted(self.spec().items()))))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, kind={self.kind!r})"
+
+
+@TASKS.register("link")
+class LinkPredictionTask(Task):
+    """Coupling-existence classification — the pre-training task (Section III)."""
+
+    name = "link"
+    kind = "classification"
+
+    def build_samples(self, design, config, *, pe_kind="dspd", normalizer=None,
+                      rng=None):
+        """Balanced positive/negative link subgraphs for one design."""
+        return build_link_samples(design, config, pe_kind=pe_kind, rng=rng)
+
+
+@TASKS.register("edge_regression")
+class EdgeRegressionTask(Task):
+    """Coupling-capacitance regression on candidate node pairs (Tables VI/VII)."""
+
+    name = "edge_regression"
+    kind = "regression"
+
+    def build_samples(self, design, config, *, pe_kind="dspd", normalizer=None,
+                      rng=None):
+        """Capacitance-labelled link subgraphs (negatives carry zero targets)."""
+        return build_edge_regression_samples(design, config, pe_kind=pe_kind,
+                                             normalizer=normalizer, rng=rng)
+
+
+@TASKS.register("node_regression")
+class NodeRegressionTask(Task):
+    """Ground-capacitance regression per net/pin node (Table VIII)."""
+
+    name = "node_regression"
+    kind = "regression"
+
+    def build_samples(self, design, config, *, pe_kind="dspd", normalizer=None,
+                      rng=None):
+        """2-hop node subgraphs labelled with normalised ground capacitance."""
+        return build_node_regression_samples(design, config, pe_kind=pe_kind,
+                                             normalizer=normalizer, rng=rng)
+
+
+@TASKS.register("graph_property")
+class GraphPropertyTask(Task):
+    """Whole-subgraph property regression — the extension-point workload.
+
+    Predicts a structural property of each sampled neighbourhood instead of a
+    parasitic value; the default ``"density"`` target is the subgraph's edge
+    density in ``[0, 1]``.  Useful both as a sanity workload (the property is
+    computable, so learnability is easy to verify) and as the template for
+    one-file custom tasks (see ``docs/extending.md``).
+    """
+
+    name = "graph_property"
+    kind = "regression"
+    model_task = "node_regression"  # pooled regression head on CircuitGPS
+
+    #: Supported property names -> target function of a subgraph.
+    PROPERTIES = ("density", "log_size")
+
+    def __init__(self, property: str = "density"):
+        if property not in self.PROPERTIES:
+            raise RegistryError(
+                f"unknown graph property {property!r}, available: "
+                f"{', '.join(self.PROPERTIES)}"
+            )
+        self.property = property
+
+    def target_of(self, subgraph) -> float:
+        """The normalised property value of one subgraph (in ``[0, 1]``)."""
+        n = max(int(subgraph.num_nodes), 1)
+        if self.property == "density":
+            possible = n * (n - 1) / 2
+            return float(min(subgraph.num_edges / possible, 1.0)) if possible else 0.0
+        # log_size: log2(num_nodes) squashed to [0, 1] with a 1024-node ceiling.
+        return float(min(np.log2(n) / 10.0, 1.0))
+
+    def build_samples(self, design, config, *, pe_kind="dspd", normalizer=None,
+                      rng=None):
+        """Node-anchored subgraphs relabelled with the structural property."""
+        samples = build_node_regression_samples(design, config, pe_kind=pe_kind,
+                                                normalizer=normalizer, rng=rng)
+        for subgraph in samples:
+            subgraph.target = self.target_of(subgraph)
+            subgraph.extras["property"] = self.property
+        return samples
+
+    def spec(self) -> dict:
+        """Spec round-trip includes the chosen property."""
+        return {"type": self.name, "property": self.property}
+
+
+def resolve_task(task) -> Task:
+    """Normalise a task argument — a :class:`Task`, a legacy string or a
+    ``{"type": ...}`` spec — into a :class:`Task` instance.
+
+    Unknown names raise a ``ValueError`` (:class:`RegistryError`) listing
+    the registered task names.
+    """
+    if isinstance(task, Task):
+        return task
+    if isinstance(task, (str, dict)):
+        built = TASKS.build(task)
+        if not isinstance(built, Task):
+            raise RegistryError(
+                f"registered task {task!r} built {type(built).__name__}, "
+                "expected a repro.api.Task"
+            )
+        return built
+    raise RegistryError(
+        f"task must be a Task, a task name or a spec dict, got {type(task).__name__}"
+    )

@@ -1,15 +1,18 @@
 """Command-line interface: the paper workflow from the shell.
 
-``python -m repro`` exposes four subcommands built on the serving layer:
+``python -m repro`` exposes five subcommands built on :mod:`repro.api`:
 
 * ``train``    — build the design suite, pre-train + fine-tune, save one
-  full-pipeline artifact (:meth:`CircuitGPSPipeline.save`),
+  full-pipeline artifact (:meth:`CircuitGPSPipeline.save`); accepts a
+  declarative :class:`repro.api.ExperimentSpec` JSON file via ``--spec``,
 * ``annotate`` — load an artifact and annotate one-or-many SPICE netlists
   with predicted couplings (:class:`~repro.core.serve.AnnotationEngine`),
 * ``evaluate`` — zero-shot link / regression metrics of a saved artifact on
   the bundled test designs,
 * ``report``   — render annotation JSON or ``benchmarks/results`` JSON files
-  as plain-text tables.
+  as plain-text tables,
+* ``components`` — list every registered backbone / attention kernel / head /
+  encoding / sampler / task (the plugin surface of :mod:`repro.api`).
 
 Every command works against saved artifacts, so training once and serving
 many times needs no Python session::
@@ -57,16 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train the pipeline and save one artifact")
     train.add_argument("--config", default="fast", choices=sorted(CONFIG_PRESETS),
                        help="configuration preset (default: fast)")
+    train.add_argument("--spec", default=None, metavar="SPEC.json",
+                       help="declarative ExperimentSpec JSON file; overrides "
+                            "--config/--tasks/--mode (CLI flags below still "
+                            "apply on top)")
     train.add_argument("--out", required=True,
                        help="artifact destination: a directory (pipeline.npz is "
                             "written inside) or a .npz path")
     train.add_argument("--designs", nargs="*", default=None,
                        help="subset of paper designs to build (default: all six)")
-    train.add_argument("--tasks", nargs="*", default=["edge_regression"],
-                       choices=REGRESSION_TASKS,
-                       help="regression tasks to fine-tune (default: edge_regression)")
-    train.add_argument("--mode", default="all", choices=("scratch", "head", "all"),
-                       help="fine-tuning mode (default: all)")
+    train.add_argument("--tasks", nargs="*", default=None,
+                       help="tasks to fine-tune (any registered task name; see "
+                            "'components'; default: edge_regression)")
+    train.add_argument("--mode", default=None, choices=("scratch", "head", "all"),
+                       help="fine-tuning mode (default: all, or the --spec's mode)")
     train.add_argument("--epochs", type=int, default=None, help="override training epochs")
     train.add_argument("--scale", type=float, default=None, help="override design scale")
     train.add_argument("--max-links", type=int, default=None,
@@ -121,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", nargs="?", default="benchmarks/results",
                         help="an annotation JSON, a results JSON, or a directory "
                              "of them (default: benchmarks/results)")
+
+    components = sub.add_parser(
+        "components", help="list the registered pluggable components")
+    components.add_argument("--family", default=None,
+                            help="restrict to one registry (e.g. backbones, tasks)")
+    components.add_argument("--json", default=None, metavar="PATH",
+                            help="write the component listing as JSON")
     return parser
 
 
@@ -176,17 +190,46 @@ def _apply_overrides(config: ExperimentConfig, args) -> ExperimentConfig:
 
 
 def cmd_train(args) -> int:
-    config = _apply_overrides(CONFIG_PRESETS[args.config](), args)
-    pipeline = CircuitGPSPipeline(config)
+    from ..api.spec import ExperimentSpec
+
+    if args.spec:
+        spec = ExperimentSpec.from_json(args.spec)
+        config = _apply_overrides(spec.to_config(), args)
+        tasks = args.tasks if args.tasks else [spec.task]
+        mode = args.mode if args.mode is not None else spec.mode
+        # CLI model flags take precedence over the spec's backbone kwargs
+        # (build_model merges the backbone spec over the config, so the
+        # overrides must land in the spec too).
+        backbone = dict(spec.backbone)
+        for key, field in (("dim", "dim"), ("layers", "num_layers"),
+                           ("attention", "attention")):
+            value = getattr(args, key, None)
+            if value is not None:
+                backbone[field] = value
+        pretrain = spec.pretrain
+    else:
+        config = _apply_overrides(CONFIG_PRESETS[args.config](), args)
+        tasks = args.tasks if args.tasks else ["edge_regression"]
+        mode = args.mode if args.mode is not None else "all"
+        backbone = None
+        pretrain = True
+    if not pretrain:
+        # "pretrain": false means the task model must not adapt a meta-learner
+        # (same training as repro.api.fit: a scratch fine-tune).  The link
+        # model is still pre-trained because the saved artifact needs one to
+        # serve coupling probabilities (AnnotationEngine).
+        mode = "scratch"
+    pipeline = CircuitGPSPipeline(config, backbone=backbone)
     print(f"Building the design suite (scale={config.data.scale}) ...")
     pipeline.load_designs(names=args.designs)
     print(f"Pre-training on {len(pipeline.train_designs)} training design(s) ...")
-    pretrain = pipeline.pretrain(verbose=args.verbose)
-    metrics = {k: round(v, 4) for k, v in pretrain.val_metrics.items()}
+    result = pipeline.pretrain(verbose=args.verbose)
+    metrics = {k: round(v, 4) for k, v in result.val_metrics.items()}
     print(f"  link-prediction validation metrics: {metrics}")
-    for task in args.tasks:
-        print(f"Fine-tuning ({task}, mode={args.mode}) ...")
-        pipeline.finetune(mode=args.mode, task=task, verbose=args.verbose)
+    for task in tasks:
+        name = task["type"] if isinstance(task, dict) else task
+        print(f"Fine-tuning ({name}, mode={mode}) ...")
+        pipeline.finetune(mode=mode, task=task, verbose=args.verbose)
     path = pipeline.save(args.out)
     print(f"Saved full-pipeline artifact to {path}")
     return 0
@@ -336,14 +379,39 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_components(args) -> int:
+    """List the pluggable component registries (``repro.api``)."""
+    from ..api.registries import list_components
+
+    listing = list_components()
+    if args.family is not None:
+        if args.family not in listing:
+            print(f"error: unknown registry {args.family!r}; "
+                  f"available: {', '.join(sorted(listing))}", file=sys.stderr)
+            return 2
+        listing = {args.family: listing[args.family]}
+    rows = [{"registry": family, "count": len(names),
+             "components": ", ".join(names) or "(none)"}
+            for family, names in sorted(listing.items())]
+    print(format_table(rows, title="Registered components (repro.api)"))
+    if args.json:
+        save_json(args.json, listing)
+        print(f"Wrote component listing to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``; returns a process exit code."""
+    from ..api.registry import RegistryError
+    from ..api.spec import SpecError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"train": cmd_train, "annotate": cmd_annotate,
-                "evaluate": cmd_evaluate, "report": cmd_report}
+                "evaluate": cmd_evaluate, "report": cmd_report,
+                "components": cmd_components}
     try:
         return handlers[args.command](args)
-    except (CheckpointError, FileNotFoundError) as exc:
+    except (CheckpointError, FileNotFoundError, RegistryError, SpecError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

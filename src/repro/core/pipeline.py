@@ -18,6 +18,7 @@ capacitances via :meth:`predict_couplings`.
 from __future__ import annotations
 
 import pathlib
+import warnings
 
 import numpy as np
 
@@ -32,7 +33,7 @@ from ..utils.serialization import (
 )
 from .config import ExperimentConfig
 from .datasets import CapacitanceNormalizer, DesignData, load_design_suite
-from .finetune import FinetuneResult, evaluate_regression, finetune_regression
+from .finetune import FinetuneResult, evaluate_task, finetune_task
 from .pretrain import PretrainResult, build_model, evaluate_zero_shot_link, pretrain_link_model
 
 __all__ = ["CircuitGPSPipeline", "PIPELINE_SCHEMA", "PIPELINE_SCHEMA_VERSION",
@@ -45,17 +46,26 @@ logger = get_logger("repro.pipeline")
 # v1: model weights + config/normalizer/design metadata.
 # v2: adds optimizer + LR-schedule state under "optim.*" keys, so resumed
 #     training keeps its Adam moments and schedule position.
+# v3: persists the declarative ExperimentSpec and stamps every stored model
+#     with its registry "type", so load() can rebuild *any* registered
+#     backbone/head graph (plugins included), not just CircuitGPS.
 PIPELINE_SCHEMA = "circuitgps-pipeline"
-PIPELINE_SCHEMA_VERSION = 2
-PIPELINE_COMPATIBLE_VERSIONS = (1, 2)
+PIPELINE_SCHEMA_VERSION = 3
+PIPELINE_COMPATIBLE_VERSIONS = (1, 2, 3)
 PIPELINE_ARTIFACT_NAME = "pipeline.npz"
 
 
 class CircuitGPSPipeline:
     """End-to-end few-shot learning pipeline for AMS parasitic prediction."""
 
-    def __init__(self, config: ExperimentConfig | None = None):
+    def __init__(self, config: ExperimentConfig | None = None,
+                 backbone: dict | str | None = None):
         self.config = config or ExperimentConfig.default()
+        # Optional registered-backbone spec ({"type": name, **kwargs});
+        # None means the config's CircuitGPS.  Set by repro.api.fit and
+        # restored from schema-v3 checkpoints.
+        self.backbone_spec = ({"type": backbone} if isinstance(backbone, str)
+                              else dict(backbone) if backbone else None)
         self.designs: dict[str, DesignData] = {}
         self.pretrain_result: PretrainResult | None = None
         self.finetune_results: dict[tuple[str, str], FinetuneResult] = {}
@@ -101,20 +111,29 @@ class CircuitGPSPipeline:
         if not self.train_designs:
             raise RuntimeError("no training designs loaded")
         self.pretrain_result = pretrain_link_model(self.train_designs, self.config,
-                                                   verbose=verbose)
+                                                   verbose=verbose,
+                                                   backbone=self.backbone_spec)
         return self.pretrain_result
 
-    def finetune(self, mode: str = "all", task: str = "edge_regression",
+    def finetune(self, mode: str = "all", task="edge_regression",
                  verbose: bool = False) -> FinetuneResult:
-        """Fine-tune for capacitance regression (``mode`` in scratch/head/all)."""
+        """Fine-tune any registered task (``mode`` in scratch/head/all).
+
+        ``task`` is a :class:`repro.api.Task`, a registered name or a spec
+        dict; results are stored under ``(task_name, mode)``.
+        """
+        from ..api.tasks import resolve_task
+
+        task = resolve_task(task)
         pretrained = None
         if mode != "scratch":
             if self.pretrain_result is None:
                 self.pretrain()
             pretrained = self.pretrain_result.model
-        result = finetune_regression(self.train_designs, pretrained=pretrained, mode=mode,
-                                     task=task, config=self.config, verbose=verbose)
-        self.finetune_results[(task, mode)] = result
+        result = finetune_task(self.train_designs, task, pretrained=pretrained, mode=mode,
+                               config=self.config, verbose=verbose,
+                               backbone=self.backbone_spec)
+        self.finetune_results[(task.name, mode)] = result
         return result
 
     # ------------------------------------------------------------------ #
@@ -127,14 +146,17 @@ class CircuitGPSPipeline:
         return evaluate_zero_shot_link(self.pretrain_result, self._design(design_name),
                                        self.config)
 
-    def evaluate_regression(self, design_name: str, task: str = "edge_regression",
+    def evaluate_regression(self, design_name: str, task="edge_regression",
                             mode: str = "all") -> dict[str, float]:
-        """Zero-shot regression metrics on one (test) design."""
-        key = (task, mode)
+        """Zero-shot task metrics on one (test) design."""
+        from ..api.tasks import resolve_task
+
+        task = resolve_task(task)
+        key = (task.name, mode)
         if key not in self.finetune_results:
             self.finetune(mode=mode, task=task)
-        return evaluate_regression(self.finetune_results[key], self._design(design_name),
-                                   task=task, config=self.config)
+        return evaluate_task(self.finetune_results[key], self._design(design_name),
+                             task=task, config=self.config)
 
     # ------------------------------------------------------------------ #
     # Inference on user circuits
@@ -144,6 +166,11 @@ class CircuitGPSPipeline:
                           rng=None, batch_size: int | None = None,
                           workers: int | None = None) -> list[dict]:
         """Predict coupling existence and capacitance for candidate node pairs.
+
+        .. deprecated::
+            Use :func:`repro.api.annotate` (or build an
+            :class:`~repro.core.serve.AnnotationEngine` directly); this
+            wrapper only survives for existing callers.
 
         ``candidate_pairs`` holds graph-node names: net names or pins written
         as ``"<device>:<terminal>"``.  Returns one record per pair with the
@@ -163,6 +190,12 @@ class CircuitGPSPipeline:
         from .data import default_pe_cache
         from .serve import AnnotationEngine
 
+        warnings.warn(
+            "CircuitGPSPipeline.predict_couplings() is deprecated; use "
+            "repro.api.annotate(pipeline, netlist, pairs=...) or an "
+            "AnnotationEngine instead",
+            DeprecationWarning, stacklevel=2,
+        )
         if self.pretrain_result is None:
             raise RuntimeError("pretrain() must run before inference")
         if (task, mode) not in self.finetune_results:
@@ -178,6 +211,67 @@ class CircuitGPSPipeline:
         )
         annotation = engine.annotate(circuit, pairs=candidate_pairs, seed=seed)
         return annotation.records
+
+    # ------------------------------------------------------------------ #
+    # Declarative view
+    # ------------------------------------------------------------------ #
+    def _component_meta(self, model) -> dict:
+        """``{"type": registry_name, **model.config()}`` for one model.
+
+        The name comes from the backbone registry's reverse lookup;
+        factory-registered backbones (whose *class* is not the registry
+        entry) fall back to this pipeline's ``backbone_spec`` type.  A model
+        that cannot be named at all is stamped ``circuitgps`` with a loud
+        warning — the resulting checkpoint would rebuild the wrong class.
+        """
+        from ..api.registries import BACKBONES
+        from ..api.registry import Registry
+        from ..models import CircuitGPS
+
+        name = BACKBONES.name_of(model)
+        if name is None and self.backbone_spec is not None:
+            name = Registry.spec_of(self.backbone_spec)[0]
+        if name is None:
+            if not isinstance(model, CircuitGPS):
+                logger.warning(
+                    "model %s has no registered backbone name; stamping the "
+                    "checkpoint as 'circuitgps', which will NOT reload this "
+                    "model — register the backbone in repro.api.BACKBONES",
+                    type(model).__name__,
+                )
+            name = "circuitgps"
+        meta = {"type": name}
+        if hasattr(model, "config"):
+            meta.update(model.config())
+        return meta
+
+    @property
+    def spec(self):
+        """The :class:`repro.api.ExperimentSpec` describing this pipeline.
+
+        Derived from the configuration, the (registered) backbone and the
+        first fine-tuned task/mode; persisted in schema-v3 checkpoints so
+        :meth:`load` can rebuild any registered component graph.
+        """
+        from ..api.spec import ExperimentSpec
+
+        payload = self.config.as_dict()
+        if self.pretrain_result is not None:
+            backbone = self._component_meta(self.pretrain_result.model)
+        elif self.backbone_spec is not None:
+            backbone = dict(self.backbone_spec)
+        else:
+            backbone = {"type": "circuitgps", **payload["model"]}
+        if self.finetune_results:
+            task_name, mode = sorted(self.finetune_results)[0]
+            result = self.finetune_results[(task_name, mode)]
+            task_obj = getattr(result.trainer, "task_obj", None)
+            task_spec = task_obj.spec() if task_obj is not None else {"type": task_name}
+        else:
+            task_spec, mode = {"type": "edge_regression"}, "all"
+        return ExperimentSpec(backbone=backbone, task=task_spec,
+                              train=payload["train"], data=payload["data"],
+                              mode=mode, name=payload.get("name", "experiment"))
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -217,10 +311,17 @@ class CircuitGPSPipeline:
                           for key, value in result.model.state_dict().items()})
             state.update({f"optim.{prefix}{key}": value
                           for key, value in result.trainer.state_dict().items()})
-            finetunes.append({"task": task, "mode": mode, "model": result.model.config()})
+            task_obj = getattr(result.trainer, "task_obj", None)
+            finetunes.append({"task": task, "mode": mode,
+                              # Full task spec (constructor kwargs included),
+                              # so parameterized tasks rebuild exactly.
+                              "task_spec": (task_obj.spec() if task_obj is not None
+                                            else {"type": task}),
+                              "model": self._component_meta(result.model)})
         metadata = {
             "experiment": self.config.as_dict(),
-            "model": model.config(),
+            "model": self._component_meta(model),
+            "spec": self.spec.to_dict(),
             "finetunes": finetunes,
             "normalizer": {"cap_min": self.normalizer.cap_min,
                            "cap_max": self.normalizer.cap_max},
@@ -271,8 +372,30 @@ class CircuitGPSPipeline:
                     normalizer: CapacitanceNormalizer | None = None) -> "CircuitGPSPipeline":
         """Assemble a pipeline around already-built models without training.
 
-        Used by :meth:`load` and by serving benchmarks; ``heads`` maps
-        ``(task, mode)`` to a regression model.
+        .. deprecated::
+            Serving entry points are :func:`repro.api.load` /
+            :meth:`from_checkpoint`; tests and benchmarks that hand-build
+            models should migrate to those or construct the pipeline pieces
+            directly.  ``heads`` maps ``(task, mode)`` to a regression model.
+        """
+        warnings.warn(
+            "CircuitGPSPipeline.from_models() is deprecated; load pipelines "
+            "with repro.api.load(path) / CircuitGPSPipeline.from_checkpoint(path)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return cls._assemble(config, link_model, heads=heads, normalizer=normalizer)
+
+    @classmethod
+    def _assemble(cls, config: ExperimentConfig, link_model,
+                  heads: dict[tuple[str, str], object] | None = None,
+                  normalizer: CapacitanceNormalizer | None = None,
+                  task_specs: dict[tuple[str, str], dict] | None = None
+                  ) -> "CircuitGPSPipeline":
+        """Internal :meth:`from_models` body (no deprecation warning).
+
+        ``task_specs`` optionally maps ``(task, mode)`` to a full task spec
+        dict, so parameterized tasks rebuild with their saved constructor
+        kwargs instead of registry defaults.
         """
         from ..utils.logging import MetricLogger
         from .trainer import Trainer
@@ -285,18 +408,42 @@ class CircuitGPSPipeline:
             history=MetricLogger("loaded"), config=config,
         )
         for (task, mode), model in (heads or {}).items():
+            trainer_task = (task_specs or {}).get((task, mode), task)
             pipeline.finetune_results[(task, mode)] = FinetuneResult(
-                model=model, trainer=Trainer(model, task=task, config=config.train),
+                model=model, trainer=Trainer(model, task=trainer_task, config=config.train),
                 history=MetricLogger("loaded"), mode=mode, task=task,
                 normalizer=pipeline.normalizer, config=config,
             )
         return pipeline
 
+    @staticmethod
+    def _build_stored_model(config: ExperimentConfig, meta: dict
+                            ) -> tuple[object, ExperimentConfig]:
+        """Rebuild one stored model from its checkpoint metadata entry.
+
+        Entries stamped with a registry ``"type"`` (schema v3) build through
+        :data:`repro.api.BACKBONES` — any registered backbone, plugins
+        included, provided their registering module is imported.  Legacy
+        (v1/v2) entries and ``"circuitgps"`` take the historical
+        config-driven path; the returned config carries the merged model
+        fields in that case.
+        """
+        from dataclasses import fields
+
+        meta = dict(meta or {})
+        model_type = str(meta.pop("type", "circuitgps")).lower()
+        if model_type == "circuitgps":
+            known = {f.name for f in fields(type(config.model))}
+            config = config.with_model(**{k: v for k, v in meta.items() if k in known})
+            return build_model(config), config
+        from ..api.registries import BACKBONES
+
+        return BACKBONES.build({"type": model_type, **meta}), config
+
     def _load_pipeline_artifact(self, path) -> PretrainResult:
         state, metadata = load_checkpoint(path, schema=PIPELINE_SCHEMA,
                                           version=PIPELINE_COMPATIBLE_VERSIONS)
         config = ExperimentConfig.from_dict(metadata.get("experiment", {}))
-        config = config.with_model(**metadata.get("model", {}))
 
         # Optimizer/schedule state (schema v2+) rides under "optim." keys and
         # is restored into the rebuilt trainers after the models load; model
@@ -306,15 +453,18 @@ class CircuitGPSPipeline:
         state = {key: value for key, value in state.items()
                  if not key.startswith("optim.")}
 
-        link_model = build_model(config)
+        model_meta = dict(metadata.get("model", {}))
+        link_model, config = self._build_stored_model(config, model_meta)
         self._fill_missing_projections(link_model, state, "pretrain.", path)
         expected = {f"pretrain.{key}" for key in link_model.state_dict()}
         finetunes = metadata.get("finetunes", [])
         head_models: dict[tuple[str, str], object] = {}
+        task_specs: dict[tuple[str, str], dict] = {}
         for entry in finetunes:
-            head_config = config.with_model(**entry.get("model", {}))
-            head = build_model(head_config)
-            head_models[(entry["task"], entry["mode"])] = head
+            head, _ = self._build_stored_model(config, entry.get("model", {}))
+            head_key = (entry["task"], entry["mode"])
+            head_models[head_key] = head
+            task_specs[head_key] = entry.get("task_spec", {"type": entry["task"]})
             prefix = f"finetune.{entry['task']}.{entry['mode']}."
             self._fill_missing_projections(head, state, prefix, path)
             expected |= {prefix + key for key in head.state_dict()}
@@ -334,8 +484,9 @@ class CircuitGPSPipeline:
         norm = metadata.get("normalizer", {})
         normalizer = CapacitanceNormalizer(norm.get("cap_min", config.data.cap_min),
                                            norm.get("cap_max", config.data.cap_max))
-        loaded = CircuitGPSPipeline.from_models(config, link_model, heads=head_models,
-                                                normalizer=normalizer)
+        loaded = CircuitGPSPipeline._assemble(config, link_model, heads=head_models,
+                                              normalizer=normalizer,
+                                              task_specs=task_specs)
         self._restore_trainer_state(loaded.pretrain_result.trainer, optim_state,
                                     "optim.pretrain.")
         for (task, mode), result in loaded.finetune_results.items():
@@ -346,6 +497,10 @@ class CircuitGPSPipeline:
         self.pretrain_result = loaded.pretrain_result
         self.finetune_results = loaded.finetune_results
         self.design_registry = metadata.get("designs", [])
+        # Remember a non-default backbone so further fine-tunes rebuild it.
+        model_type = str(metadata.get("model", {}).get("type", "circuitgps")).lower()
+        self.backbone_spec = (dict(metadata["model"]) if model_type != "circuitgps"
+                              else None)
         return self.pretrain_result
 
     @staticmethod

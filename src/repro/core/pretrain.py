@@ -44,8 +44,29 @@ class PretrainResult:
         return self.trainer.evaluate(self.val_samples)
 
 
-def build_model(config: ExperimentConfig, pe_kind: str | None = None, rng=None) -> CircuitGPS:
-    """Instantiate a CircuitGPS model from an :class:`ExperimentConfig`."""
+def build_model(config: ExperimentConfig, pe_kind: str | None = None, rng=None,
+                backbone: dict | str | None = None):
+    """Instantiate the experiment's backbone model.
+
+    Without ``backbone`` (or with a ``"circuitgps"`` spec) this builds the
+    default :class:`CircuitGPS` from ``config.model``; a backbone spec merges
+    its kwargs over the config first.  Any other spec builds through the
+    :data:`repro.api.BACKBONES` registry, so registered custom backbones
+    drive the same training/serving stack.
+    """
+    if backbone is not None:
+        from dataclasses import fields
+
+        from ..api.registries import BACKBONES
+        from ..api.registry import Registry
+
+        name, kwargs = Registry.spec_of(backbone)
+        if name.lower() != "circuitgps":
+            return BACKBONES.build(backbone, rng=rng)
+        known = {f.name for f in fields(type(config.model))}
+        overrides = {k: v for k, v in kwargs.items() if k in known}
+        if overrides:
+            config = config.with_model(**overrides)
     model_cfg = config.model
     return CircuitGPS(
         dim=model_cfg.dim,
@@ -63,8 +84,13 @@ def build_model(config: ExperimentConfig, pe_kind: str | None = None, rng=None) 
 
 def pretrain_link_model(designs: list[DesignData], config: ExperimentConfig | None = None,
                         pe_kind: str | None = None, val_fraction: float = 0.1,
-                        verbose: bool = False, rng=None) -> PretrainResult:
-    """Pre-train CircuitGPS on link prediction over the given training designs."""
+                        verbose: bool = False, rng=None,
+                        backbone: dict | str | None = None) -> PretrainResult:
+    """Pre-train the backbone on link prediction over the given training designs.
+
+    ``backbone`` optionally names a registered backbone spec (see
+    :func:`build_model`); the default is the paper's CircuitGPS.
+    """
     config = config or ExperimentConfig.default()
     rng = get_rng(rng if rng is not None else config.train.seed)
     pe = pe_kind if pe_kind is not None else config.model.pe_kind
@@ -75,7 +101,7 @@ def pretrain_link_model(designs: list[DesignData], config: ExperimentConfig | No
     dataset = SubgraphDataset.from_samples(samples, pe_kind=pe).shuffled(rng)
     val_dataset, train_dataset = dataset.split(val_fraction)
 
-    model = build_model(config, pe_kind=pe, rng=spawn_rng(rng))
+    model = build_model(config, pe_kind=pe, rng=spawn_rng(rng), backbone=backbone)
     trainer = Trainer(model, task="link", config=config.train, rng=spawn_rng(rng))
     history = trainer.fit(train_dataset, val_dataset if val_dataset else None, verbose=verbose)
     return PretrainResult(model=model, trainer=trainer, history=history,

@@ -181,13 +181,19 @@ class AnnotationEngine:
     serves.
     """
 
-    def __init__(self, pipeline: "CircuitGPSPipeline", task: str = "edge_regression",
+    def __init__(self, pipeline: "CircuitGPSPipeline", task="edge_regression",
                  mode: str = "all", batch_size: int = 256,
                  cache: PECache | None = None, threshold: float = 0.5,
                  workers: int | None = None):
+        from ..api.tasks import resolve_task
+
         if pipeline.pretrain_result is None:
             raise RuntimeError("pipeline has no pre-trained link model; "
                                "run pretrain() or load a checkpoint first")
+        # Legacy task strings, spec dicts and Task objects all resolve
+        # through the repro.api task registry.
+        task_obj = resolve_task(task)
+        task = task_obj.name
         key = (task, mode)
         if key not in pipeline.finetune_results:
             available = sorted(pipeline.finetune_results)
@@ -199,6 +205,7 @@ class AnnotationEngine:
             raise ValueError("batch_size must be positive")
         self.pipeline = pipeline
         self.task = task
+        self.task_obj = task_obj
         self.mode = mode
         self.batch_size = int(batch_size)
         self.threshold = float(threshold)
@@ -263,7 +270,7 @@ class AnnotationEngine:
         with no_grad():
             for batch in loader:
                 probs.append(stable_sigmoid(self.link_model(batch, task="link").data))
-                caps.append(self.reg_model(batch, task=self.task).data)
+                caps.append(self.task_obj.forward(self.reg_model, batch).data)
         return (np.concatenate(probs) if probs else np.zeros(0),
                 np.concatenate(caps) if caps else np.zeros(0))
 

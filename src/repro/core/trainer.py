@@ -44,14 +44,23 @@ logger = get_logger("repro.trainer")
 
 
 class Trainer:
-    """Mini-batch trainer for CircuitGPS-style subgraph models."""
+    """Mini-batch trainer for CircuitGPS-style subgraph models.
 
-    def __init__(self, model: CircuitGPS, task: str = "link",
+    ``task`` may be a legacy task string (``"link"``, ``"edge_regression"``,
+    ``"node_regression"``), a spec dict or a :class:`repro.api.Task`
+    instance — strings resolve through the :data:`repro.api.TASKS` registry,
+    so registered custom tasks train with no trainer changes.  Loss,
+    prediction transform and the metric bundle all dispatch through the task
+    object.
+    """
+
+    def __init__(self, model: CircuitGPS, task="link",
                  config: TrainConfig = TrainConfig(), parameters=None, rng=None):
-        if task not in ("link", "edge_regression", "node_regression"):
-            raise ValueError(f"unknown task {task!r}")
+        from ..api.tasks import resolve_task
+
+        self.task_obj = resolve_task(task)  # ValueError for unknown names
+        self.task = self.task_obj.name
         self.model = model
-        self.task = task
         self.config = config
         self.rng = get_rng(rng if rng is not None else config.seed)
         params = list(parameters) if parameters is not None else list(model.parameters())
@@ -100,11 +109,8 @@ class Trainer:
 
     # ------------------------------------------------------------------ #
     def _loss(self, batch) -> tuple:
-        predictions = self.model(batch, task=self.task)
-        if self.task == "link":
-            loss = bce_with_logits(predictions, batch.labels)
-        else:
-            loss = mse_loss(predictions, batch.targets)
+        predictions = self.task_obj.forward(self.model, batch)
+        loss = self.task_obj.loss(predictions, batch)
         return loss, predictions
 
     def _loader(self, data, shuffle: bool, batch_size: int | None = None,
@@ -184,7 +190,7 @@ class Trainer:
             for step, batch in enumerate(loader):
                 for bn in batchnorms:
                     bn.momentum = 1.0 / (step + 1)
-                self.model(batch, task=self.task)
+                self.task_obj.forward(self.model, batch)
         for bn, momentum in zip(batchnorms, saved_momentum):
             bn.momentum = momentum
 
@@ -196,22 +202,18 @@ class Trainer:
         outputs = []
         with no_grad():
             for batch in loader:
-                predictions = self.model(batch, task=self.task)
+                predictions = self.task_obj.forward(self.model, batch)
                 outputs.append(predictions.data.copy())
         values = np.concatenate(outputs) if outputs else np.zeros(0)
-        if self.task == "link":
-            return stable_sigmoid(values)
-        # Capacitance targets are normalised to [0, 1] (Section IV-C), so
-        # predictions are clipped to the valid domain.
-        return np.clip(values, 0.0, 1.0)
+        # The task maps raw outputs to scores: sigmoid probabilities for
+        # classification, [0, 1]-clipped values for regression.
+        return self.task_obj.predict(values)
 
     def evaluate(self, data) -> dict[str, float]:
         """Task-appropriate metric bundle on ``data``."""
         dataset = as_dataset(data)
         scores = self.predict(dataset)
-        if self.task == "link":
-            return classification_metrics(scores, dataset.labels())
-        return regression_metrics(scores, dataset.targets())
+        return self.task_obj.metrics(scores, dataset)
 
 
 # --------------------------------------------------------------------------- #

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registries import ENCODINGS
 from .csr import CSRGraph
 from .sampling import Subgraph
 
@@ -202,7 +203,16 @@ def pe_dim(kind: str, stats_dim: int = 13) -> int:
         return LAPPE_DIM
     if kind == "stats":
         return stats_dim
-    raise ValueError(f"unknown PE kind {kind!r}; choose from {PE_KINDS}")
+    # Custom encodings registered in repro.api.ENCODINGS declare their output
+    # width via a `dim` attribute on the registered function.
+    encoder = ENCODINGS.get(kind)  # unknown kinds raise, listing what exists
+    dim = getattr(encoder, "dim", None)
+    if dim is None:
+        raise ValueError(
+            f"registered PE kind {kind!r} has no 'dim' attribute; set one on "
+            "the encoding function so the model's PE encoder can be sized"
+        )
+    return int(dim)
 
 
 def _batched_anchor_distances(subgraphs: list[Subgraph], unreachable: int,
@@ -295,6 +305,26 @@ def compute_pe(subgraph: Subgraph, kind: str = "dspd") -> np.ndarray:
     elif kind == "stats":
         encoding = stats_encoding(subgraph)
     else:
-        raise ValueError(f"unknown PE kind {kind!r}; choose from {PE_KINDS}")
+        # Custom kinds come from the repro.api ENCODINGS registry; unknown
+        # names raise a ValueError listing the registered kinds.
+        encoding = np.asarray(ENCODINGS.get(kind)(subgraph), dtype=np.float64)
     subgraph.pe = encoding
     return encoding
+
+
+def none_encoding(subgraph: Subgraph) -> np.ndarray:
+    """The empty (zero-width) positional encoding of ``pe_kind="none"``."""
+    return np.zeros((subgraph.num_nodes, 0))
+
+
+# ----------------------------------------------------------------------- #
+# Registry: every built-in PE kind is discoverable/pluggable via
+# repro.api.ENCODINGS.  Custom encodings registered elsewhere must set a
+# `dim` attribute on the function (see pe_dim) and take one Subgraph.
+# ----------------------------------------------------------------------- #
+ENCODINGS.register("none", none_encoding)
+ENCODINGS.register("dspd", dspd_encoding)
+ENCODINGS.register("drnl", drnl_encoding)
+ENCODINGS.register("rwse", rwse_encoding)
+ENCODINGS.register("lappe", laplacian_encoding)
+ENCODINGS.register("stats", stats_encoding)

@@ -524,3 +524,15 @@ def link_type_histogram(links: list[Link]) -> dict[str, int]:
 
 
 __all__.append("link_type_histogram")
+
+
+# --------------------------------------------------------------------------- #
+# Registry: the extraction strategies are discoverable/pluggable via
+# repro.api.SAMPLERS.  A sampler takes (graph, links-or-nodes, ...) and
+# returns a list of Subgraph objects; see extract_enclosing_subgraphs.
+# --------------------------------------------------------------------------- #
+from ..api.registries import SAMPLERS  # noqa: E402  (registration epilogue)
+
+SAMPLERS.register("enclosing", extract_enclosing_subgraphs)
+SAMPLERS.register("node", extract_node_subgraphs)
+SAMPLERS.register("link_dataset", sample_link_dataset)

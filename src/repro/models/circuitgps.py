@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registries import BACKBONES
 from ..graph.batch import SubgraphBatch
 from ..graph.encodings import pe_dim
 from ..nn import Embedding, Linear, Module, ModuleList, Tensor, concat
@@ -42,8 +43,14 @@ def _directed(edge_index: np.ndarray, edge_types: np.ndarray) -> tuple[np.ndarra
     return both, types
 
 
+@BACKBONES.register("circuitgps")
 class CircuitGPS(Module):
-    """Hybrid graph-Transformer model for parasitic prediction on AMS circuits."""
+    """Hybrid graph-Transformer model for parasitic prediction on AMS circuits.
+
+    The default backbone of the reproduction, registered as ``"circuitgps"``
+    in :data:`repro.api.BACKBONES`; ``attention`` may name any kernel in
+    :data:`repro.api.ATTENTION`.
+    """
 
     def __init__(self, dim: int = 64, num_layers: int = 3, pe_kind: str = "dspd",
                  pe_hidden: int = 8, mpnn: str = "gatedgcn", attention: str = "transformer",
@@ -51,6 +58,8 @@ class CircuitGPS(Module):
         super().__init__()
         rng = get_rng(rng)
         self.dim = int(dim)
+        self.num_heads = int(num_heads)
+        self.dropout_rate = float(dropout)
         self.pe_kind = pe_kind.lower()
         self.pe_input_dim = pe_dim(self.pe_kind, stats_dim=stats_dim)
         self.pe_hidden = int(pe_hidden) if self.pe_input_dim > 0 else 0
@@ -161,6 +170,8 @@ class CircuitGPS(Module):
             "pe_hidden": self.pe_hidden,
             "mpnn": self.mpnn_type,
             "attention": self.attention_type,
+            "num_heads": self.num_heads,
+            "dropout": self.dropout_rate,
             "stats_dim": self.stats_dim,
         }
 

@@ -15,12 +15,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import BatchNorm1d, Dropout, Linear, Module, MultiHeadSelfAttention, PerformerAttention, Tensor
+from ..api.registries import ATTENTION
+from ..nn import BatchNorm1d, Dropout, Linear, Module, Tensor
 from ..utils.rng import get_rng
 
 __all__ = ["GPSLayer", "MPNN_CHOICES", "ATTENTION_CHOICES"]
 
 MPNN_CHOICES = ("gatedgcn", "none")
+# The built-in kernels; the layer accepts *any* name registered in
+# repro.api.ATTENTION (plus "none"), so plugins extend this set at runtime.
 ATTENTION_CHOICES = ("transformer", "performer", "none")
 
 
@@ -34,8 +37,11 @@ class GPSLayer(Module):
         attention = attention.lower()
         if mpnn not in MPNN_CHOICES:
             raise ValueError(f"mpnn must be one of {MPNN_CHOICES}, got {mpnn!r}")
-        if attention not in ATTENTION_CHOICES:
-            raise ValueError(f"attention must be one of {ATTENTION_CHOICES}, got {attention!r}")
+        if attention != "none" and attention not in ATTENTION:
+            raise ValueError(
+                f"attention must be 'none' or a registered kernel "
+                f"({', '.join(ATTENTION.names())}), got {attention!r}"
+            )
         if mpnn == "none" and attention == "none":
             raise ValueError("a GPS layer needs at least one of MPNN or attention")
         rng = get_rng(rng)
@@ -50,15 +56,15 @@ class GPSLayer(Module):
         else:
             self.mpnn = None
 
-        if attention == "transformer":
-            self.attention = MultiHeadSelfAttention(dim, num_heads=num_heads,
-                                                    dropout=dropout, rng=rng)
-        elif attention == "performer":
-            self.attention = PerformerAttention(dim, num_heads=num_heads,
-                                                num_features=max(8, dim // 2),
-                                                dropout=dropout, rng=rng)
-        else:
+        if attention == "none":
             self.attention = None
+        else:
+            # Any kernel registered in repro.api.ATTENTION plugs in here; the
+            # built-ins are the transformer and performer factories.
+            self.attention = ATTENTION.build(
+                {"type": attention}, dim=dim, num_heads=num_heads,
+                dropout=dropout, rng=rng,
+            )
         self.bn_attn = BatchNorm1d(dim) if self.attention is not None else None
 
         self.mlp_in = Linear(dim, 2 * dim, rng=rng)

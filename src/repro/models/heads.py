@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registries import HEADS
 from ..nn import MLP, Embedding, Linear, Module, Tensor, concat
 from ..nn import functional as F
 from ..utils.rng import get_rng
@@ -24,6 +25,7 @@ from ..graph.hetero import NODE_DEVICE, NODE_NET, NODE_PIN
 __all__ = ["LinkPredictionHead", "CircuitStatsProjection", "RegressionHead"]
 
 
+@HEADS.register("link_prediction")
 class LinkPredictionHead(Module):
     """Pool + MLP head producing one link-existence logit per subgraph."""
 
@@ -72,6 +74,7 @@ class CircuitStatsProjection(Module):
         return projected_net * net_mask + projected_device * device_mask + projected_pin * pin_mask
 
 
+@HEADS.register("regression")
 class RegressionHead(Module):
     """Capacitance regression head: ``X_H = Pool(X_L + C)`` followed by an MLP."""
 

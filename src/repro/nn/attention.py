@@ -99,3 +99,19 @@ class MultiHeadSelfAttention(Module):
         merged = mixed.transpose(0, 2, 1, 3).reshape(num_graphs, length, self.dim)
         restored = F.from_padded(merged, seg)
         return self.drop(self.out_proj(restored))
+
+
+# --------------------------------------------------------------------------- #
+# Registry: the GPS layer builds its global-attention block through
+# repro.api.ATTENTION, so new kernels plug in from one file.  A registered
+# factory takes (dim, num_heads=, dropout=, rng=) and returns a Module whose
+# forward is (x, segments) -> x.
+# --------------------------------------------------------------------------- #
+from ..api.registries import ATTENTION  # noqa: E402  (registration epilogue)
+
+
+@ATTENTION.register("transformer")
+def build_transformer_attention(dim: int, num_heads: int = 4, dropout: float = 0.0,
+                                rng=None) -> MultiHeadSelfAttention:
+    """The quadratic softmax attention kernel (the paper's default)."""
+    return MultiHeadSelfAttention(dim, num_heads=num_heads, dropout=dropout, rng=rng)

@@ -166,3 +166,25 @@ class PerformerAttention(Module):
             axis=-1, keepdims=True) + 1e-8                          # (N, heads, 1)
         out = (numerator / denominator).reshape(num_nodes, self.dim)
         return self.drop(self.out_proj(out))
+
+
+# --------------------------------------------------------------------------- #
+# Registry hook: see repro.nn.attention for the factory contract.
+# --------------------------------------------------------------------------- #
+from ..api.registries import ATTENTION  # noqa: E402  (registration epilogue)
+
+
+@ATTENTION.register("performer")
+def build_performer_attention(dim: int, num_heads: int = 4, dropout: float = 0.0,
+                              num_features: int | None = None,
+                              rng=None) -> PerformerAttention:
+    """FAVOR+ linear attention with the GPS default feature count.
+
+    ``num_features`` defaults to ``max(8, dim // 2)`` — the sizing the GPS
+    layer has always used; pass an explicit value in an attention spec to
+    override it.
+    """
+    if num_features is None:
+        num_features = max(8, dim // 2)
+    return PerformerAttention(dim, num_heads=num_heads, num_features=num_features,
+                              dropout=dropout, rng=rng)

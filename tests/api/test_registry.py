@@ -1,0 +1,175 @@
+"""Error-path and contract tests for the generic component registry."""
+
+import pytest
+
+from repro.api import (
+    ATTENTION,
+    BACKBONES,
+    ENCODINGS,
+    HEADS,
+    REGISTRIES,
+    SAMPLERS,
+    TASKS,
+    Registry,
+    RegistryError,
+    list_components,
+)
+
+
+class TestRegistration:
+    def test_decorator_registers_and_returns_object(self):
+        registry = Registry("widget")
+
+        @registry.register("plain")
+        class Widget:
+            pass
+
+        assert registry.get("plain") is Widget
+        assert Widget.registry_name == "plain"
+        assert "plain" in registry
+
+    def test_duplicate_registration_raises(self):
+        registry = Registry("widget")
+        registry.register("w", object())
+        with pytest.raises(RegistryError, match="duplicate widget registration"):
+            registry.register("w", object())
+
+    def test_names_are_case_insensitive(self):
+        registry = Registry("widget")
+        marker = object()
+        registry.register("MixedCase", marker)
+        assert registry.get("mixedcase") is marker
+        assert registry.get("MIXEDCASE") is marker
+
+    def test_unregister_frees_the_name(self):
+        registry = Registry("widget")
+        registry.register("w", object())
+        registry.unregister("w")
+        assert "w" not in registry
+        registry.register("w", object())  # no duplicate error
+
+
+class TestLookupErrors:
+    def test_unknown_name_lists_available(self):
+        registry = Registry("widget")
+        registry.register("alpha", object())
+        registry.register("beta", object())
+        with pytest.raises(RegistryError, match="unknown widget 'gamma', "
+                                                "available: alpha, beta"):
+            registry.get("gamma")
+
+    def test_unknown_name_on_empty_registry(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError, match=r"\(none registered\)"):
+            registry.get("anything")
+
+    def test_registry_error_is_a_value_error(self):
+        assert issubclass(RegistryError, ValueError)
+
+    def test_unknown_backbone_build_names_available(self):
+        with pytest.raises(ValueError, match="unknown backbone 'gpsx', available:"):
+            BACKBONES.build({"type": "gpsx"})
+
+
+class TestBuild:
+    def test_build_from_bare_name(self):
+        registry = Registry("widget")
+
+        @registry.register("w")
+        class Widget:
+            def __init__(self, size=3):
+                self.size = size
+
+        assert registry.build("w").size == 3
+
+    def test_build_from_spec_dict_with_kwargs(self):
+        registry = Registry("widget")
+
+        @registry.register("w")
+        class Widget:
+            def __init__(self, size=3):
+                self.size = size
+
+        assert registry.build({"type": "w", "size": 9}).size == 9
+
+    def test_spec_without_type_raises(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError, match="no 'type' key"):
+            registry.build({"size": 9})
+
+    def test_spec_of_bad_type_raises(self):
+        with pytest.raises(RegistryError, match="must be a name or a"):
+            Registry.spec_of(42)
+
+    def test_common_kwargs_filtered_by_signature(self):
+        registry = Registry("widget")
+
+        @registry.register("no_rng")
+        class NoRng:
+            def __init__(self, size=1):
+                self.size = size
+
+        @registry.register("with_rng")
+        class WithRng:
+            def __init__(self, size=1, rng=None):
+                self.rng = rng
+
+        assert registry.build("no_rng", rng="SENTINEL").size == 1  # rng dropped
+        assert registry.build("with_rng", rng="SENTINEL").rng == "SENTINEL"
+
+    def test_explicit_spec_kwarg_beats_common_kwarg(self):
+        registry = Registry("widget")
+
+        @registry.register("w")
+        class Widget:
+            def __init__(self, rng=None):
+                self.rng = rng
+
+        assert registry.build({"type": "w", "rng": "SPEC"}, rng="COMMON").rng == "SPEC"
+
+    def test_bad_kwargs_raise_registry_error(self):
+        registry = Registry("widget")
+
+        @registry.register("w")
+        class Widget:
+            def __init__(self):
+                pass
+
+        with pytest.raises(RegistryError, match="could not build widget 'w'"):
+            registry.build({"type": "w", "bogus": 1})
+
+    def test_name_of_reverse_lookup(self):
+        registry = Registry("widget")
+
+        @registry.register("w")
+        class Widget:
+            pass
+
+        assert registry.name_of(Widget) == "w"
+        assert registry.name_of(Widget()) == "w"
+        assert registry.name_of(object()) is None
+
+
+class TestBuiltinRegistries:
+    def test_builtins_are_populated(self):
+        assert "circuitgps" in BACKBONES
+        assert {"transformer", "performer"} <= set(ATTENTION.names())
+        assert {"link_prediction", "regression"} <= set(HEADS.names())
+        assert {"none", "dspd", "drnl", "rwse", "lappe", "stats"} <= set(ENCODINGS.names())
+        assert {"enclosing", "node"} <= set(SAMPLERS.names())
+        assert {"link", "edge_regression", "node_regression",
+                "graph_property"} <= set(TASKS.names())
+
+    def test_list_components_covers_every_registry(self):
+        listing = list_components()
+        assert set(listing) == set(REGISTRIES)
+        for family, names in listing.items():
+            assert names == sorted(names)
+            assert names, f"registry {family} is empty"
+
+    def test_backbone_reverse_lookup(self):
+        from repro.core import ExperimentConfig, build_model
+
+        model = build_model(ExperimentConfig.fast().with_model(dim=16, num_layers=1,
+                                                               attention="none"))
+        assert BACKBONES.name_of(model) == "circuitgps"

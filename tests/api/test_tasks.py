@@ -1,0 +1,148 @@
+"""Tests for the Task abstraction and legacy task-string resolution."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EdgeRegressionTask,
+    GraphPropertyTask,
+    LinkPredictionTask,
+    NodeRegressionTask,
+    TASKS,
+    Task,
+    resolve_task,
+)
+from repro.core import DataConfig, SubgraphDataset, Trainer, build_model, ExperimentConfig
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name,expected", [
+        ("link", LinkPredictionTask),
+        ("edge_regression", EdgeRegressionTask),
+        ("node_regression", NodeRegressionTask),
+        ("graph_property", GraphPropertyTask),
+    ])
+    def test_legacy_strings_resolve_to_the_right_task(self, name, expected):
+        task = resolve_task(name)
+        assert isinstance(task, expected)
+        assert task.name == name
+
+    def test_spec_dict_resolves_with_kwargs(self):
+        task = resolve_task({"type": "graph_property", "property": "log_size"})
+        assert task.property == "log_size"
+
+    def test_task_instances_pass_through(self):
+        task = EdgeRegressionTask()
+        assert resolve_task(task) is task
+
+    def test_unknown_string_raises_value_error_listing_names(self):
+        with pytest.raises(ValueError, match="unknown task 'segmentation', available:"):
+            resolve_task("segmentation")
+
+    def test_non_task_types_rejected(self):
+        with pytest.raises(ValueError, match="must be a Task"):
+            resolve_task(3.14)
+
+    def test_kinds_and_head_tasks(self):
+        assert resolve_task("link").kind == "classification"
+        assert resolve_task("edge_regression").kind == "regression"
+        assert resolve_task("graph_property").head_task == "node_regression"
+        assert resolve_task("edge_regression").head_task == "edge_regression"
+
+
+class TestLossAndPredict:
+    class _Batch:
+        labels = np.array([1.0, 0.0, 1.0])
+        targets = np.array([0.25, 0.5, 0.75])
+
+    def test_classification_loss_and_predict(self):
+        from repro.nn import Tensor
+
+        task = LinkPredictionTask()
+        loss = task.loss(Tensor(np.array([2.0, -2.0, 0.5])), self._Batch())
+        assert np.isfinite(loss.item())
+        scores = task.predict(np.array([-50.0, 0.0, 50.0]))
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_regression_loss_and_predict_clips(self):
+        from repro.nn import Tensor
+
+        task = EdgeRegressionTask()
+        loss = task.loss(Tensor(np.array([0.2, 0.4, 0.6])), self._Batch())
+        assert loss.item() >= 0
+        scores = task.predict(np.array([-0.5, 0.5, 1.5]))
+        np.testing.assert_allclose(scores, [0.0, 0.5, 1.0])
+
+    def test_metrics_dispatch(self):
+        class FakeDataset:
+            def labels(self):
+                return np.array([1.0, 0.0])
+
+            def targets(self):
+                return np.array([0.3, 0.7])
+
+        link_metrics = LinkPredictionTask().metrics(np.array([0.9, 0.1]), FakeDataset())
+        assert "auc" in link_metrics
+        reg_metrics = EdgeRegressionTask().metrics(np.array([0.3, 0.7]), FakeDataset())
+        assert "mae" in reg_metrics
+
+
+class TestDatasetConstruction:
+    def test_build_dataset_pools_and_shuffles(self, small_design):
+        config = DataConfig(max_links_per_design=20, max_nodes_per_hop=10)
+        dataset = EdgeRegressionTask().build_dataset(
+            [small_design], config, pe_kind="dspd", rng=np.random.default_rng(0))
+        assert isinstance(dataset, SubgraphDataset)
+        assert len(dataset) > 0
+        assert np.all(dataset.targets() >= 0.0)
+
+    def test_graph_property_targets_are_the_property(self, small_design):
+        config = DataConfig(max_nodes_per_design=10, max_nodes_per_hop=10)
+        task = GraphPropertyTask(property="density")
+        samples = task.build_samples(small_design, config,
+                                     rng=np.random.default_rng(0))
+        assert samples
+        for sample in samples:
+            assert sample.target == pytest.approx(task.target_of(sample))
+            assert 0.0 <= sample.target <= 1.0
+            assert sample.extras["property"] == "density"
+
+    def test_graph_property_rejects_unknown_property(self):
+        with pytest.raises(ValueError, match="unknown graph property"):
+            GraphPropertyTask(property="entropy")
+
+    def test_graph_property_spec_round_trip(self):
+        task = GraphPropertyTask(property="log_size")
+        assert resolve_task(task.spec()) == task
+
+
+class TestTrainerIntegration:
+    def test_trainer_accepts_task_objects_and_strings(self, tiny_config):
+        model = build_model(tiny_config)
+        by_string = Trainer(model, task="edge_regression", config=tiny_config.train)
+        by_object = Trainer(model, task=EdgeRegressionTask(), config=tiny_config.train)
+        assert by_string.task == by_object.task == "edge_regression"
+        assert isinstance(by_string.task_obj, EdgeRegressionTask)
+
+    def test_trainer_rejects_unknown_task(self, tiny_config):
+        model = build_model(tiny_config)
+        with pytest.raises(ValueError):
+            Trainer(model, task="diffusion", config=tiny_config.train)
+
+    def test_custom_task_trains_on_builtin_backbone(self, tiny_config, small_design):
+        """A registered one-class task drives training with no core edits."""
+        from repro.core import finetune_task
+
+        result = finetune_task([small_design], GraphPropertyTask(), mode="scratch",
+                               config=tiny_config, epochs=1)
+        assert result.task == "graph_property"
+        metrics = result.trainer.evaluate(result.train_samples)
+        assert np.isfinite(metrics["mae"])
+
+
+class TestRegistryHygiene:
+    def test_registered_tasks_are_task_subclasses(self):
+        for name in TASKS.names():
+            built = TASKS.build(name) if name != "graph_property" else TASKS.build(
+                {"type": name, "property": "density"})
+            assert isinstance(built, Task)
