@@ -1,0 +1,24 @@
+"""Shared BENCH_<area>.json emission for the benchmark harness.
+
+Every ``test_*_throughput.py`` module (and the figure/table benchmarks, via
+the conftest duration hook) funnels its measured numbers through
+:func:`bench_recorder`, which returns a
+:class:`repro.analysis.bench.BenchRecorder` pre-pointed at the gitignored
+runtime output directory ``benchmarks/results/``.  Records from a commit that
+should become a trajectory point are copied into ``benchmarks/trajectory/``
+and committed; ``python -m repro bench --compare OLD NEW`` diffs any two.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.bench import BenchRecorder, peak_rss_mb  # noqa: F401
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+TRAJECTORY_DIR = pathlib.Path(__file__).resolve().parent / "trajectory"
+
+
+def bench_recorder(area: str) -> BenchRecorder:
+    """A recorder for ``area`` writing ``BENCH_<area>.json`` into results/."""
+    return BenchRecorder(area, out_dir=RESULTS_DIR)

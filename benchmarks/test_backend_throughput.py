@@ -1,0 +1,114 @@
+"""Op-level throughput of the pluggable compute backends (PR 6).
+
+Micro-benchmarks the segment-op primitives every model forward/backward is
+built from — ``scatter_add``, ``gather_rows``, ``segment_max``,
+``segment_softmax`` and the dense ``matmul`` — on ragged workloads shaped
+like collated enclosing-subgraph batches, and records the timings to
+``BENCH_backend_ops.json`` for the perf trajectory.
+
+When an accelerated backend (numba, torch) is importable, a second test
+enforces the PR-6 gate: a full CircuitGPS train step under that backend must
+be at least 2x faster than under the reference numpy backend.  On machines
+without the optional dependencies the gate skips cleanly — the numpy numbers
+are still recorded, so the trajectory never has holes.
+
+This module is intentionally *not* marked ``benchmark``: the micro-benchmark
+runs with the tier-1 suite (sub-second) to keep the record fresh.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import use_backend
+from repro.nn.backends import active_backend, available_backends
+from repro.nn.functional import segment_softmax
+from repro.nn.tensor import Tensor
+
+from .recorder import bench_recorder
+from .test_train_throughput import random_subgraph_batch, build_model, time_train_steps
+
+NUM_ROWS = 200_000
+NUM_SEGMENTS = 20_000
+DIM = 64
+REPEATS = 3
+MIN_ACCEL_SPEEDUP = 2.0  # the PR-6 gate for non-numpy backends
+
+
+def _ragged_workload(rng: np.random.Generator):
+    """A ragged segment workload: ~10 rows per segment, uneven sizes."""
+    idx = np.sort(rng.integers(0, NUM_SEGMENTS, size=NUM_ROWS))
+    src = rng.normal(size=(NUM_ROWS, DIM))
+    return src, idx
+
+
+def _time(fn) -> float:
+    fn()  # warm-up (JIT compilation, allocator)
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_backend_op_microbenchmarks():
+    rng = np.random.default_rng(0)
+    src, idx = _ragged_workload(rng)
+    scores = Tensor(rng.normal(size=NUM_ROWS), requires_grad=False)
+    lhs, rhs = rng.normal(size=(512, DIM)), rng.normal(size=(DIM, DIM))
+    backend = active_backend()
+
+    timings = {
+        "scatter_add_s": _time(lambda: backend.scatter_add(src, idx, NUM_SEGMENTS)),
+        "gather_rows_s": _time(lambda: backend.gather_rows(src, idx % len(src))),
+        "segment_max_s": _time(lambda: backend.segment_max(src, idx, NUM_SEGMENTS)),
+        "segment_softmax_s": _time(
+            lambda: segment_softmax(scores, idx, NUM_SEGMENTS)),
+        "matmul_s": _time(lambda: backend.matmul(lhs, rhs)),
+    }
+
+    rec = bench_recorder("backend_ops")
+    rec.add_meta(backend=type(backend).__name__, num_rows=NUM_ROWS,
+                 num_segments=NUM_SEGMENTS, dim=DIM, repeats=REPEATS,
+                 available=available_backends())
+    for name, seconds in timings.items():
+        rec.record(name, seconds, unit="s", direction="lower")
+    rec.write()
+    summary = ", ".join(f"{k} {v * 1e3:.2f} ms" for k, v in timings.items())
+    print(f"\nbackend ops ({type(backend).__name__}): {summary}")
+    # Sanity floor, not a race: the engine must push ≥ 10M row-elements/s
+    # through scatter_add (NumPy manages ~1G on a laptop; the slack absorbs
+    # full-suite contention on small CI runners without hiding a 100x cliff).
+    assert timings["scatter_add_s"] < NUM_ROWS * DIM / 1e7
+
+
+@pytest.mark.parametrize("name", ["numba", "torch"])
+def test_accelerated_backend_train_step_gate(name):
+    """PR-6 gate: an accelerated backend trains ≥ 2x faster than numpy."""
+    if name not in available_backends():
+        pytest.skip(f"{name} is not importable on this machine")
+    batch = random_subgraph_batch(np.random.default_rng(3))
+
+    def step_seconds(backend_name: str) -> float:
+        with use_backend(backend_name):
+            return min(time_train_steps(build_model("transformer", loop=False), batch)
+                       for _ in range(2))
+
+    step_seconds(name)  # warm the JIT caches outside the timed region
+    numpy_seconds = step_seconds("numpy")
+    accel_seconds = step_seconds(name)
+    speedup = numpy_seconds / accel_seconds
+    rec = bench_recorder(f"backend_{name}")
+    rec.record("train_step_speedup_vs_numpy", speedup, unit="x")
+    rec.record("train_step_s", accel_seconds, unit="s/step", direction="lower")
+    rec.write()
+    print(f"\n{name} train step: {accel_seconds * 1e3:.0f} ms "
+          f"vs numpy {numpy_seconds * 1e3:.0f} ms ({speedup:.1f}x)")
+    assert speedup >= MIN_ACCEL_SPEEDUP, (
+        f"the {name} backend trains only {speedup:.2f}x faster than numpy "
+        f"(required: {MIN_ACCEL_SPEEDUP}x)"
+    )

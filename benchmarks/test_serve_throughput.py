@@ -28,6 +28,8 @@ from repro.netlist import ssram
 from repro.nn import no_grad, stable_sigmoid
 from repro.utils import seed_all
 
+from .recorder import bench_recorder
+
 MIN_SPEEDUP = 3.0
 NUM_PAIRS = 256
 REPEATS = 3
@@ -101,12 +103,34 @@ def test_batched_annotation_at_least_3x_faster():
         engine.annotate(graph, pairs=pairs)
         return time.perf_counter() - start
 
+    def float32_run() -> float:
+        engine = AnnotationEngine(pipeline, batch_size=128, cache=PECache(),
+                                  precision="float32")
+        start = time.perf_counter()
+        engine.annotate(graph, pairs=pairs)
+        return time.perf_counter() - start
+
     per_link_seconds = _time(per_link_run)
     batched_seconds = _time(batched_run)
+    float32_seconds = _time(float32_run)
     speedup = per_link_seconds / batched_seconds
     print(f"\nserve throughput: per-link {per_link_seconds * 1e3:.0f} ms, "
-          f"batched {batched_seconds * 1e3:.0f} ms, speedup {speedup:.1f}x "
-          f"({len(pairs)} candidate pairs)")
+          f"batched {batched_seconds * 1e3:.0f} ms, speedup {speedup:.1f}x; "
+          f"float32 {float32_seconds * 1e3:.0f} ms "
+          f"({batched_seconds / float32_seconds:.2f}x vs float64; "
+          f"{len(pairs)} candidate pairs)")
+    rec = bench_recorder("serve")
+    rec.add_meta(num_pairs=NUM_PAIRS, repeats=REPEATS, batch_size=128)
+    rec.record("per_link_seconds", per_link_seconds, unit="s", direction="lower")
+    rec.record("batched_seconds", batched_seconds, unit="s", direction="lower")
+    rec.record("batched_speedup", speedup, unit="x")
+    rec.record("annotate_links_per_s", len(pairs) / batched_seconds, unit="links/s")
+    rec.record("float32_annotate_seconds", float32_seconds, unit="s", direction="lower")
+    rec.record("float32_annotate_links_per_s", len(pairs) / float32_seconds,
+               unit="links/s")
+    rec.record("float32_speedup_vs_float64", batched_seconds / float32_seconds,
+               unit="x")
+    rec.write()
     assert speedup >= MIN_SPEEDUP, (
         f"batched annotation is only {speedup:.1f}x faster than per-link inference "
         f"(required: {MIN_SPEEDUP}x)"

@@ -43,4 +43,5 @@ def format_table(rows: list[dict], columns: list[str] | None = None, title: str 
 
 def print_table(rows: list[dict], columns: list[str] | None = None, title: str | None = None,
                 precision: int = 3) -> None:
+    """Format ``rows`` with :func:`format_table` and print the result."""
     print(format_table(rows, columns=columns, title=title, precision=precision))

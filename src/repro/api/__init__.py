@@ -3,7 +3,8 @@
 Everything a downstream user (or plugin author) needs lives here:
 
 * **Registries** (:data:`BACKBONES`, :data:`ATTENTION`, :data:`HEADS`,
-  :data:`ENCODINGS`, :data:`SAMPLERS`, :data:`TASKS`) — decorator-based
+  :data:`ENCODINGS`, :data:`SAMPLERS`, :data:`TASKS`, :data:`BACKENDS`) —
+  decorator-based
   component registries; registering a class in one file makes it
   constructible from declarative config everywhere (CLI, checkpoints,
   serving).
@@ -34,6 +35,7 @@ from __future__ import annotations
 from .registries import (
     ATTENTION,
     BACKBONES,
+    BACKENDS,
     ENCODINGS,
     HEADS,
     REGISTRIES,
@@ -54,6 +56,7 @@ __all__ = [
     "ENCODINGS",
     "SAMPLERS",
     "TASKS",
+    "BACKENDS",
     "REGISTRIES",
     "list_components",
     "load_builtin_components",

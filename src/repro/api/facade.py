@@ -53,9 +53,11 @@ def fit(spec, designs=None, *, verbose: bool = False):
     ``load`` can rebuild the exact component graph.
     """
     from ..core.pipeline import CircuitGPSPipeline
+    from ..nn.backends import use_backend
 
     spec = ExperimentSpec.coerce(spec)
-    pipeline = CircuitGPSPipeline(spec.to_config(), backbone=spec.backbone)
+    pipeline = CircuitGPSPipeline(spec.to_config(), backbone=spec.backbone,
+                                  backend=spec.backend)
     if designs is None:
         pipeline.load_designs()
     else:
@@ -63,11 +65,12 @@ def fit(spec, designs=None, *, verbose: bool = False):
         for design in values:
             pipeline.add_design(design)
     task = spec.build_task()
-    if task.kind == "classification":
-        pipeline.pretrain(verbose=verbose)
-        return pipeline
-    mode = spec.mode if spec.pretrain else "scratch"
-    pipeline.finetune(mode=mode, task=task, verbose=verbose)
+    with use_backend(spec.backend):
+        if task.kind == "classification":
+            pipeline.pretrain(verbose=verbose)
+            return pipeline
+        mode = spec.mode if spec.pretrain else "scratch"
+        pipeline.finetune(mode=mode, task=task, verbose=verbose)
     return pipeline
 
 

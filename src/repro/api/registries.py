@@ -17,6 +17,8 @@ Registry       Contents
 ``ENCODINGS``  positional/structural encodings (``pe_kind`` values)
 ``SAMPLERS``   subgraph extraction strategies
 ``TASKS``      :class:`~repro.api.tasks.Task` implementations
+``BACKENDS``   compute backends of the segment-ops engine
+               (:class:`~repro.nn.backends.base.ArrayBackend`)
 =============  ==========================================================
 """
 
@@ -31,6 +33,7 @@ __all__ = [
     "ENCODINGS",
     "SAMPLERS",
     "TASKS",
+    "BACKENDS",
     "REGISTRIES",
     "load_builtin_components",
     "list_components",
@@ -49,6 +52,7 @@ def load_builtin_components() -> None:
     import repro.graph.sampling    # noqa: F401  (SAMPLERS)
     import repro.nn.attention      # noqa: F401  (ATTENTION: transformer)
     import repro.nn.performer      # noqa: F401  (ATTENTION: performer)
+    import repro.nn.backends       # noqa: F401  (BACKENDS)
     import repro.models.heads      # noqa: F401  (HEADS)
     import repro.models.circuitgps  # noqa: F401  (BACKBONES)
     import repro.api.tasks         # noqa: F401  (TASKS)
@@ -60,6 +64,7 @@ HEADS = Registry("head", ensure_loaded=load_builtin_components)
 ENCODINGS = Registry("positional encoding", ensure_loaded=load_builtin_components)
 SAMPLERS = Registry("sampler", ensure_loaded=load_builtin_components)
 TASKS = Registry("task", ensure_loaded=load_builtin_components)
+BACKENDS = Registry("compute backend", ensure_loaded=load_builtin_components)
 
 REGISTRIES: dict[str, Registry] = {
     "backbones": BACKBONES,
@@ -68,6 +73,7 @@ REGISTRIES: dict[str, Registry] = {
     "encodings": ENCODINGS,
     "samplers": SAMPLERS,
     "tasks": TASKS,
+    "backends": BACKENDS,
 }
 
 

@@ -32,7 +32,7 @@ import pathlib
 from dataclasses import asdict, dataclass, field, fields
 
 from ..core.config import DataConfig, ExperimentConfig, ModelConfig, TrainConfig
-from .registries import BACKBONES, TASKS
+from .registries import BACKBONES, BACKENDS, TASKS
 from .registry import Registry
 
 __all__ = ["ExperimentSpec", "SpecError", "SPEC_VERSION"]
@@ -80,6 +80,7 @@ class ExperimentSpec:
     data: dict = field(default_factory=dict)
     mode: str = "all"
     pretrain: bool = True
+    backend: str = "numpy"
     name: str = "experiment"
     version: int = SPEC_VERSION
 
@@ -112,6 +113,11 @@ class ExperimentSpec:
             raise SpecError(f"spec mode must be one of {MODES}, got {self.mode!r}")
         if not isinstance(self.pretrain, bool):
             raise SpecError(f"spec pretrain must be a bool, got {self.pretrain!r}")
+        if not isinstance(self.backend, str):
+            raise SpecError(f"spec backend must be a backend name, got {self.backend!r}")
+        # Name check only: the spec stays valid on machines where an optional
+        # backend's dependency is missing (building it is what fails there).
+        BACKENDS.get(self.backend)
         _check_known_keys(self.train, _TRAIN_FIELDS, "train")
         _check_known_keys(self.data, _DATA_FIELDS, "data")
         return self

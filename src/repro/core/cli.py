@@ -11,8 +11,16 @@
   the bundled test designs,
 * ``report``   — render annotation JSON or ``benchmarks/results`` JSON files
   as plain-text tables,
+* ``bench``    — diff two machine-readable ``BENCH_*.json`` benchmark records
+  and exit nonzero on a perf regression (``--compare OLD NEW``),
 * ``components`` — list every registered backbone / attention kernel / head /
-  encoding / sampler / task (the plugin surface of :mod:`repro.api`).
+  encoding / sampler / task / compute backend (the plugin surface of
+  :mod:`repro.api`).
+
+``train``, ``annotate`` and ``evaluate`` accept ``--backend`` to run the
+segment-ops engine on a registered compute backend (numpy/numba/torch; the
+``REPRO_BACKEND`` environment variable sets the process default), and
+``annotate`` accepts ``--precision float32`` for reduced-precision serving.
 
 Every command works against saved artifacts, so training once and serving
 many times needs no Python session::
@@ -88,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for data loading (0 = serial, "
                             "-1 = auto, default: serial; results are identical "
                             "for any worker count)")
+    train.add_argument("--backend", default=None,
+                       help="compute backend for the tensor engine (see "
+                            "'components --family backends'; default: the "
+                            "spec's backend, else numpy / $REPRO_BACKEND)")
     train.add_argument("--verbose", action="store_true", help="log per-epoch metrics")
 
     annotate = sub.add_parser("annotate",
@@ -112,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "-1 = auto, default: serial; reports are identical "
                                "for any worker count)")
     annotate.add_argument("--seed", type=int, default=0, help="candidate sampling seed")
+    annotate.add_argument("--backend", default=None,
+                          help="compute backend for inference (default: numpy "
+                               "/ $REPRO_BACKEND)")
+    annotate.add_argument("--precision", default="float64",
+                          choices=("float64", "float32"),
+                          help="serving precision; float32 halves memory "
+                               "traffic at <=1e-4 AUC drift (default: float64)")
 
     evaluate = sub.add_parser("evaluate",
                               help="zero-shot metrics of a saved artifact on test designs")
@@ -123,11 +142,22 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", type=float, default=None, help="override design scale")
     evaluate.add_argument("--json", default=None, metavar="PATH",
                           help="write the metric rows as JSON")
+    evaluate.add_argument("--backend", default=None,
+                          help="compute backend for evaluation (default: numpy "
+                               "/ $REPRO_BACKEND)")
 
     report = sub.add_parser("report", help="render result JSON files as tables")
     report.add_argument("path", nargs="?", default="benchmarks/results",
                         help="an annotation JSON, a results JSON, or a directory "
                              "of them (default: benchmarks/results)")
+
+    bench = sub.add_parser(
+        "bench", help="compare two BENCH_*.json benchmark records")
+    bench.add_argument("--compare", nargs=2, required=True,
+                       metavar=("OLD.json", "NEW.json"),
+                       help="baseline and candidate benchmark records")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       help="relative regression tolerance (default: 0.10)")
 
     components = sub.add_parser(
         "components", help="list the registered pluggable components")
@@ -141,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------------- #
 # Commands
 # --------------------------------------------------------------------------- #
+def _activate_backend(name: str | None) -> str:
+    """Switch the engine to ``name`` (when given); returns the active name.
+
+    Raises ``BackendUnavailableError`` / ``RegistryError`` with actionable
+    messages, both of which ``main`` turns into exit code 2.
+    """
+    from ..nn.backends import active_backend, set_backend
+
+    if name:
+        set_backend(name)
+    return active_backend().name
+
+
 def _resolve_cli_workers(args) -> int | None:
     """The effective ``--workers`` value.
 
@@ -207,19 +250,22 @@ def cmd_train(args) -> int:
             if value is not None:
                 backbone[field] = value
         pretrain = spec.pretrain
+        spec_backend = spec.backend
     else:
         config = _apply_overrides(CONFIG_PRESETS[args.config](), args)
         tasks = args.tasks if args.tasks else ["edge_regression"]
         mode = args.mode if args.mode is not None else "all"
         backbone = None
         pretrain = True
+        spec_backend = None
     if not pretrain:
         # "pretrain": false means the task model must not adapt a meta-learner
         # (same training as repro.api.fit: a scratch fine-tune).  The link
         # model is still pre-trained because the saved artifact needs one to
         # serve coupling probabilities (AnnotationEngine).
         mode = "scratch"
-    pipeline = CircuitGPSPipeline(config, backbone=backbone)
+    backend = _activate_backend(args.backend or spec_backend)
+    pipeline = CircuitGPSPipeline(config, backbone=backbone, backend=backend)
     print(f"Building the design suite (scale={config.data.scale}) ...")
     pipeline.load_designs(names=args.designs)
     print(f"Pre-training on {len(pipeline.train_designs)} training design(s) ...")
@@ -263,9 +309,11 @@ def cmd_annotate(args) -> int:
 
     pairs = _parse_pairs(args.pairs)
     workers = _resolve_cli_workers(args)
+    _activate_backend(args.backend)
     pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
     engine = AnnotationEngine(pipeline, batch_size=args.batch_size,
-                              threshold=args.threshold, workers=workers)
+                              threshold=args.threshold, workers=workers,
+                              precision=args.precision)
     # Netlists are annotated in groups of one-per-worker so completed designs
     # are printed (and their annotated netlists written) as the run
     # progresses; a bad netlist mid-list aborts with exit code 2 without
@@ -310,6 +358,7 @@ def cmd_annotate(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    _activate_backend(args.backend)
     pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
     key = (args.task, args.mode)
     if key not in pipeline.finetune_results:
@@ -379,6 +428,38 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Diff two ``BENCH_*.json`` records; exit 1 on a perf regression."""
+    from ..analysis.bench import compare_benchmarks, load_bench
+
+    old_path, new_path = args.compare
+    if args.threshold < 0:
+        print("error: --threshold must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        old, new = load_bench(old_path), load_bench(new_path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = compare_benchmarks(old, new, threshold=args.threshold)
+    display = [{
+        "metric": row["metric"],
+        "old": "-" if row["old"] is None else f"{row['old']:.6g}",
+        "new": "-" if row["new"] is None else f"{row['new']:.6g}",
+        "change": "-" if row["change"] is None else f"{row['change']:+.1%}",
+        "status": row["status"],
+    } for row in rows]
+    title = (f"Benchmark comparison ({old.get('area', '?')}): "
+             f"{old_path} -> {new_path}, threshold {args.threshold:.0%}")
+    print(format_table(display, title=title))
+    regressed = [row["metric"] for row in rows if row["status"] == "regressed"]
+    if regressed:
+        print(f"\nREGRESSED ({len(regressed)}): {', '.join(regressed)}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
 def cmd_components(args) -> int:
     """List the pluggable component registries (``repro.api``)."""
     from ..api.registries import list_components
@@ -404,14 +485,16 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``; returns a process exit code."""
     from ..api.registry import RegistryError
     from ..api.spec import SpecError
+    from ..nn.backends import BackendUnavailableError
 
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"train": cmd_train, "annotate": cmd_annotate,
                 "evaluate": cmd_evaluate, "report": cmd_report,
-                "components": cmd_components}
+                "bench": cmd_bench, "components": cmd_components}
     try:
         return handlers[args.command](args)
-    except (CheckpointError, FileNotFoundError, RegistryError, SpecError) as exc:
+    except (CheckpointError, FileNotFoundError, RegistryError, SpecError,
+            BackendUnavailableError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -10,6 +10,15 @@ on CPU.
 
 from . import functional
 from .attention import MultiHeadSelfAttention
+from .backends import (
+    ArrayBackend,
+    BackendUnavailableError,
+    active_backend,
+    available_backends,
+    set_backend,
+    use_backend,
+)
+from .dtypes import as_float, default_dtype, set_default_dtype, use_dtype
 from .functional import SegmentInfo, segment_info
 from .layers import (
     MLP,
@@ -63,4 +72,14 @@ __all__ = [
     "huber_loss",
     "cross_entropy",
     "functional",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "active_backend",
+    "available_backends",
+    "set_backend",
+    "use_backend",
+    "as_float",
+    "default_dtype",
+    "set_default_dtype",
+    "use_dtype",
 ]

@@ -1,0 +1,132 @@
+"""Pluggable compute backends for the segment-ops engine.
+
+The autograd layer (:mod:`repro.nn.tensor`, :mod:`repro.nn.functional`)
+executes every hot kernel — scatter/gather, per-segment reductions, the
+padded batched matmuls and the elementwise transcendentals — through the
+*active* :class:`~repro.nn.backends.base.ArrayBackend`.  Swapping the backend
+swaps the kernels under every model without touching layer or model code::
+
+    from repro.nn.backends import set_backend, use_backend
+
+    set_backend("numpy")            # the default, always available
+    with use_backend("numba"):      # JIT kernels for this block only
+        engine.annotate(netlist)
+
+Selection surface (first match wins):
+
+* ``set_backend(...)`` / ``use_backend(...)`` in code,
+* ``--backend`` on the ``python -m repro`` subcommands,
+* the ``backend`` field of an :class:`repro.api.ExperimentSpec`,
+* the ``REPRO_BACKEND`` environment variable (process-wide default).
+
+Backends are registered in :data:`repro.api.BACKENDS` (``python -m repro
+components`` lists them); optional backends (numba, torch) import-guard their
+dependency and raise
+:class:`~repro.nn.backends.base.BackendUnavailableError` with an actionable
+message when built on a machine without it.  An unavailable ``REPRO_BACKEND``
+falls back to numpy with a warning rather than breaking import.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from .base import ArrayBackend, BackendUnavailableError
+from .numba_backend import NumbaBackend
+from .numpy_backend import NumpyBackend
+from .torch_backend import TorchBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "NumbaBackend",
+    "TorchBackend",
+    "active_backend",
+    "available_backends",
+    "set_backend",
+    "use_backend",
+]
+
+_ACTIVE: ArrayBackend | None = None
+
+
+def _resolve(backend) -> ArrayBackend:
+    """Build an :class:`ArrayBackend` from a name, spec dict or instance."""
+    if isinstance(backend, ArrayBackend):
+        return backend
+    from ...api.registries import BACKENDS
+
+    return BACKENDS.build(backend)
+
+
+def _default_backend() -> ArrayBackend:
+    """The process default: ``REPRO_BACKEND`` if usable, else numpy."""
+    name = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if name and name != "numpy":
+        try:
+            return _resolve(name)
+        except (BackendUnavailableError, ValueError) as exc:
+            warnings.warn(
+                f"REPRO_BACKEND={name!r} is not usable ({exc}); "
+                f"falling back to the numpy backend",
+                RuntimeWarning, stacklevel=3,
+            )
+    return NumpyBackend()
+
+
+def active_backend() -> ArrayBackend:
+    """The backend executing every engine kernel right now."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _default_backend()
+    return _ACTIVE
+
+
+def set_backend(backend) -> ArrayBackend:
+    """Switch the engine to ``backend`` (name, spec dict or instance).
+
+    Returns the previously active backend so callers can restore it; raises
+    :class:`BackendUnavailableError` when an optional backend's dependency is
+    missing, and the registry's error (listing available names) on a typo.
+    """
+    global _ACTIVE
+    previous = active_backend()
+    _ACTIVE = _resolve(backend)
+    return previous
+
+
+class use_backend:
+    """Context manager scoping :func:`set_backend` (restores on exit)."""
+
+    def __init__(self, backend):
+        self._backend = backend
+        self._previous: ArrayBackend | None = None
+
+    def __enter__(self) -> ArrayBackend:
+        self._previous = set_backend(self._backend)
+        return active_backend()
+
+    def __exit__(self, exc_type, exc, tb):
+        set_backend(self._previous)
+        return False
+
+
+def available_backends() -> list[str]:
+    """Registered backend names whose dependencies import on this machine."""
+    return [name for name, cls in
+            (("numpy", NumpyBackend), ("numba", NumbaBackend), ("torch", TorchBackend))
+            if cls.is_available()]
+
+
+# --------------------------------------------------------------------------- #
+# Registry: backends plug in through repro.api like every other component
+# family.  A registered factory takes no required arguments and returns an
+# ArrayBackend (TorchBackend accepts device=).
+# --------------------------------------------------------------------------- #
+from ...api.registries import BACKENDS  # noqa: E402  (registration epilogue)
+
+BACKENDS.register("numpy", NumpyBackend)
+BACKENDS.register("numba", NumbaBackend)
+BACKENDS.register("torch", TorchBackend)

@@ -1,0 +1,153 @@
+"""JIT-compiled segment kernels via numba (optional).
+
+``np.add.at`` / ``np.maximum.at`` are the slowest kernels in the numpy
+engine: they dispatch per element through the ufunc machinery.  The numba
+backend replaces them with fused nopython loops over a flattened ``(N, K)``
+view — one pass, no Python-level dispatch — and leaves the already-BLAS-bound
+matmuls and the numpy elementwise maps untouched (inherited from
+:class:`~repro.nn.backends.numpy_backend.NumpyBackend`).
+
+The module imports cleanly without numba installed; building the backend then
+raises :class:`~repro.nn.backends.base.BackendUnavailableError` with an
+actionable message.  Kernels are compiled lazily on first use so importing
+the package never pays JIT cost.
+
+Accumulation order inside the jitted loops matches ``np.add.at`` (source-row
+order), so float64 results agree with the numpy backend to the last ulp on
+every workload the parity suite sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BackendUnavailableError
+from .numpy_backend import NumpyBackend
+
+__all__ = ["NumbaBackend", "HAVE_NUMBA"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common case in this image
+    HAVE_NUMBA = False
+
+_KERNELS: dict | None = None
+
+
+def _compile_kernels() -> dict:  # pragma: no cover - needs numba
+    """Compile (once) the fused scatter/gather/segment loops."""
+    from numba import njit
+
+    @njit(cache=True)
+    def scatter_add_2d(src, idx, out):
+        for row in range(idx.shape[0]):
+            target = idx[row]
+            for col in range(src.shape[1]):
+                out[target, col] += src[row, col]
+
+    @njit(cache=True)
+    def scatter_put_2d(src, idx, out):
+        for row in range(idx.shape[0]):
+            target = idx[row]
+            for col in range(src.shape[1]):
+                out[target, col] = src[row, col]
+
+    @njit(cache=True)
+    def gather_2d(src, idx, out):
+        for row in range(idx.shape[0]):
+            source = idx[row]
+            for col in range(src.shape[1]):
+                out[row, col] = src[source, col]
+
+    @njit(cache=True)
+    def segment_max_2d(src, idx, out, touched):
+        for row in range(idx.shape[0]):
+            target = idx[row]
+            for col in range(src.shape[1]):
+                value = src[row, col]
+                if not touched[target, col] or value > out[target, col]:
+                    out[target, col] = value
+                    touched[target, col] = True
+
+    @njit(cache=True)
+    def segment_counts_1d(idx, out):
+        for row in range(idx.shape[0]):
+            out[idx[row]] += 1.0
+
+    return {
+        "scatter_add": scatter_add_2d,
+        "scatter_put": scatter_put_2d,
+        "gather": gather_2d,
+        "segment_max": segment_max_2d,
+        "segment_counts": segment_counts_1d,
+    }
+
+
+def _kernels() -> dict:  # pragma: no cover - needs numba
+    global _KERNELS
+    if _KERNELS is None:
+        _KERNELS = _compile_kernels()
+    return _KERNELS
+
+
+def _as_2d(src: np.ndarray) -> tuple[np.ndarray, tuple]:
+    """A C-contiguous ``(N, K)`` view of ``src`` plus its trailing shape."""
+    trailing = src.shape[1:]
+    flat = np.ascontiguousarray(src).reshape(src.shape[0], -1)
+    return flat, trailing
+
+
+class NumbaBackend(NumpyBackend):  # pragma: no cover - needs numba
+    """Fused JIT segment kernels; numpy elementwise/matmul inherited."""
+
+    name = "numba"
+
+    def __init__(self):
+        type(self).require()
+        _kernels()  # compile up front: first train step should not stall
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return HAVE_NUMBA
+
+    @classmethod
+    def require(cls) -> None:
+        if not HAVE_NUMBA:
+            raise BackendUnavailableError(
+                "compute backend 'numba' needs the optional numba package "
+                "(pip install numba); the 'numpy' backend is always available"
+            )
+
+    def scatter_add(self, src, idx, num_rows, unique=False):
+        flat, trailing = _as_2d(src)
+        out = np.zeros((num_rows, flat.shape[1]), dtype=src.dtype)
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        if unique:
+            _kernels()["scatter_put"](flat, idx, out)
+        else:
+            _kernels()["scatter_add"](flat, idx, out)
+        return out.reshape((num_rows,) + trailing)
+
+    def gather_rows(self, src, idx):
+        flat, trailing = _as_2d(src)
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        out = np.empty((idx.shape[0], flat.shape[1]), dtype=src.dtype)
+        _kernels()["gather"](flat, idx, out)
+        return out.reshape((idx.shape[0],) + trailing)
+
+    def segment_max(self, src, idx, num_segments):
+        flat, trailing = _as_2d(src)
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        out = np.zeros((num_segments, flat.shape[1]), dtype=src.dtype)
+        touched = np.zeros((num_segments, flat.shape[1]), dtype=np.bool_)
+        _kernels()["segment_max"](flat, idx, out, touched)
+        # Untouched (empty-segment) slots stay 0.0, matching NumpyBackend.
+        return out.reshape((num_segments,) + trailing)
+
+    def segment_counts(self, idx, num_segments, dtype=np.float64):
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        out = np.zeros(num_segments, dtype=dtype)
+        _kernels()["segment_counts"](idx, out)
+        return out

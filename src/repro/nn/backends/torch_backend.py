@@ -1,0 +1,127 @@
+"""Torch compute backend (optional): CPU or GPU segment kernels.
+
+Mirrors the PyG/DGL idiom for vectorized graph ops: ``index_add_`` for
+scatter-add, ``index_select`` for gathers, ``scatter_reduce(amax)`` for
+per-segment maxima and batched ``torch.matmul`` for the padded attention
+products.  On CPU the arrays cross the boundary zero-copy
+(``torch.from_numpy`` / ``Tensor.numpy`` share memory); with
+``device="cuda"`` every kernel stages through device memory — worthwhile only
+for large batches, which is exactly where the padded attention matmuls
+dominate.
+
+The module imports cleanly without torch installed; building the backend then
+raises :class:`~repro.nn.backends.base.BackendUnavailableError` with an
+actionable message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ArrayBackend, BackendUnavailableError
+
+__all__ = ["TorchBackend", "HAVE_TORCH"]
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    HAVE_TORCH = True
+except ImportError:  # pragma: no cover - the common case in this image
+    torch = None
+    HAVE_TORCH = False
+
+
+class TorchBackend(ArrayBackend):  # pragma: no cover - needs torch
+    """Torch kernels over zero-copy CPU views (or a CUDA device)."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu"):
+        type(self).require()
+        self.device = torch.device(device)
+        if self.device.type == "cuda" and not torch.cuda.is_available():
+            raise BackendUnavailableError(
+                "compute backend 'torch' was asked for device='cuda' but "
+                "torch.cuda.is_available() is False"
+            )
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return HAVE_TORCH
+
+    @classmethod
+    def require(cls) -> None:
+        if not HAVE_TORCH:
+            raise BackendUnavailableError(
+                "compute backend 'torch' needs the optional torch package "
+                "(pip install torch); the 'numpy' backend is always available"
+            )
+
+    # ------------------------------------------------------------------ #
+    # numpy <-> torch boundary
+    # ------------------------------------------------------------------ #
+    def _to(self, array: np.ndarray):
+        return torch.from_numpy(np.ascontiguousarray(array)).to(self.device)
+
+    def _from(self, tensor) -> np.ndarray:
+        return tensor.cpu().numpy()
+
+    def _index(self, idx: np.ndarray):
+        return torch.from_numpy(
+            np.ascontiguousarray(idx, dtype=np.int64)).to(self.device)
+
+    # ------------------------------------------------------------------ #
+    # Scatter / gather primitives
+    # ------------------------------------------------------------------ #
+    def scatter_add(self, src, idx, num_rows, unique=False):
+        source = self._to(src)
+        index = self._index(idx)
+        out = torch.zeros((num_rows,) + src.shape[1:], dtype=source.dtype,
+                          device=self.device)
+        if unique:
+            out[index] = source
+        else:
+            out.index_add_(0, index, source)
+        return self._from(out)
+
+    def gather_rows(self, src, idx):
+        return self._from(torch.index_select(self._to(src), 0, self._index(idx)))
+
+    def segment_max(self, src, idx, num_segments):
+        source = self._to(src)
+        index = self._index(idx)
+        expand = index.reshape((-1,) + (1,) * (source.ndim - 1)).expand_as(source)
+        out = torch.full((num_segments,) + src.shape[1:], -torch.inf,
+                         dtype=source.dtype, device=self.device)
+        out.scatter_reduce_(0, expand, source, reduce="amax", include_self=True)
+        out[torch.isneginf(out)] = 0.0
+        return self._from(out)
+
+    def segment_counts(self, idx, num_segments, dtype=np.float64):
+        index = self._index(idx)
+        counts = torch.bincount(index, minlength=num_segments)
+        return self._from(counts).astype(dtype)
+
+    # ------------------------------------------------------------------ #
+    # Dense linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, a, b):
+        return self._from(torch.matmul(self._to(a), self._to(b)))
+
+    # ------------------------------------------------------------------ #
+    # Elementwise maps
+    # ------------------------------------------------------------------ #
+    def exp(self, x):
+        return self._from(torch.exp(self._to(x)))
+
+    def log(self, x):
+        return self._from(torch.log(self._to(x)))
+
+    def tanh(self, x):
+        return self._from(torch.tanh(self._to(x)))
+
+    def sigmoid(self, x):
+        return self._from(torch.sigmoid(self._to(x)))
+
+    def relu(self, x):
+        return self._from(torch.relu(self._to(x)))

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .backends import active_backend
 from .tensor import Tensor, concat, stable_sigmoid, stack
 
 __all__ = [
@@ -80,7 +81,7 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
     if not training or p <= 0.0:
         return x
     keep = 1.0 - p
-    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
     return x * Tensor(mask)
 
 
@@ -118,6 +119,7 @@ class SegmentInfo:
 
     @property
     def num_rows(self) -> int:
+        """Number of flat rows covered by this segmentation."""
         return int(self.index.shape[0])
 
 
@@ -166,8 +168,7 @@ def scatter_mean(src: Tensor, index, num_rows: int) -> Tensor:
     """Scatter-mean rows of ``src`` into ``num_rows`` buckets."""
     idx = np.asarray(index, dtype=np.int64)
     sums = src.scatter_add(idx, num_rows)
-    counts = np.zeros(num_rows, dtype=np.float64)
-    np.add.at(counts, idx, 1.0)
+    counts = active_backend().segment_counts(idx, num_rows, dtype=src.dtype)
     counts = np.maximum(counts, 1.0).reshape((num_rows,) + (1,) * (src.ndim - 1))
     return sums * Tensor(1.0 / counts)
 
@@ -192,7 +193,7 @@ def segment_mean(src: Tensor, index, num_segments: int | None = None) -> Tensor:
     if isinstance(index, SegmentInfo):
         # Reuse the precomputed per-segment counts.
         sums = src.segment_sum(index.index, index.num_segments)
-        counts = np.maximum(index.counts.astype(np.float64), 1.0)
+        counts = np.maximum(index.counts.astype(src.dtype), 1.0)
         counts = counts.reshape((index.num_segments,) + (1,) * (src.ndim - 1))
         return sums * Tensor(1.0 / counts)
     idx, num_segments = _segment_args(index, num_segments)
@@ -211,11 +212,10 @@ def segment_softmax(scores: Tensor, index, num_segments: int | None = None) -> T
     Used for attention over variable-sized neighbourhoods / subgraphs.
     """
     idx, num_segments = _segment_args(index, num_segments)
+    backend = active_backend()
     # Numerically stabilise per segment using a stop-gradient max.
-    seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf, dtype=np.float64)
-    np.maximum.at(seg_max, idx, scores.data)
-    seg_max[np.isneginf(seg_max)] = 0.0
-    shifted = scores - Tensor(seg_max[idx])
+    seg_max = backend.segment_max(scores.data, idx, num_segments)
+    shifted = scores - Tensor(backend.gather_rows(seg_max, idx))
     exp = shifted.exp()
     denom = exp.scatter_add(idx, num_segments)
     denom_gathered = denom.gather_rows(idx)
@@ -239,7 +239,7 @@ def to_padded(x: Tensor, index, pad_value: float = 0.0) -> tuple[Tensor, Segment
     padded = flat.reshape((seg.num_segments, seg.max_count) + x.shape[1:])
     if pad_value != 0.0:
         fill = np.where(seg.mask.reshape(seg.mask.shape + (1,) * (x.ndim - 1)),
-                        0.0, float(pad_value))
+                        0.0, float(pad_value)).astype(x.dtype, copy=False)
         padded = padded + Tensor(fill)
     return padded, seg
 

@@ -35,6 +35,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((self.out_dim,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map ``x @ weight + bias``."""
         return F.linear(x, self.weight, self.bias)
 
     def __repr__(self):
@@ -52,6 +53,7 @@ class Embedding(Module):
         self.weight = Parameter(init.normal((self.num_embeddings, self.dim), rng, std=0.1))
 
     def forward(self, indices) -> Tensor:
+        """Look up the rows of ``weight`` selected by ``indices``."""
         idx = np.asarray(indices, dtype=np.int64)
         if np.any(idx < 0) or np.any(idx >= self.num_embeddings):
             raise IndexError(
@@ -75,6 +77,7 @@ class Dropout(Module):
         self._rng = get_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero entries of ``x`` in training mode."""
         return F.dropout(x, self.p, self.training, self._rng)
 
     def __repr__(self):
@@ -83,16 +86,19 @@ class Dropout(Module):
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
+        """Elementwise ``max(x, 0)``."""
         return x.relu()
 
 
 class GELU(Module):
     def forward(self, x: Tensor) -> Tensor:
+        """Gaussian-error linear unit (tanh approximation)."""
         return x.gelu()
 
 
 class Identity(Module):
     def forward(self, x: Tensor) -> Tensor:
+        """Return ``x`` unchanged."""
         return x
 
 
@@ -114,6 +120,7 @@ class BatchNorm1d(Module):
         self.register_buffer("running_var", np.ones(self.dim))
 
     def forward(self, x: Tensor) -> Tensor:
+        """Normalise the batch axis; updates running stats in training."""
         if x.ndim != 2:
             raise ValueError(f"BatchNorm1d expects a 2-D input, got shape {x.shape}")
         if self.training and x.shape[0] > 1:
@@ -142,6 +149,7 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(self.dim))
 
     def forward(self, x: Tensor) -> Tensor:
+        """Normalise the last axis, then scale and shift."""
         mean = x.mean(axis=-1, keepdims=True)
         centred = x - mean
         var = (centred * centred).mean(axis=-1, keepdims=True)
@@ -186,6 +194,7 @@ class MLP(Module):
         raise ValueError(f"unknown activation {self.activation!r}")
 
     def forward(self, x: Tensor) -> Tensor:
+        """Run ``x`` through every linear layer with activation between."""
         last = len(self.layers) - 1
         for index, layer in enumerate(self.layers):
             x = layer(x)

@@ -7,6 +7,7 @@ from typing import Iterator
 
 import numpy as np
 
+from .dtypes import FLOAT_DTYPES, as_float
 from .tensor import Tensor
 
 __all__ = ["Module", "Parameter", "ModuleList", "Sequential"]
@@ -44,10 +45,12 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_parameter(self, name: str, param: Parameter) -> None:
+        """Attach a trainable :class:`Parameter` under ``name``."""
         self._parameters[name] = param
         object.__setattr__(self, name, param)
 
     def add_module(self, name: str, module: "Module") -> None:
+        """Attach a child module under ``name`` for traversal."""
         self._modules[name] = module
         object.__setattr__(self, name, module)
 
@@ -59,9 +62,10 @@ class Module:
         """
         if name not in self._buffer_names:
             self._buffer_names.append(name)
-        object.__setattr__(self, name, np.asarray(value, dtype=np.float64))
+        object.__setattr__(self, name, as_float(value))
 
     def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(qualified_name, array)`` for every registered buffer."""
         for name in self._buffer_names:
             yield prefix + name, getattr(self, name)
         for child_name, child in self._modules.items():
@@ -76,12 +80,14 @@ class Module:
             yield param
 
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` over the whole subtree."""
         for name, param in self._parameters.items():
             yield prefix + name, param
         for child_name, child in self._modules.items():
             yield from child.named_parameters(prefix + child_name + ".")
 
     def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
         yield self
         for child in self._modules.values():
             yield from child.modules()
@@ -94,14 +100,17 @@ class Module:
     # Mode / grads
     # ------------------------------------------------------------------ #
     def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively; returns ``self``."""
         for module in self.modules():
             module.training = mode
         return self
 
     def eval(self) -> "Module":
+        """Switch to inference mode (``train(False)``)."""
         return self.train(False)
 
     def zero_grad(self) -> None:
+        """Reset the gradients of every parameter in the subtree."""
         for param in self.parameters():
             param.grad = None
 
@@ -111,13 +120,35 @@ class Module:
             param.requires_grad = False
 
     def unfreeze(self) -> None:
+        """Re-enable gradients for every parameter in the subtree."""
         for param in self.parameters():
             param.requires_grad = True
+
+    def cast(self, dtype) -> "Module":
+        """Cast every parameter and buffer to ``dtype`` (float32/float64), in place.
+
+        The float32-serving path (:class:`repro.core.serve.AnnotationEngine`
+        with ``precision="float32"``) deep-copies a trained model and casts the
+        copy, so checkpoints on disk stay full-precision.  Returns ``self``.
+        """
+        resolved = np.dtype(dtype)
+        if resolved not in FLOAT_DTYPES:
+            raise ValueError(f"cast() supports float32/float64, got {dtype!r}")
+        for param in self.parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(resolved, copy=False)
+        for module in self.modules():
+            for name in module._buffer_names:
+                buf = getattr(module, name)
+                object.__setattr__(module, name, buf.astype(resolved, copy=False))
+        return self
 
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``{qualified_name: array}`` of all parameters and buffers."""
         state = {name: param.data.copy() for name, param in self.named_parameters()}
         state.update({name: np.array(value, copy=True) for name, value in self.named_buffers()})
         return state
@@ -135,6 +166,7 @@ class Module:
         return owners
 
     def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Copy arrays from ``state`` into matching parameters/buffers."""
         own_params = dict(self.named_parameters())
         buffer_owners = self._buffer_owners()
         known = set(own_params) | set(buffer_owners)
@@ -150,11 +182,12 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for {name}: {own_params[name].data.shape} vs {values.shape}"
                     )
-                own_params[name].data = np.asarray(values, dtype=np.float64).copy()
+                own_params[name].data = np.asarray(
+                    values, dtype=own_params[name].data.dtype).copy()
             elif name in buffer_owners:
                 module, attr = buffer_owners[name]
                 current = getattr(module, attr)
-                values = np.asarray(values, dtype=np.float64)
+                values = np.asarray(values, dtype=current.dtype)
                 if current.shape != values.shape:
                     raise ValueError(
                         f"shape mismatch for buffer {name}: {current.shape} vs {values.shape}"
@@ -165,6 +198,7 @@ class Module:
     # Call protocol
     # ------------------------------------------------------------------ #
     def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
@@ -181,6 +215,7 @@ class ModuleList(Module):
             self.append(module)
 
     def append(self, module: Module) -> "ModuleList":
+        """Append ``module`` and register it; returns ``self``."""
         index = len(self._items)
         self._items.append(module)
         self.add_module(str(index), module)
@@ -196,6 +231,7 @@ class ModuleList(Module):
         return self._items[index]
 
     def forward(self, *args, **kwargs):
+        """Containers are not callable; iterate over the items instead."""
         raise RuntimeError("ModuleList is a container and cannot be called")
 
 
@@ -218,6 +254,7 @@ class Sequential(Module):
         return self._items[index]
 
     def forward(self, x):
+        """Feed ``x`` through every module in order."""
         for module in self._items:
             x = module(x)
         return x

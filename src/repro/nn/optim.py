@@ -94,6 +94,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        """Apply one SGD(+momentum, +weight-decay) update."""
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -148,6 +149,7 @@ class Adam(Optimizer):
         return grad
 
     def step(self) -> None:
+        """Apply one bias-corrected Adam update."""
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
@@ -226,14 +228,17 @@ class CosineSchedule:
                      * (1 + np.cos(np.pi * progress)))
 
     def step(self) -> float:
+        """Advance one step and set the optimizer's learning rate."""
         self._step += 1
         self.optimizer.lr = self._lr_at(self._step)
         return self.optimizer.lr
 
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable schedule position."""
         return {"step": np.int64(self._step)}
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore the schedule position (and resulting LR)."""
         self._step = int(state.get("step", self._step))
         if self._step > 0:
             self.optimizer.lr = self._lr_at(self._step)
@@ -251,15 +256,18 @@ class StepSchedule:
         self._step = 0
 
     def step(self) -> float:
+        """Advance one step, decaying the LR every ``step_size`` steps."""
         self._step += 1
         if self._step % self.step_size == 0:
             self.optimizer.lr *= self.gamma
         return self.optimizer.lr
 
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable schedule position and current LR."""
         return {"step": np.int64(self._step), "lr": np.float64(self.optimizer.lr)}
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore the schedule position and LR."""
         self._step = int(state.get("step", self._step))
         if "lr" in state:
             self.optimizer.lr = float(state["lr"])

@@ -132,11 +132,13 @@ class PerformerAttention(Module):
 
         # FAVOR+ stabilizers (detached): per row for queries; per segment and
         # head for keys, where the constant cancels in the attention ratio.
+        backend = F.active_backend()
         q_stab = q_logits.data.max(axis=-1, keepdims=True)  # (heads, N, 1)
         k_row_max = k_logits.data.max(axis=-1).T  # (N, heads)
-        k_seg_max = np.full((seg.num_segments, heads), -np.inf)
-        np.maximum.at(k_seg_max, seg.index, k_row_max)
-        k_stab = k_seg_max[seg.index].T[:, :, None]  # (heads, N, 1)
+        # Contiguous segment ids from segment_info mean no segment is empty,
+        # so the backend's empty-segment zero-fill never fires here.
+        k_seg_max = backend.segment_max(k_row_max, seg.index, seg.num_segments)
+        k_stab = backend.gather_rows(k_seg_max, seg.index).T[:, :, None]  # (heads, N, 1)
 
         q_feat = self._positive_features(q_logits, q_stab)
         k_feat = self._positive_features(k_logits, k_stab)

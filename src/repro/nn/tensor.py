@@ -11,11 +11,21 @@ operation returns a new :class:`Tensor` holding references to its parents and
 a closure computing the local vector-Jacobian product.  Calling
 :meth:`Tensor.backward` topologically sorts the tape and accumulates
 gradients into ``.grad``.
+
+Every hot kernel — matmul, the elementwise transcendentals and the
+scatter/gather/segment family — executes through the active
+:class:`~repro.nn.backends.base.ArrayBackend`, so swapping backends
+(``repro.nn.backends.set_backend``) swaps the compute under the unchanged
+tape.  Array dtypes follow the policy in :mod:`repro.nn.dtypes`: float64 by
+default, float32 everywhere when serving under ``use_dtype(np.float32)``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .backends import active_backend
+from .dtypes import as_float, default_dtype
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "stable_sigmoid"]
 
@@ -24,12 +34,10 @@ def stable_sigmoid(values: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function on raw numpy data.
 
     The naive ``1 / (1 + exp(-x))`` overflows for large-magnitude negative
-    inputs; ``exp(-|x|)`` is bounded by 1 for every input, so both branches
-    below are overflow-free.
+    inputs; the backend kernels use ``exp(-|x|)``, which is bounded by 1 for
+    every input, so both branches are overflow-free.
     """
-    values = np.asarray(values, dtype=np.float64)
-    z = np.exp(-np.abs(values))
-    return np.where(values >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
+    return active_backend().sigmoid(as_float(values))
 
 _GRAD_ENABLED = True
 
@@ -74,11 +82,9 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 
 
 def _as_array(data) -> np.ndarray:
-    if isinstance(data, np.ndarray):
-        if data.dtype == np.float64 or data.dtype == np.float32:
-            return data
-        return data.astype(np.float64)
-    return np.asarray(data, dtype=np.float64)
+    if isinstance(data, np.ndarray) and data.dtype not in (np.float64, np.float32):
+        return data.astype(default_dtype())
+    return as_float(data)
 
 
 class Tensor:
@@ -100,22 +106,27 @@ class Tensor:
     # ------------------------------------------------------------------ #
     @property
     def shape(self) -> tuple:
+        """The array shape of the wrapped data."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     @property
     def dtype(self):
+        """The numpy dtype of the wrapped data."""
         return self.data.dtype
 
     @property
     def T(self) -> "Tensor":
+        """Transpose (reverses all axes), differentiable."""
         return self.transpose()
 
     def __len__(self) -> int:
@@ -130,6 +141,7 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        """The value of a one-element tensor as a python float."""
         return float(self.data.item())
 
     def detach(self) -> "Tensor":
@@ -137,9 +149,11 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def copy(self) -> "Tensor":
+        """A detached copy of the data (no tape history)."""
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
         self.grad = None
 
     # ------------------------------------------------------------------ #
@@ -158,7 +172,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+            self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad = self.grad + grad
 
@@ -170,7 +184,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order of the compute graph.
         topo: list[Tensor] = []
@@ -284,8 +298,10 @@ class Tensor:
         return self.matmul(other)
 
     def matmul(self, other) -> "Tensor":
+        """Matrix product (the ``@`` operator), differentiable."""
         other = self._ensure(other)
-        out_data = self.data @ other.data
+        backend = active_backend()
+        out_data = backend.matmul(self.data, other.data)
 
         def backward(grad):
             a, b = self.data, other.data
@@ -293,13 +309,13 @@ class Tensor:
                 if b.ndim == 1:
                     grad_a = np.outer(grad, b) if a.ndim > 1 else grad * b
                 else:
-                    grad_a = grad @ np.swapaxes(b, -1, -2)
+                    grad_a = backend.matmul(grad, np.swapaxes(b, -1, -2))
                 self._accumulate(_unbroadcast(grad_a.reshape(a.shape), a.shape))
             if other.requires_grad:
                 if a.ndim == 1:
                     grad_b = np.outer(a, grad) if b.ndim > 1 else a * grad
                 else:
-                    grad_b = np.swapaxes(a, -1, -2) @ grad
+                    grad_b = backend.matmul(np.swapaxes(a, -1, -2), grad)
                 other._accumulate(_unbroadcast(grad_b.reshape(b.shape), b.shape))
 
         return self._make(out_data, (self, other), backward, "matmul")
@@ -308,6 +324,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when ``None``), differentiable."""
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad):
@@ -321,6 +338,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "sum")
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``, differentiable."""
         if axis is None:
             count = self.data.size
         elif isinstance(axis, tuple):
@@ -330,6 +348,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties share the gradient equally."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(grad):
@@ -340,7 +359,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
                 out = np.expand_dims(out, axis=axis)
-            mask = (self.data == out).astype(np.float64)
+            mask = (self.data == out).astype(self.data.dtype)
             # Split gradient between ties to keep the op well-defined.
             denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask * g / np.maximum(denom, 1.0))
@@ -348,6 +367,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "max")
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Population variance over ``axis``, differentiable."""
         mu = self.mean(axis=axis, keepdims=True)
         diff = self - mu
         out = (diff * diff).mean(axis=axis, keepdims=keepdims)
@@ -357,7 +377,8 @@ class Tensor:
     # Elementwise non-linearities
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        """Elementwise exponential, differentiable."""
+        out_data = active_backend().exp(self.data)
 
         def backward(grad):
             if self.requires_grad:
@@ -366,7 +387,8 @@ class Tensor:
         return self._make(out_data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        """Elementwise natural logarithm, differentiable."""
+        out_data = active_backend().log(self.data)
 
         def backward(grad):
             if self.requires_grad:
@@ -375,6 +397,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
+        """Elementwise square root, differentiable."""
         out_data = np.sqrt(self.data)
 
         def backward(grad):
@@ -384,7 +407,8 @@ class Tensor:
         return self._make(out_data, (self,), backward, "sqrt")
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        """Elementwise hyperbolic tangent, differentiable."""
+        out_data = active_backend().tanh(self.data)
 
         def backward(grad):
             if self.requires_grad:
@@ -393,7 +417,8 @@ class Tensor:
         return self._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
-        out_data = stable_sigmoid(self.data)
+        """Elementwise stable logistic map, differentiable."""
+        out_data = active_backend().sigmoid(self.data)
 
         def backward(grad):
             if self.requires_grad:
@@ -402,8 +427,9 @@ class Tensor:
         return self._make(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
+        """Elementwise ``max(x, 0)``, differentiable."""
         mask = self.data > 0
-        out_data = self.data * mask
+        out_data = self.data * mask  # == backend.relu; mask is reused backward
 
         def backward(grad):
             if self.requires_grad:
@@ -413,10 +439,10 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
-        c = np.sqrt(2.0 / np.pi)
+        c = float(np.sqrt(2.0 / np.pi))
         x = self.data
         inner = c * (x + 0.044715 * x ** 3)
-        t = np.tanh(inner)
+        t = active_backend().tanh(inner)
         out_data = 0.5 * x * (1.0 + t)
 
         def backward(grad):
@@ -428,6 +454,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "gelu")
 
     def abs(self) -> "Tensor":
+        """Elementwise absolute value; grad is ``sign(x)``."""
         out_data = np.abs(self.data)
 
         def backward(grad):
@@ -437,6 +464,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "abs")
 
     def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp to ``[low, high]``; gradient is zero outside the band."""
         out_data = np.clip(self.data, low, high)
         mask = (self.data >= low) & (self.data <= high)
 
@@ -450,6 +478,7 @@ class Tensor:
     # Shape manipulation
     # ------------------------------------------------------------------ #
     def reshape(self, *shape) -> "Tensor":
+        """View with a new shape (numpy semantics), differentiable."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
@@ -462,6 +491,7 @@ class Tensor:
         return self._make(out_data, (self,), backward, "reshape")
 
     def transpose(self, *axes) -> "Tensor":
+        """Permute axes (all reversed when none given), differentiable."""
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -493,16 +523,14 @@ class Tensor:
         uses direct assignment instead of the much slower ``np.add.at``.
         """
         idx = np.asarray(indices, dtype=np.int64)
-        out_data = self.data[idx]
+        backend = active_backend()
+        out_data = backend.gather_rows(self.data, idx)
 
         def backward(grad):
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                if unique:
-                    full[idx] = grad
-                else:
-                    np.add.at(full, idx, grad)
-                self._accumulate(full)
+                self._accumulate(
+                    backend.scatter_add(grad, idx, self.shape[0], unique=unique)
+                )
 
         return self._make(out_data, (self,), backward, "gather_rows")
 
@@ -515,15 +543,12 @@ class Tensor:
         direct assignment instead of ``np.add.at``.
         """
         idx = np.asarray(indices, dtype=np.int64)
-        out_data = np.zeros((num_rows,) + self.shape[1:], dtype=np.float64)
-        if unique:
-            out_data[idx] = self.data
-        else:
-            np.add.at(out_data, idx, self.data)
+        backend = active_backend()
+        out_data = backend.scatter_add(self.data, idx, num_rows, unique=unique)
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad[idx])
+                self._accumulate(backend.gather_rows(grad, idx))
 
         return self._make(out_data, (self,), backward, "scatter_add")
 
@@ -539,17 +564,15 @@ class Tensor:
         semantics.
         """
         idx = np.asarray(indices, dtype=np.int64)
-        out_data = np.full((num_segments,) + self.shape[1:], -np.inf, dtype=np.float64)
-        np.maximum.at(out_data, idx, self.data)
-        out_data[np.isneginf(out_data)] = 0.0
-        winners = (self.data == out_data[idx]).astype(np.float64)
-        counts = np.zeros_like(out_data)
-        np.add.at(counts, idx, winners)
-        share = winners / np.maximum(counts, 1.0)[idx]
+        backend = active_backend()
+        out_data = backend.segment_max(self.data, idx, num_segments)
+        winners = (self.data == backend.gather_rows(out_data, idx)).astype(self.data.dtype)
+        counts = backend.scatter_add(winners, idx, num_segments)
+        share = winners / backend.gather_rows(np.maximum(counts, 1.0), idx)
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad[idx] * share)
+                self._accumulate(backend.gather_rows(grad, idx) * share)
 
         return self._make(out_data, (self,), backward, "segment_max")
 
@@ -557,8 +580,9 @@ class Tensor:
     # Softmax family
     # ------------------------------------------------------------------ #
     def softmax(self, axis: int = -1) -> "Tensor":
+        """Stable softmax along ``axis``, differentiable."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
+        exp = active_backend().exp(shifted)
         out_data = exp / exp.sum(axis=axis, keepdims=True)
 
         def backward(grad):
@@ -569,10 +593,12 @@ class Tensor:
         return self._make(out_data, (self,), backward, "softmax")
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Stable log-softmax along ``axis``, differentiable."""
+        backend = active_backend()
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        logsumexp = backend.log(backend.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - logsumexp
-        soft = np.exp(out_data)
+        soft = backend.exp(out_data)
 
         def backward(grad):
             if self.requires_grad:

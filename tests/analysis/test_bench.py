@@ -1,0 +1,110 @@
+"""Tests for the machine-readable benchmark records (:mod:`repro.analysis.bench`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchRecorder,
+    compare_benchmarks,
+    load_bench,
+    peak_rss_mb,
+)
+
+
+class TestRecorder:
+    def test_payload_is_schema_stamped_and_sorted(self):
+        rec = BenchRecorder("serve")
+        rec.record("zeta", 1.0, unit="s", direction="lower")
+        rec.record("alpha", 2.0, unit="x")
+        rec.add_meta(preset="fast")
+        payload = rec.payload()
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["version"] == BENCH_SCHEMA_VERSION
+        assert payload["area"] == "serve"
+        assert list(payload["metrics"]) == ["alpha", "zeta"]
+        assert payload["meta"] == {"preset": "fast"}
+        assert payload["environment"]["peak_rss_mb"] > 0
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        rec = BenchRecorder("train_ops", out_dir=tmp_path)
+        rec.record("step_s", 0.5, unit="s", direction="lower", steps=3)
+        path = rec.write()
+        assert path.name == "BENCH_train_ops.json"
+        payload = load_bench(path)
+        assert payload["metrics"]["step_s"] == {
+            "value": 0.5, "unit": "s", "direction": "lower", "steps": 3}
+
+    def test_rejects_bad_area_and_direction(self, tmp_path):
+        with pytest.raises(ValueError, match="slug"):
+            BenchRecorder("has spaces")
+        rec = BenchRecorder("ok")
+        with pytest.raises(ValueError, match="direction"):
+            rec.record("x", 1.0, direction="sideways")
+        with pytest.raises(ValueError, match="output directory"):
+            rec.write()
+
+    def test_load_rejects_foreign_and_stale_files(self, tmp_path):
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"schema": "not-bench"}))
+        with pytest.raises(ValueError, match="not a"):
+            load_bench(foreign)
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"schema": BENCH_SCHEMA, "version": 99,
+                                     "metrics": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_bench(stale)
+        no_metrics = tmp_path / "none.json"
+        no_metrics.write_text(json.dumps({"schema": BENCH_SCHEMA,
+                                          "version": BENCH_SCHEMA_VERSION}))
+        with pytest.raises(ValueError, match="metrics"):
+            load_bench(no_metrics)
+
+    def test_peak_rss_positive(self):
+        assert peak_rss_mb() > 1.0
+
+
+def _payload(**metrics):
+    rec = BenchRecorder("area")
+    for name, (value, direction) in metrics.items():
+        rec.record(name, value, direction=direction)
+    return rec.payload()
+
+
+class TestCompare:
+    def test_direction_aware_statuses(self):
+        old = _payload(tps=(100.0, "higher"), latency=(1.0, "lower"),
+                       steady=(5.0, "higher"))
+        new = _payload(tps=(80.0, "higher"), latency=(0.5, "lower"),
+                       steady=(5.2, "higher"))
+        rows = {r["metric"]: r for r in compare_benchmarks(old, new)}
+        assert rows["tps"]["status"] == "regressed"
+        assert rows["latency"]["status"] == "improved"
+        assert rows["steady"]["status"] == "ok"
+        assert rows["tps"]["change"] == pytest.approx(-0.2)
+
+    def test_regressions_sort_first_by_magnitude(self):
+        old = _payload(a=(1.0, "lower"), b=(1.0, "lower"), c=(1.0, "higher"))
+        new = _payload(a=(1.2, "lower"), b=(2.0, "lower"), c=(1.0, "higher"))
+        rows = compare_benchmarks(old, new)
+        assert [r["metric"] for r in rows[:2]] == ["b", "a"]
+
+    def test_one_sided_metrics_reported_not_failed(self):
+        rows = compare_benchmarks(_payload(gone=(1.0, "lower")),
+                                  _payload(fresh=(1.0, "lower")))
+        statuses = {r["metric"]: r["status"] for r in rows}
+        assert statuses == {"gone": "old-only", "fresh": "new-only"}
+
+    def test_zero_old_value_does_not_divide_by_zero(self):
+        rows = compare_benchmarks(_payload(x=(0.0, "higher")),
+                                  _payload(x=(5.0, "higher")))
+        assert rows[0]["status"] == "ok"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks(_payload(x=(1.0, "higher")),
+                               _payload(x=(1.0, "higher")), threshold=-0.1)

@@ -188,3 +188,29 @@ class TestConfigBridge:
         task = spec.build_task()
         assert task.name == "graph_property"
         assert task.property == "log_size"
+
+
+class TestBackendField:
+    """The ``backend`` field selects the compute backend (PR 6)."""
+
+    def test_default_is_numpy(self):
+        assert ExperimentSpec().backend == "numpy"
+
+    def test_round_trips_through_dict_and_json(self):
+        spec = ExperimentSpec(backend="torch")
+        assert ExperimentSpec.from_dict(spec.to_dict()).backend == "torch"
+        assert ExperimentSpec.from_json(spec.to_json()).backend == "torch"
+
+    def test_optional_backend_is_valid_even_when_not_installed(self):
+        # Name check only: a spec written on a GPU box must stay loadable
+        # on a machine without torch; the failure happens at build time.
+        ExperimentSpec(backend="numba").validate()
+        ExperimentSpec(backend="torch").validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            ExperimentSpec.from_dict({"backend": "tpu"})
+
+    def test_non_string_backend_rejected(self):
+        with pytest.raises(SpecError, match="backend"):
+            ExperimentSpec(backend=3).validate()

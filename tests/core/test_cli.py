@@ -100,6 +100,26 @@ class TestEndToEnd:
         assert code == 0
         assert "out of 6 candidates" in capsys.readouterr().out
 
+    def test_annotate_float32_backend_numpy(self, workdir, artifact, tmp_path,
+                                            capsys):
+        """``--backend numpy --precision float32`` serves within 1e-4 of f64."""
+        report64 = tmp_path / "report64.json"
+        report32 = tmp_path / "report32.json"
+        for precision, report in (("float64", report64), ("float32", report32)):
+            code = main([
+                "annotate", str(artifact), str(workdir / "user_macro.sp"),
+                "--pairs", "BL0,BL1", "--pairs", "BL0,BLB0",
+                "--backend", "numpy", "--precision", precision,
+                "--json", str(report),
+            ])
+            assert code == 0
+        recs64 = json.loads(report64.read_text())["records"]
+        recs32 = json.loads(report32.read_text())["records"]
+        for r64, r32 in zip(recs64, recs32):
+            assert r32["pair"] == r64["pair"]
+            assert abs(r32["coupling_probability"]
+                       - r64["coupling_probability"]) <= 1e-4
+
     def test_annotate_unknown_pair_reports_error(self, workdir, artifact, capsys):
         code = main([
             "annotate", str(artifact), str(workdir / "user_macro.sp"),
@@ -133,3 +153,88 @@ class TestEndToEnd:
         ])
         assert code == 0
         assert capsys.readouterr().out.count("out of 1 candidates") == 2
+
+
+class TestBenchCompare:
+    """``python -m repro bench --compare OLD NEW`` (the CI perf gate)."""
+
+    @staticmethod
+    def _write(tmp_path, name, metrics):
+        from repro.analysis.bench import BenchRecorder
+
+        rec = BenchRecorder("serve", out_dir=tmp_path / name)
+        for metric, (value, direction) in metrics.items():
+            rec.record(metric, value, direction=direction)
+        return str(rec.write())
+
+    def test_detects_injected_regression(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old", {
+            "links_per_s": (1000.0, "higher"), "latency_s": (1.0, "lower")})
+        new = self._write(tmp_path, "new", {
+            "links_per_s": (800.0, "higher"), "latency_s": (1.01, "lower")})
+        assert main(["bench", "--compare", old, new]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.err
+        assert "links_per_s" in captured.err
+        assert "latency_s" not in captured.err  # 1% is inside the threshold
+
+    def test_improvement_and_noise_pass(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old", {
+            "links_per_s": (1000.0, "higher"), "latency_s": (1.0, "lower")})
+        new = self._write(tmp_path, "new", {
+            "links_per_s": (1500.0, "higher"), "latency_s": (0.95, "lower")})
+        assert main(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "improved" in out and "no regressions" in out.lower()
+
+    def test_threshold_flag_loosens_the_gate(self, tmp_path):
+        old = self._write(tmp_path, "old", {"links_per_s": (1000.0, "higher")})
+        new = self._write(tmp_path, "new", {"links_per_s": (800.0, "higher")})
+        assert main(["bench", "--compare", old, new, "--threshold", "0.25"]) == 0
+        assert main(["bench", "--compare", old, new, "--threshold", "-1"]) == 2
+
+    def test_direction_matters(self, tmp_path):
+        # latency going UP 20% regresses even though the number "increased"
+        old = self._write(tmp_path, "old", {"latency_s": (1.0, "lower")})
+        new = self._write(tmp_path, "new", {"latency_s": (1.2, "lower")})
+        assert main(["bench", "--compare", old, new]) == 1
+
+    def test_metrics_in_only_one_file_never_fail(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old", {"gone_s": (1.0, "lower")})
+        new = self._write(tmp_path, "new", {"fresh_s": (9.0, "lower")})
+        assert main(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "old-only" in out and "new-only" in out
+
+    def test_bad_input_reports_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "other"}))
+        good = self._write(tmp_path, "good", {"x": (1.0, "higher")})
+        assert main(["bench", "--compare", str(bogus), good]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["bench", "--compare", str(tmp_path / "nope.json"), good]) == 2
+
+
+class TestBackendFlag:
+    """``--backend`` selection and its failure modes."""
+
+    def test_unavailable_backend_exits_2_with_actionable_message(self, tmp_path,
+                                                                 capsys):
+        from repro.nn.backends import available_backends
+        from repro.api import BACKENDS
+
+        unavailable = [name for name in BACKENDS.names()
+                       if name not in available_backends()]
+        if not unavailable:
+            pytest.skip("all optional backends are installed here")
+        code = main(["annotate", str(tmp_path / "ckpt"), "whatever.sp",
+                     "--backend", unavailable[0]])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert unavailable[0] in err
+
+    def test_unknown_backend_lists_available_names(self, tmp_path, capsys):
+        code = main(["annotate", str(tmp_path), "x.sp", "--backend", "cuda9000"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cuda9000" in err and "numpy" in err

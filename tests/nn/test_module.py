@@ -107,3 +107,43 @@ class TestContainers:
 
     def test_mlp_is_module(self):
         assert isinstance(MLP([2, 2]), Module)
+
+
+class TestCast:
+    """Module.cast powers the float32 serving path (PR 6)."""
+
+    def _model_with_buffer(self):
+        model = Sequential(Linear(3, 5, rng=0), Linear(5, 2, rng=0))
+        model.register_buffer("scale", np.linspace(0.0, 1.0, 4))
+        return model
+
+    def test_cast_converts_parameters_grads_and_buffers(self):
+        model = self._model_with_buffer()
+        out = model(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert model.cast(np.float32) is model
+        for param in model.parameters():
+            assert param.data.dtype == np.float32
+            if param.grad is not None:
+                assert param.grad.dtype == np.float32
+        assert model.scale.dtype == np.float32
+
+    def test_cast_roundtrip_preserves_values_within_float32(self):
+        model = self._model_with_buffer()
+        before = model.state_dict()
+        model.cast(np.float32).cast(np.float64)
+        for name, value in model.state_dict().items():
+            np.testing.assert_allclose(value, before[name], rtol=1e-6, atol=1e-7)
+
+    def test_cast_rejects_non_float_dtypes(self):
+        model = self._model_with_buffer()
+        with pytest.raises(ValueError, match="float32/float64"):
+            model.cast(np.int64)
+
+    def test_state_dict_loads_into_cast_model_at_model_dtype(self):
+        source = self._model_with_buffer()
+        target = self._model_with_buffer().cast(np.float32)
+        target.load_state_dict(source.state_dict())
+        for param in target.parameters():
+            assert param.data.dtype == np.float32
+        assert target.scale.dtype == np.float32
