@@ -1,0 +1,118 @@
+"""External load generator for the annotation daemon (stdlib only).
+
+Fires a fixed list of JSON ``POST /annotate`` requests at a running daemon
+from a *separate process*, with a configurable number of connections in
+flight, and reports the best-of-N burst wall-clock plus every raw response
+body.  Keeping the client out of the server process matters for honest
+concurrency measurements: an in-process client shares the GIL with the
+daemon's event loop and compute thread, which serializes exactly the work
+a real remote client would do in parallel.
+
+Used by ``benchmarks/test_serve_concurrent_throughput.py`` for both of its
+modes — the sequential baseline is simply ``--concurrency 1`` — so the two
+measurements share one transport.  Standalone use::
+
+    python benchmarks/serve_loadgen.py http://127.0.0.1:8731 requests.json 40 3
+
+where ``requests.json`` holds a JSON list of request bodies.  Prints a JSON
+object: ``{"elapsed_s": <best burst seconds>, "statuses": [...],
+"responses": [...]}`` with statuses/responses aligned to the request list.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+
+__all__ = ["run_bursts"]
+
+
+async def _one_request(host: str, port: int, body: bytes, results: list,
+                       index: int, semaphore: asyncio.Semaphore) -> None:
+    """POST one body over a fresh connection; record (status, payload)."""
+    async with semaphore:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            head = (f"POST /annotate HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n").encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b""):
+                    break
+                key, _, value = line.partition(b":")
+                if key.strip().lower() == b"content-length":
+                    length = int(value)
+            if length is None:
+                raise RuntimeError("response had no Content-Length "
+                                   "(streaming responses are not supported)")
+            payload = await reader.readexactly(length)
+            results[index] = (status, payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _burst(host: str, port: int, bodies: list[bytes],
+                 concurrency: int) -> list[tuple[int, bytes]]:
+    """Issue every body once with at most ``concurrency`` in flight."""
+    semaphore = asyncio.Semaphore(concurrency)
+    results: list = [None] * len(bodies)
+    await asyncio.gather(*[
+        _one_request(host, port, body, results, index, semaphore)
+        for index, body in enumerate(bodies)])
+    return results
+
+
+def run_bursts(url: str, bodies: list[bytes], *, concurrency: int,
+               repeats: int) -> dict:
+    """One untimed warmup burst, then best-of-``repeats`` timed bursts."""
+    host, port_text = url.split("//", 1)[1].rsplit(":", 1)
+    port = int(port_text)
+    loop = asyncio.new_event_loop()
+    try:
+        results = loop.run_until_complete(
+            _burst(host, port, bodies, concurrency))  # warmup: caches, JIT-free
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = loop.run_until_complete(
+                _burst(host, port, bodies, concurrency))
+            best = min(best, time.perf_counter() - start)
+    finally:
+        loop.close()
+    return {
+        "elapsed_s": best,
+        "statuses": [status for status, _ in results],
+        "responses": [payload.decode("utf-8") for _, payload in results],
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 4:
+        print("usage: serve_loadgen.py URL REQUEST_FILE CONCURRENCY REPEATS",
+              file=sys.stderr)
+        return 2
+    url, request_file, concurrency, repeats = argv
+    with open(request_file, "r", encoding="utf-8") as handle:
+        bodies = [json.dumps(request).encode("utf-8")
+                  for request in json.load(handle)]
+    report = run_bursts(url, bodies, concurrency=int(concurrency),
+                        repeats=int(repeats))
+    print(json.dumps(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

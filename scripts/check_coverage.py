@@ -90,6 +90,8 @@ def executable_lines(path: pathlib.Path) -> set[int]:
 
 
 def run_with_settrace(gates) -> int:
+    import threading
+
     import pytest
 
     sys.path.insert(0, str(SRC))
@@ -110,10 +112,14 @@ def run_with_settrace(gates) -> int:
         return None
 
     sys.settrace(global_tracer)
+    # Threads too: the annotation daemon (repro.core.server) does nearly all
+    # of its work on an event-loop thread and a compute thread.
+    threading.settrace(global_tracer)
     try:
         exit_code = pytest.main(["-q", "tests"])
     finally:
         sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
     if exit_code:
         print(f"check_coverage: test run failed (pytest exit {exit_code})")
         return int(exit_code)

@@ -18,7 +18,7 @@ Everything a downstream user (or plugin author) needs lives here:
   persisted in checkpoints (schema v3) so ``load`` rebuilds any registered
   component graph.
 * **Facade** (:func:`fit`, :func:`evaluate`, :func:`annotate`,
-  :func:`load`, :func:`list_components`) — the train-once / serve-many
+  :func:`connect`, :func:`load`, :func:`list_components`) — the train-once / serve-many
   workflow behind ``python -m repro``.
 
 Plugin authors additionally get :data:`repro.api.nn` (the autograd module
@@ -75,6 +75,7 @@ __all__ = [
     "fit",
     "evaluate",
     "annotate",
+    "connect",
     "load",
     # re-exports for plugin authors
     "nn",
@@ -99,6 +100,7 @@ _LAZY = {
     "fit": ".facade",
     "evaluate": ".facade",
     "annotate": ".facade",
+    "connect": ".facade",
     "load": ".facade",
     "nn": "repro.nn",
     "Pipeline": ("repro.core.pipeline", "CircuitGPSPipeline"),

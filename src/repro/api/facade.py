@@ -1,12 +1,13 @@
 """The high-level entry points of :mod:`repro.api`.
 
-Five functions cover the full train-once / serve-many workflow, all driven
+Six functions cover the full train-once / serve-many workflow, all driven
 by declarative :class:`~repro.api.spec.ExperimentSpec` values and the
 component registries:
 
 * :func:`fit` — build + train the experiment a spec describes,
 * :func:`evaluate` — zero-shot metrics of a trained/loaded pipeline,
 * :func:`annotate` — run the serving engine over a netlist,
+* :func:`connect` — client for a running ``repro serve`` annotation daemon,
 * :func:`load` — rebuild a pipeline from a checkpoint artifact,
 * :func:`list_components` — what is registered (``python -m repro components``).
 
@@ -19,7 +20,7 @@ from __future__ import annotations
 from .registries import list_components  # noqa: F401  (re-exported)
 from .spec import ExperimentSpec
 
-__all__ = ["fit", "evaluate", "annotate", "load", "list_components"]
+__all__ = ["fit", "evaluate", "annotate", "connect", "load", "list_components"]
 
 
 def _as_pipeline(target):
@@ -114,6 +115,18 @@ def annotate(target, netlist, pairs=None, task="edge_regression",
                        if key in engine_kwargs}
     engine = AnnotationEngine(pipeline, task=task, mode=mode, **engine_kwargs)
     return engine.annotate(netlist, pairs=pairs, **annotate_kwargs)
+
+
+def connect(url: str, timeout: float = 60.0):
+    """Client for a running annotation service (``python -m repro serve``).
+
+    Returns a :class:`~repro.core.server.client.ServeClient` bound to
+    ``url``; ``client.annotate(spice_text)`` then hits the resident daemon
+    instead of loading an artifact in-process.
+    """
+    from ..core.server.client import ServeClient
+
+    return ServeClient(url, timeout=timeout)
 
 
 def load(path):

@@ -1,12 +1,17 @@
 """Command-line interface: the paper workflow from the shell.
 
-``python -m repro`` exposes five subcommands built on :mod:`repro.api`:
+``python -m repro`` exposes subcommands built on :mod:`repro.api`:
 
 * ``train``    — build the design suite, pre-train + fine-tune, save one
   full-pipeline artifact (:meth:`CircuitGPSPipeline.save`); accepts a
   declarative :class:`repro.api.ExperimentSpec` JSON file via ``--spec``,
 * ``annotate`` — load an artifact and annotate one-or-many SPICE netlists
-  with predicted couplings (:class:`~repro.core.serve.AnnotationEngine`),
+  with predicted couplings (:class:`~repro.core.serve.AnnotationEngine`);
+  with ``--remote URL`` the netlists are sent to a running ``serve`` daemon
+  instead of loading the artifact locally,
+* ``serve``    — keep a loaded artifact resident behind a JSON-over-HTTP
+  annotation daemon that micro-batches links across concurrent requests
+  (:mod:`repro.core.server`),
 * ``evaluate`` — zero-shot link / regression metrics of a saved artifact on
   the bundled test designs,
 * ``report``   — render annotation JSON or ``benchmarks/results`` JSON files
@@ -131,6 +136,39 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("float64", "float32"),
                           help="serving precision; float32 halves memory "
                                "traffic at <=1e-4 AUC drift (default: float64)")
+    annotate.add_argument("--remote", default=None, metavar="URL",
+                          help="send the netlists to a running 'repro serve' "
+                               "daemon at URL instead of loading the artifact "
+                               "locally; the CHECKPOINT argument is treated "
+                               "as the first netlist (or pass '-')")
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent annotation service for an artifact")
+    serve.add_argument("checkpoint", help="artifact path (directory or .npz)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8731,
+                       help="bind port; 0 picks a free one (default: 8731)")
+    serve.add_argument("--backend", default=None,
+                       help="compute backend for inference (default: numpy "
+                            "/ $REPRO_BACKEND)")
+    serve.add_argument("--precision", default="float64",
+                       choices=("float64", "float32"),
+                       help="serving precision (default: float64)")
+    serve.add_argument("--batch-window-ms", type=float, default=10.0,
+                       help="micro-batch latency budget: flush when the oldest "
+                            "pending link has waited this long (default: 10)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="flush a shared batch at this many pending links "
+                            "(default: 256)")
+    serve.add_argument("--batch-size", type=int, default=256,
+                       help="engine chunk size for grouping-sensitive "
+                            "extraction (default: 256)")
+    serve.add_argument("--threshold", type=float, default=0.5,
+                       help="coupling probability threshold (default: 0.5)")
+    serve.add_argument("--request-timeout", type=float, default=60.0,
+                       help="per-request wall-clock budget in seconds before "
+                            "a 504 (default: 60)")
 
     evaluate = sub.add_parser("evaluate",
                               help="zero-shot metrics of a saved artifact on test designs")
@@ -304,10 +342,71 @@ def _parse_pairs(raw: list[str] | None) -> list[tuple[str, str]] | None:
     return pairs
 
 
+def _print_report_payload(payload: dict) -> None:
+    """Print one wire-format annotation report (the ``--remote`` path)."""
+    rows = [_annotation_row(record) for record in payload["records"]]
+    print(format_table(
+        rows,
+        title=f"{payload['design']}: {payload['num_predicted_couplings']} "
+              f"predicted coupling(s) out of {payload['num_candidates']} "
+              "candidates",
+    ))
+    print()
+
+
+def _cmd_annotate_remote(args, pairs) -> int:
+    """``annotate --remote URL``: annotate via a running serve daemon."""
+    from .server.client import ServeClient, ServeError
+
+    if args.annotated_out:
+        print("error: --annotated-out is not supported with --remote "
+              "(the daemon returns reports, not netlists)", file=sys.stderr)
+        return 2
+    # With --remote there is no artifact to load; the checkpoint slot holds
+    # the first netlist ('-' keeps positional compatibility).
+    netlists = ([] if args.checkpoint == "-" else [args.checkpoint])
+    netlists += args.netlists
+    designs = []
+    for netlist in netlists:
+        path = pathlib.Path(netlist)
+        design = {"spice": path.read_text(), "name": path.stem}
+        if pairs is not None:
+            design["pairs"] = [list(pair) for pair in pairs]
+        else:
+            design["max_candidates"] = args.max_candidates
+        designs.append(design)
+    failed = []
+
+    def _on_result(report: dict) -> None:
+        if report.get("status") == "error":
+            failed.append(report)
+            error = report.get("error", {})
+            print(f"error: {report.get('design', '?')}: "
+                  f"{error.get('message', error)}", file=sys.stderr)
+        else:
+            _print_report_payload(report)
+
+    client = ServeClient(args.remote)
+    try:
+        reports = client.annotate_many(designs, seed=args.seed,
+                                       threshold=args.threshold,
+                                       stream=True, on_result=_on_result)
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else {"reports": reports}
+        save_json(args.json, payload)
+        print(f"Wrote JSON report to {args.json}")
+    return 2 if failed else 0
+
+
 def cmd_annotate(args) -> int:
     from .serve import AnnotationEngine
 
     pairs = _parse_pairs(args.pairs)
+    if args.remote:
+        return _cmd_annotate_remote(args, pairs)
     workers = _resolve_cli_workers(args)
     _activate_backend(args.backend)
     pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
@@ -316,24 +415,26 @@ def cmd_annotate(args) -> int:
                               precision=args.precision)
     # Netlists are annotated in groups of one-per-worker so completed designs
     # are printed (and their annotated netlists written) as the run
-    # progresses; a bad netlist mid-list aborts with exit code 2 without
-    # discarding the groups already emitted.  The per-design seed is the
-    # global position (seed + index), so the grouping never changes results.
+    # progresses.  A bad netlist or unknown pair name fails only its own
+    # design (on_error="collect"): the error goes to stderr, every other
+    # design is still annotated, and the exit code is 2 when anything failed.
+    # The per-design seed is the global position (seed + index), so the
+    # grouping never changes results.
     group_size = max(1, engine.workers)
     reports = []
     for start in range(0, len(args.netlists), group_size):
         group = args.netlists[start:start + group_size]
-        try:
-            annotations = engine.annotate_many(
-                group, pairs=None if pairs is None else [pairs] * len(group),
-                max_candidates=args.max_candidates, seed=args.seed + start,
-            )
-        except KeyError as exc:
-            # Unknown candidate node names (AnnotationEngine.links_for_pairs).
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        annotations = engine.annotate_many(
+            group, pairs=None if pairs is None else [pairs] * len(group),
+            max_candidates=args.max_candidates, seed=args.seed + start,
+            on_error="collect",
+        )
         reports.extend(annotations)
         for netlist, annotation in zip(group, annotations):
+            if not annotation.ok:
+                print(f"error: {annotation.design}: {annotation.message}",
+                      file=sys.stderr)
+                continue
             rows = [_annotation_row(r) for r in annotation.records]
             print(format_table(
                 rows,
@@ -354,6 +455,25 @@ def cmd_annotate(args) -> int:
         }
         save_json(args.json, payload)
         print(f"Wrote JSON report to {args.json}")
+    return 2 if any(not report.ok for report in reports) else 0
+
+
+def cmd_serve(args) -> int:
+    """``serve``: run the persistent annotation daemon for one artifact."""
+    from .serve import AnnotationEngine
+    from .server import ServerConfig, run_server
+
+    backend = _activate_backend(args.backend)
+    pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
+    engine = AnnotationEngine(pipeline, batch_size=args.batch_size,
+                              threshold=args.threshold, workers=0,
+                              precision=args.precision)
+    config = ServerConfig(host=args.host, port=args.port,
+                          max_batch=args.max_batch,
+                          batch_window_ms=args.batch_window_ms,
+                          request_timeout_s=args.request_timeout)
+    run_server(engine, config, extra_info={"backend": backend},
+               announce=lambda url: print(f"listening on {url}", flush=True))
     return 0
 
 
@@ -490,8 +610,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"train": cmd_train, "annotate": cmd_annotate,
-                "evaluate": cmd_evaluate, "report": cmd_report,
-                "bench": cmd_bench, "components": cmd_components}
+                "serve": cmd_serve, "evaluate": cmd_evaluate,
+                "report": cmd_report, "bench": cmd_bench,
+                "components": cmd_components}
     try:
         return handlers[args.command](args)
     except (CheckpointError, FileNotFoundError, RegistryError, SpecError,

@@ -19,9 +19,25 @@ a train-once / serve-many engine:
   capacitor cards.
 * :func:`default_candidate_pairs` — a sensible candidate generator (signal
   net pairs) for netlists where the caller does not supply explicit pairs.
+* :class:`AnnotationFailure` — the per-design error record that
+  :meth:`AnnotationEngine.annotate_many` (``on_error="collect"``) and the
+  annotation service (:mod:`repro.core.server`) both emit, so one failing
+  design never aborts its peers.
+
+The engine's inference recipe is exposed as composable hooks
+(:meth:`AnnotationEngine.request_dataset` /
+:meth:`~AnnotationEngine.extract_chunk` /
+:meth:`~AnnotationEngine.predict_samples` /
+:meth:`~AnnotationEngine.build_records`) so the persistent daemon in
+:mod:`repro.core.server` can interleave extraction and forward passes of
+*different* concurrent requests through one shared micro-batcher while
+producing exactly the records a serial :meth:`~AnnotationEngine.annotate`
+call would.
 
 ``benchmarks/test_serve_throughput.py`` pins the batched path at >= 3x the
-per-link inference loop this engine replaced.
+per-link inference loop this engine replaced;
+``benchmarks/test_serve_concurrent_throughput.py`` pins the daemon's
+cross-request micro-batching at >= 2x sequential per-request serving.
 """
 
 from __future__ import annotations
@@ -35,7 +51,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from ..graph import netlist_to_graph
+from ..graph import Subgraph, collate, netlist_to_graph
 from ..graph.hetero import (
     LINK_NET_NET,
     LINK_PIN_NET,
@@ -57,7 +73,8 @@ from .parallel import parallel_map
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .pipeline import CircuitGPSPipeline
 
-__all__ = ["AnnotationEngine", "NetlistAnnotation", "default_candidate_pairs"]
+__all__ = ["AnnotationEngine", "AnnotationFailure", "NetlistAnnotation",
+           "annotation_payload", "default_candidate_pairs"]
 
 logger = get_logger("repro.serve")
 
@@ -93,6 +110,53 @@ def default_candidate_pairs(graph: CircuitGraph, max_candidates: int = 200,
     return [(graph.node_names[a], graph.node_names[b]) for a, b in pairs]
 
 
+def annotation_payload(design: str, records: list[dict], threshold: float) -> dict:
+    """The JSON-safe body shared by local reports and the wire protocol.
+
+    :meth:`NetlistAnnotation.as_dict` adds ``elapsed_seconds`` on top; the
+    annotation service (:mod:`repro.core.server`) ships this payload as-is —
+    per-request timing belongs to ``/metrics``, keeping responses
+    byte-reproducible.
+    """
+    couplings = sum(1 for record in records if record["coupled"])
+    return {
+        "design": design,
+        "status": "ok",
+        "num_candidates": len(records),
+        "num_predicted_couplings": couplings,
+        "threshold": threshold,
+        "records": [dict(r, pair=list(r["pair"])) for r in records],
+    }
+
+
+@dataclass
+class AnnotationFailure:
+    """Per-design error record of a partially failed multi-netlist run.
+
+    Emitted by :meth:`AnnotationEngine.annotate_many` with
+    ``on_error="collect"`` and by the annotation service, so one malformed
+    netlist (or unknown candidate pair) is reported as a ``status: "error"``
+    entry instead of aborting every other design in its shard or batch.
+    """
+
+    design: str
+    error_type: str
+    message: str
+
+    @property
+    def ok(self) -> bool:
+        """Always false; lets callers filter mixed report lists uniformly."""
+        return False
+
+    def as_dict(self) -> dict:
+        """JSON-safe error entry (the shape the wire protocol uses too)."""
+        return {
+            "design": self.design,
+            "status": "error",
+            "error": {"type": self.error_type, "message": self.message},
+        }
+
+
 @dataclass
 class NetlistAnnotation:
     """Structured annotation result for one netlist.
@@ -118,16 +182,16 @@ class NetlistAnnotation:
         """Records whose predicted probability clears the threshold."""
         return [r for r in self.records if r["coupled"]]
 
+    @property
+    def ok(self) -> bool:
+        """Whether this report carries results (always true; see
+        :class:`AnnotationFailure` for the error counterpart)."""
+        return True
+
     def as_dict(self) -> dict:
         """JSON-safe report (pairs become two-element lists)."""
-        return {
-            "design": self.design,
-            "num_candidates": self.num_candidates,
-            "num_predicted_couplings": len(self.couplings),
-            "threshold": self.threshold,
-            "elapsed_seconds": self.elapsed_seconds,
-            "records": [dict(r, pair=list(r["pair"])) for r in self.records],
-        }
+        return dict(annotation_payload(self.design, self.records, self.threshold),
+                    elapsed_seconds=self.elapsed_seconds)
 
     def write_json(self, path) -> pathlib.Path:
         """Write :meth:`as_dict` to ``path`` as JSON."""
@@ -265,26 +329,85 @@ class AnnotationEngine:
         return links
 
     # ------------------------------------------------------------------ #
-    # Inference
+    # Inference hooks (shared by annotate() and the annotation service)
     # ------------------------------------------------------------------ #
-    def _predict(self, graph: CircuitGraph, links: list[Link],
-                 seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
-        """Batched forward pass: existence probability + normalised capacitance."""
-        dataset = SubgraphDataset.from_links(
+    @property
+    def deterministic_extraction(self) -> bool:
+        """Whether extraction results are independent of batch grouping.
+
+        Hub-node subsampling (``max_nodes_per_hop``) draws from a per-chunk
+        RNG stream, so regrouping links across requests would change the
+        sampled subgraphs.  Without it extraction is RNG-free and the
+        micro-batcher may freely coalesce extraction work across requests.
+        """
+        return self.config.data.max_nodes_per_hop is None
+
+    def request_dataset(self, graph: CircuitGraph, links: list[Link],
+                        seed: int = 0) -> SubgraphDataset:
+        """The lazy per-request dataset the serial and server paths share."""
+        return SubgraphDataset.from_links(
             graph, links, hops=self.config.data.hops,
             max_nodes_per_hop=self.config.data.max_nodes_per_hop,
             pe_kind=self.link_model.pe_kind, design=graph.name,
             cache=self.cache, seed=int(seed),
         )
-        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=False,
-                            num_workers=self.workers)
+
+    def request_chunks(self, num_links: int) -> list[list[int]]:
+        """Sequential ``batch_size`` index chunks (the serial chunking)."""
+        return [list(range(start, min(start + self.batch_size, num_links)))
+                for start in range(0, num_links, self.batch_size)]
+
+    def extract_chunk(self, dataset: SubgraphDataset, indices) -> list[Subgraph]:
+        """Materialize one chunk exactly as the serial loader does."""
+        indices = [int(i) for i in indices]
+        dataset.prefetch(indices)
+        return [dataset[i] for i in indices]
+
+    def predict_batch(self, batch) -> tuple[np.ndarray, np.ndarray]:
+        """Forward one collated batch under the serving dtype policy."""
         self.link_model.eval()
         self.reg_model.eval()
-        probs, caps = [], []
         with no_grad(), use_dtype(self.precision):
-            for batch in loader:
-                probs.append(stable_sigmoid(self.link_model(batch, task="link").data))
-                caps.append(self.task_obj.forward(self.reg_model, batch).data)
+            probs = stable_sigmoid(self.link_model(batch, task="link").data)
+            caps = self.task_obj.forward(self.reg_model, batch).data
+        return probs, caps
+
+    def predict_samples(self, samples: Sequence[Subgraph]
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Collate + forward a list of subgraphs (possibly from many requests)."""
+        if not samples:
+            return np.zeros(0), np.zeros(0)
+        return self.predict_batch(collate(list(samples)))
+
+    def build_records(self, pairs: Sequence[tuple[str, str]], links: Sequence[Link],
+                      probs: np.ndarray, caps_norm: np.ndarray,
+                      threshold: float | None = None) -> list[dict]:
+        """Per-pair result records from raw model outputs."""
+        threshold = self.threshold if threshold is None else float(threshold)
+        records = []
+        for pair, link, prob, cap_norm in zip(pairs, links, probs, caps_norm):
+            clipped = float(np.clip(cap_norm, 0.0, 1.0))
+            records.append({
+                "pair": tuple(pair),
+                "link_type": LINK_TYPE_NAMES[link.link_type],
+                "coupling_probability": float(prob),
+                "coupled": bool(prob >= threshold),
+                "capacitance_normalized": clipped,
+                "capacitance_farad": self.normalizer.denormalize(clipped),
+            })
+        return records
+
+    def _predict(self, graph: CircuitGraph, links: list[Link],
+                 seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Batched forward pass: existence probability + normalised capacitance."""
+        dataset = self.request_dataset(graph, links, seed=seed)
+        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=False,
+                            num_workers=self.workers)
+        probs, caps = [], []
+        for batch in loader:
+            batch_probs, batch_caps = self.predict_batch(batch)
+            probs.append(batch_probs)
+            caps.append(batch_caps)
         return (np.concatenate(probs) if probs else np.zeros(0),
                 np.concatenate(caps) if caps else np.zeros(0))
 
@@ -303,18 +426,7 @@ class AnnotationEngine:
         pairs = [tuple(pair) for pair in pairs]
         links = self.links_for_pairs(graph, pairs)
         probs, caps_norm = self._predict(graph, links, seed=seed)
-
-        records = []
-        for pair, link, prob, cap_norm in zip(pairs, links, probs, caps_norm):
-            clipped = float(np.clip(cap_norm, 0.0, 1.0))
-            records.append({
-                "pair": pair,
-                "link_type": LINK_TYPE_NAMES[link.link_type],
-                "coupling_probability": float(prob),
-                "coupled": bool(prob >= self.threshold),
-                "capacitance_normalized": clipped,
-                "capacitance_farad": self.normalizer.denormalize(clipped),
-            })
+        records = self.build_records(pairs, links, probs, caps_norm)
         elapsed = time.perf_counter() - start
         logger.debug("annotated %s: %d candidates in %.3fs (PE cache hit rate %.2f)",
                      graph.name, len(records), elapsed, self.cache.hit_rate)
@@ -322,19 +434,42 @@ class AnnotationEngine:
                                  threshold=self.threshold, elapsed_seconds=elapsed,
                                  circuit=circuit)
 
-    def _annotate_task(self, task: tuple) -> NetlistAnnotation:
+    @staticmethod
+    def _design_name(netlist) -> str:
+        """Best-effort design name of a netlist input, for error reports."""
+        if isinstance(netlist, (CircuitGraph, Circuit)):
+            return netlist.name
+        return pathlib.Path(str(netlist)).stem
+
+    def _annotate_task(self, task: tuple) -> NetlistAnnotation | AnnotationFailure:
         """Worker body of :meth:`annotate_many`: annotate one netlist."""
-        netlist, pairs, max_candidates, seed = task
-        return self.annotate(netlist, pairs=pairs, max_candidates=max_candidates,
-                             seed=seed)
+        netlist, pairs, max_candidates, seed, collect_errors = task
+        try:
+            return self.annotate(netlist, pairs=pairs, max_candidates=max_candidates,
+                                 seed=seed)
+        except Exception as exc:
+            if not collect_errors:
+                raise
+            logger.warning("annotation of %s failed: %s",
+                           self._design_name(netlist), exc)
+            return AnnotationFailure(design=self._design_name(netlist),
+                                     error_type=type(exc).__name__,
+                                     message=str(exc))
 
     def annotate_many(self, netlists: Iterable, pairs=None, max_candidates: int = 200,
-                      seed: int = 0, max_workers: int | None = None
-                      ) -> list[NetlistAnnotation]:
+                      seed: int = 0, max_workers: int | None = None,
+                      on_error: str = "raise"
+                      ) -> list[NetlistAnnotation | AnnotationFailure]:
         """Annotate several netlists, optionally sharded across worker processes.
 
         ``pairs`` may be ``None`` (auto candidates per netlist) or a sequence
         of per-netlist pair lists aligned with ``netlists``.
+
+        ``on_error`` controls partial failure: ``"raise"`` propagates the
+        first failing design's exception; ``"collect"`` returns an
+        :class:`AnnotationFailure` (``status: "error"`` in JSON reports) in
+        that design's slot while every other design — including the rest of
+        the failing design's worker-group shard — still annotates normally.
 
         With ``max_workers`` (default: the engine's ``workers``) the designs
         fan out across a ``fork`` process pool
@@ -346,13 +481,16 @@ class AnnotationEngine:
         cross-design PE-cache warmth in this process; workers warm private
         copies instead.
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError("on_error must be 'raise' or 'collect'")
         netlists = list(netlists)
         if pairs is not None:
             pairs = list(pairs)
             if len(pairs) != len(netlists):
                 raise ValueError("pairs must align with netlists")
         tasks = [
-            (netlist, None if pairs is None else pairs[i], max_candidates, seed + i)
+            (netlist, None if pairs is None else pairs[i], max_candidates, seed + i,
+             on_error == "collect")
             for i, netlist in enumerate(netlists)
         ]
         workers = max_workers if max_workers is not None else self.workers

@@ -1,0 +1,168 @@
+"""Thin stdlib client for the annotation service.
+
+:class:`ServeClient` speaks the daemon's JSON-over-HTTP protocol with
+nothing but :mod:`http.client`.  It backs ``python -m repro annotate
+--remote URL`` and the service test-suite; each call opens a fresh
+connection (the daemon is connection-per-request), which also makes the
+client trivially thread-safe.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pathlib
+import urllib.parse
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the annotation service."""
+
+    def __init__(self, status: int, payload: dict | None):
+        error = (payload or {}).get("error", {})
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"annotation service error ({status}): {message}")
+        self.status = status
+        self.payload = payload or {}
+        self.kind = error.get("type", "unknown")
+
+
+class ServeClient:
+    """Synchronous client for one annotation-service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        parsed = urllib.parse.urlsplit(base_url if "//" in base_url
+                                       else f"http://{base_url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = float(timeout)
+
+    @property
+    def base_url(self) -> str:
+        """The daemon base URL this client talks to."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # Raw request plumbing
+    # ------------------------------------------------------------------ #
+    def _open(self, method: str, path: str, body: bytes | None = None
+              ) -> http.client.HTTPResponse:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        return connection.getresponse()
+
+    def _request_json(self, method: str, path: str, payload: dict | None = None):
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        response = self._open(method, path, body)
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        try:
+            decoded = json.loads(raw) if raw else None
+        except json.JSONDecodeError:
+            decoded = None
+        if response.status != 200:
+            raise ServeError(response.status, decoded)
+        return decoded, raw
+
+    # ------------------------------------------------------------------ #
+    # Service endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        """Liveness + loaded configuration of the daemon."""
+        return self._request_json("GET", "/healthz")[0]
+
+    def metrics(self) -> dict:
+        """The daemon's /metrics snapshot."""
+        return self._request_json("GET", "/metrics")[0]
+
+    def annotate_raw(self, payload: dict) -> bytes:
+        """POST /annotate and return the exact (canonical) response bytes."""
+        _decoded, raw = self._request_json("POST", "/annotate", payload)
+        return raw
+
+    def annotate(self, spice: str, *, name: str | None = None,
+                 pairs=None, max_candidates: int | None = None,
+                 seed: int = 0, threshold: float | None = None) -> dict:
+        """Annotate one design (SPICE text) and return its report payload.
+
+        ``name`` plays the role of the filename in local annotation: it
+        names the parsed design (default ``"top"``) and labels the error
+        report if the netlist fails to parse.
+        """
+        payload: dict = {"spice": spice, "seed": int(seed)}
+        if name is not None:
+            payload["name"] = str(name)
+        if pairs is not None:
+            payload["pairs"] = [list(pair) for pair in pairs]
+        if max_candidates is not None:
+            payload["max_candidates"] = int(max_candidates)
+        if threshold is not None:
+            payload["threshold"] = float(threshold)
+        return self._request_json("POST", "/annotate", payload)[0]
+
+    def annotate_many(self, designs, *, seed: int = 0,
+                      threshold: float | None = None, stream: bool = True,
+                      on_result=None) -> list[dict]:
+        """Annotate many designs in one request.
+
+        Each design is a dict with ``spice`` (required), optional ``name``,
+        ``pairs`` and ``max_candidates``.  With ``stream=True`` (default)
+        reports arrive incrementally as the daemon finishes each design;
+        ``on_result`` is invoked with every report as it lands.
+        """
+        payload: dict = {"designs": list(designs), "seed": int(seed),
+                         "stream": bool(stream)}
+        if threshold is not None:
+            payload["threshold"] = float(threshold)
+        if not stream:
+            decoded, _raw = self._request_json("POST", "/annotate", payload)
+            reports = decoded["reports"]
+            if on_result is not None:
+                for report in reports:
+                    on_result(report)
+            return reports
+        response = self._open("POST", "/annotate",
+                              json.dumps(payload).encode("utf-8"))
+        try:
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw) if raw else None
+                except json.JSONDecodeError:
+                    decoded = None
+                raise ServeError(response.status, decoded)
+            reports = []
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                event = json.loads(line)
+                if event.get("event") == "done":
+                    break
+                if event.get("event") == "error":
+                    raise ServeError(200, event)
+                reports.append(event)
+                if on_result is not None:
+                    on_result(event)
+            return reports
+        finally:
+            response.close()
+
+    def annotate_files(self, paths, *, seed: int = 0,
+                       threshold: float | None = None, stream: bool = True,
+                       on_result=None) -> list[dict]:
+        """Annotate SPICE files by path (contents are sent over the wire)."""
+        designs = []
+        for path in paths:
+            path = pathlib.Path(path)
+            designs.append({"spice": path.read_text(), "name": path.stem})
+        return self.annotate_many(designs, seed=seed, threshold=threshold,
+                                  stream=stream, on_result=on_result)

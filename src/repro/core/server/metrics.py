@@ -1,0 +1,143 @@
+"""Service observability: the numbers behind ``GET /metrics``.
+
+One :class:`ServerMetrics` instance per daemon aggregates
+
+* monotonically increasing **counters** (requests, responses by outcome,
+  per-kind error counts, flushed batches/items),
+* the **batch-size histogram** of the micro-batcher — the direct evidence
+  that cross-request coalescing is happening (batches larger than any
+  single request's link count),
+* a bounded **latency reservoir** from which p50/p95 are computed at
+  snapshot time, and
+* **gauges** sampled at snapshot time (queue depth, in-flight requests,
+  uptime, PE-cache hit rate).
+
+Everything is plain Python on the event-loop thread (single-writer), so no
+locking is needed; ``snapshot()`` returns a JSON-safe dict whose schema is
+golden-pinned by ``tests/core/test_server_wire_golden.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = ["ServerMetrics", "BATCH_BUCKETS", "LATENCY_RESERVOIR"]
+
+# Histogram bucket upper bounds (inclusive), plus an implicit +inf bucket.
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+# How many recent request latencies feed the p50/p95 estimates.
+LATENCY_RESERVOIR = 1024
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted list."""
+    rank = min(len(values) - 1, max(0, int(round(fraction * (len(values) - 1)))))
+    return values[rank]
+
+
+class ServerMetrics:
+    """Counters, histograms and gauges for one daemon instance."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.started_monotonic = clock()
+        self.started_unix = time.time()
+        self._counters: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._batch_counts = [0] * (len(BATCH_BUCKETS) + 1)
+        self.batches_total = 0
+        self.batched_items_total = 0
+        self.max_batch_observed = 0
+        self.max_queue_depth = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self.latency_count = 0
+        self.latency_sum = 0.0
+        self.in_flight = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, by: int = 1) -> None:
+        """Increment a named counter."""
+        self._counters[name] = self._counters.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        """Current value of a named counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def inc_error(self, kind: str) -> None:
+        """Count one error of ``kind`` (also feeds ``errors_total``)."""
+        self._errors[kind] = self._errors.get(kind, 0) + 1
+
+    def observe_batch(self, size: int) -> None:
+        """Record one flushed inference batch of ``size`` items."""
+        self.batches_total += 1
+        self.batched_items_total += size
+        self.max_batch_observed = max(self.max_batch_observed, size)
+        for index, bound in enumerate(BATCH_BUCKETS):
+            if size <= bound:
+                self._batch_counts[index] += 1
+                return
+        self._batch_counts[-1] += 1
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Track the high-water mark of the micro-batcher queue."""
+        self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one completed request's wall-clock latency."""
+        self._latencies.append(float(seconds))
+        self.latency_count += 1
+        self.latency_sum += float(seconds)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this metrics instance (the daemon) started."""
+        return self._clock() - self.started_monotonic
+
+    def batch_size_histogram(self) -> dict[str, int]:
+        """Bucketed counts of flushed batch sizes (keys: ``le_<bound>``)."""
+        histogram = {f"le_{bound}": count
+                     for bound, count in zip(BATCH_BUCKETS, self._batch_counts)}
+        histogram["le_inf"] = self._batch_counts[-1]
+        return histogram
+
+    def latency_summary(self) -> dict[str, float]:
+        """Count/sum plus p50/p95 over the recent-latency reservoir."""
+        ordered = sorted(self._latencies)
+        return {
+            "count": self.latency_count,
+            "sum_seconds": self.latency_sum,
+            "p50_seconds": _percentile(ordered, 0.50) if ordered else 0.0,
+            "p95_seconds": _percentile(ordered, 0.95) if ordered else 0.0,
+        }
+
+    def snapshot(self, *, queue_depth: int = 0, extra: dict | None = None) -> dict:
+        """The JSON body of ``GET /metrics``."""
+        payload = {
+            "uptime_seconds": self.uptime_seconds,
+            "started_unix": self.started_unix,
+            "requests_total": self.get("requests_total"),
+            "responses_ok_total": self.get("responses_ok_total"),
+            "responses_error_total": self.get("responses_error_total"),
+            "designs_annotated_total": self.get("designs_annotated_total"),
+            "design_cache_hits_total": self.get("design_cache_hits_total"),
+            "batch_retries_total": self.get("batch_retries_total"),
+            "errors_total": dict(sorted(self._errors.items())),
+            "in_flight": self.in_flight,
+            "queue_depth": queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "batches_total": self.batches_total,
+            "batched_items_total": self.batched_items_total,
+            "max_batch_observed": self.max_batch_observed,
+            "batch_size_histogram": self.batch_size_histogram(),
+            "latency": self.latency_summary(),
+        }
+        if extra:
+            payload.update(extra)
+        return payload

@@ -161,6 +161,64 @@ class TestAnnotate:
             engine.annotate_many([user_circuit], pairs=[[("BL0", "BL1")], [("x", "y")]])
 
 
+class TestAnnotateManyPartialFailure:
+    """on_error="collect": a failing design never discards its neighbours.
+
+    The same contract backs both the CLI path and the annotation service's
+    multi-design requests, so the report shapes are asserted here once.
+    """
+
+    def test_collect_reports_error_entries_in_place(self, serving_pipeline,
+                                                    user_circuit, tmp_path):
+        engine = AnnotationEngine(serving_pipeline)
+        bad = tmp_path / "bad.sp"
+        bad.write_text("C0 other_a other_b 1f\n.end\n")  # lacks BL0/BL1
+        pairs = [("BL0", "BL1")]
+        reports = engine.annotate_many(
+            [user_circuit, str(bad), user_circuit],
+            pairs=[pairs, pairs, pairs], seed=3, on_error="collect")
+        assert [r.ok for r in reports] == [True, False, True]
+        failure = reports[1]
+        assert failure.design == "bad"
+        assert failure.error_type == "KeyError"
+        assert "not found" in failure.message
+        assert failure.as_dict()["status"] == "error"
+        assert failure.as_dict()["error"]["type"] == "KeyError"
+        # Successful neighbours are unaffected by the failure between them.
+        lone = engine.annotate(user_circuit, pairs=pairs, seed=3)
+        assert reports[0].records == lone.records
+        ok_dict = reports[0].as_dict()
+        assert ok_dict["status"] == "ok"
+
+    def test_collect_is_worker_count_invariant(self, serving_pipeline,
+                                               user_circuit, tmp_path):
+        engine_serial = AnnotationEngine(serving_pipeline, workers=0)
+        engine_forked = AnnotationEngine(serving_pipeline, workers=2)
+        bad = tmp_path / "broken.sp"
+        bad.write_text("C0 nope_a nope_b 1f\n.end\n")
+        netlists = [user_circuit, str(bad), user_circuit, user_circuit]
+        pairs = [[("BL0", "BL1")]] * len(netlists)
+        serial = engine_serial.annotate_many(netlists, pairs=pairs, seed=5,
+                                             on_error="collect")
+        forked = engine_forked.annotate_many(netlists, pairs=pairs, seed=5,
+                                             on_error="collect")
+        assert [r.as_dict() if not r.ok else r.records for r in serial] \
+            == [r.as_dict() if not r.ok else r.records for r in forked]
+
+    def test_default_on_error_still_raises(self, serving_pipeline, tmp_path):
+        engine = AnnotationEngine(serving_pipeline)
+        bad = tmp_path / "still_bad.sp"
+        bad.write_text("C0 a b 1f\n.end\n")
+        with pytest.raises(KeyError, match="not found"):
+            engine.annotate_many([str(bad)], pairs=[[("BL0", "BL1")]])
+
+    def test_rejects_unknown_on_error(self, serving_pipeline, user_circuit):
+        engine = AnnotationEngine(serving_pipeline)
+        with pytest.raises(ValueError, match="on_error"):
+            engine.annotate_many([user_circuit], pairs=[[("BL0", "BL1")]],
+                                 on_error="ignore")
+
+
 @pytest.fixture(scope="module")
 def trained_link_pipeline(tiny_config, small_design):
     """A pipeline whose link model was actually pre-trained (tiny budget)."""

@@ -1,0 +1,241 @@
+"""End-to-end tests of the annotation daemon (repro.core.server.app).
+
+A real :class:`ThreadedServer` (OS-assigned port) serves a session-scoped
+deterministic engine; a stdlib :class:`ServeClient` talks to it.  The
+central contract under test: responses are **byte-identical** whether a
+request is served alone, sequentially, or coalesced into concurrent
+cross-request batches — and identical to what the local engine computes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serve import annotation_payload, default_candidate_pairs
+from repro.core.server import (
+    ServeClient,
+    ServeError,
+    ServerConfig,
+    ThreadedServer,
+    dumps_canonical,
+)
+from repro.graph import netlist_to_graph
+from repro.netlist import parse_spice
+
+
+@pytest.fixture(scope="module")
+def server(server_engine):
+    with ThreadedServer(server_engine,
+                        ServerConfig(port=0, batch_window_ms=5.0),
+                        extra_info={"backend": "numpy"}) as threaded:
+        yield threaded
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(server.url, timeout=30.0)
+
+
+def local_reference(engine, spice: str, name: str, pairs, seed: int) -> bytes:
+    """What the wire bytes must equal: the local engine's annotation."""
+    graph = netlist_to_graph(parse_spice(spice, name=name).flatten())
+    annotation = engine.annotate(graph, pairs=pairs, seed=seed)
+    return dumps_canonical(annotation_payload(
+        annotation.design, annotation.records, annotation.threshold))
+
+
+@pytest.fixture(scope="module")
+def workload(server_engine, server_spice):
+    """Candidate pairs of the test design, as string tuples."""
+    graph = netlist_to_graph(parse_spice(server_spice, name="APP").flatten())
+    return default_candidate_pairs(graph, max_candidates=12,
+                                   rng=np.random.default_rng(5))
+
+
+class TestServiceEndpoints:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["precision"] == "float64"
+        assert payload["task"] == "edge_regression"
+        assert payload["backend"] == "numpy"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_metrics_schema_and_counters(self, client, server_spice):
+        before = client.metrics()
+        client.annotate(server_spice, name="METRICS", max_candidates=4)
+        after = client.metrics()
+        assert after["requests_total"] > before["requests_total"]
+        assert after["designs_annotated_total"] >= before["designs_annotated_total"] + 1
+        assert after["batches_total"] >= 1
+        assert set(after["latency"]) == {"count", "sum_seconds",
+                                         "p50_seconds", "p95_seconds"}
+        assert "le_inf" in after["batch_size_histogram"]
+
+    def test_unknown_route_and_method(self, client):
+        with pytest.raises(ServeError) as not_found:
+            client._request_json("GET", "/nope")
+        assert not_found.value.status == 404
+        with pytest.raises(ServeError) as bad_method:
+            client._request_json("GET", "/annotate")
+        assert bad_method.value.status == 405
+        assert bad_method.value.kind == "method_not_allowed"
+
+
+class TestAnnotate:
+    def test_single_design_matches_local_engine_bytes(
+            self, client, server_engine, server_spice, workload):
+        raw = client.annotate_raw({
+            "spice": server_spice, "name": "APP",
+            "pairs": [list(pair) for pair in workload], "seed": 9,
+        })
+        assert raw.strip() == local_reference(server_engine, server_spice,
+                                              "APP", workload, seed=9)
+
+    def test_auto_candidates_match_local_engine(self, client, server_engine,
+                                                server_spice):
+        report = client.annotate(server_spice, name="AUTO", max_candidates=6,
+                                 seed=2)
+        local = json.loads(local_reference(
+            server_engine, server_spice, "AUTO",
+            default_candidate_pairs(
+                netlist_to_graph(parse_spice(server_spice, name="AUTO").flatten()),
+                max_candidates=6, rng=np.random.default_rng(2)),
+            seed=2))
+        assert report == local
+
+    def test_threshold_override(self, client, server_spice, workload):
+        lax = client.annotate(server_spice, name="THR",
+                              pairs=workload, threshold=0.0)
+        strict = client.annotate(server_spice, name="THR",
+                                 pairs=workload, threshold=1.0)
+        assert lax["threshold"] == 0.0 and strict["threshold"] == 1.0
+        assert lax["num_predicted_couplings"] == len(workload)
+        assert strict["num_predicted_couplings"] == 0
+        # Probabilities themselves are threshold-independent.
+        assert ([r["coupling_probability"] for r in lax["records"]]
+                == [r["coupling_probability"] for r in strict["records"]])
+
+    def test_multi_design_streams_in_order(self, client, server_spice):
+        arrivals = []
+        reports = client.annotate_many(
+            [{"spice": server_spice, "name": f"D{i}", "max_candidates": 3}
+             for i in range(4)],
+            seed=0, stream=True, on_result=lambda r: arrivals.append(r["design"]))
+        assert [r["design"] for r in reports] == ["D0", "D1", "D2", "D3"]
+        assert arrivals == ["D0", "D1", "D2", "D3"]
+        # Per-design seeds are seed + index: same text, different candidates
+        # stay per-design deterministic.
+        again = client.annotate_many(
+            [{"spice": server_spice, "name": f"D{i}", "max_candidates": 3}
+             for i in range(4)], seed=0, stream=False)
+        assert again == reports
+
+    def test_concurrent_requests_byte_identical_to_sequential(
+            self, client, server_engine, server_spice, workload):
+        """Coalesced cross-request batches must not change any response."""
+        requests = [{"spice": server_spice, "name": "APP",
+                     "pairs": [list(pair) for pair in workload],
+                     "seed": 9} for _ in range(8)]
+        expected = local_reference(server_engine, server_spice, "APP",
+                                   workload, seed=9)
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            raws = list(pool.map(client.annotate_raw, requests))
+        assert all(raw.strip() == expected for raw in raws)
+
+    def test_empty_pairs_yields_empty_report(self, client, server_spice):
+        report = client.annotate(server_spice, name="EMPTY", pairs=[])
+        assert report["status"] == "ok"
+        assert report["records"] == []
+        assert report["num_candidates"] == 0
+
+
+class TestGroupingSensitiveExtraction:
+    def test_eager_chunk_path_matches_local_engine(self, tiny_config,
+                                                   server_spice):
+        """With hub subsampling the server must reproduce serial chunk RNG."""
+        from repro.core import CircuitGPSPipeline, build_model
+        from repro.core.serve import AnnotationEngine
+        from repro.utils import seed_all
+
+        seed_all(0)
+        link_model = build_model(tiny_config)
+        reg_model = build_model(tiny_config)
+        pipeline = CircuitGPSPipeline.from_models(
+            tiny_config, link_model,
+            heads={("edge_regression", "all"): reg_model})
+        engine = AnnotationEngine(pipeline, workers=0, batch_size=4)
+        assert not engine.deterministic_extraction
+        graph = netlist_to_graph(parse_spice(server_spice, name="HUB").flatten())
+        pairs = default_candidate_pairs(graph, max_candidates=10,
+                                        rng=np.random.default_rng(1))
+        expected = local_reference(engine, server_spice, "HUB", pairs, seed=4)
+        with ThreadedServer(engine, ServerConfig(port=0, batch_window_ms=2.0)) as srv:
+            raw = ServeClient(srv.url).annotate_raw({
+                "spice": server_spice, "name": "HUB",
+                "pairs": [list(pair) for pair in pairs], "seed": 4})
+        assert raw.strip() == expected
+
+
+class TestCliRemote:
+    def test_annotate_remote_parity_and_json(self, server, server_spice,
+                                             tmp_path, capsys):
+        from repro.core.cli import main
+
+        netlist = tmp_path / "remote_macro.sp"
+        netlist.write_text(server_spice)
+        json_out = tmp_path / "remote_report.json"
+        code = main(["annotate", "-", str(netlist), "--remote", server.url,
+                     "--max-candidates", "5", "--seed", "3",
+                     "--json", str(json_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "remote_macro" in out and "predicted coupling(s)" in out
+        payload = json.loads(json_out.read_text())
+        assert payload["design"] == "remote_macro"
+        assert payload["status"] == "ok"
+        assert len(payload["records"]) == 5
+
+    def test_annotate_remote_rejects_annotated_out(self, server, server_spice,
+                                                   tmp_path, capsys):
+        from repro.core.cli import main
+
+        netlist = tmp_path / "x.sp"
+        netlist.write_text(server_spice)
+        code = main(["annotate", "-", str(netlist), "--remote", server.url,
+                     "--annotated-out", str(tmp_path / "out")])
+        assert code == 2
+        assert "--annotated-out" in capsys.readouterr().err
+
+    def test_annotate_remote_reports_failures(self, server, server_spice,
+                                              tmp_path, capsys):
+        from repro.core.cli import main
+
+        good = tmp_path / "good.sp"
+        good.write_text(server_spice)
+        bad = tmp_path / "bad.sp"
+        bad.write_text("C1 a b 1f\n.end\n")  # graph has no such pair nodes
+        code = main(["annotate", "-", str(good), str(bad),
+                     "--remote", server.url, "--pairs", "BL0,BL1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "BL0" in captured.out          # good design still printed
+        assert "not found" in captured.err    # bad design's error surfaced
+
+
+class TestTimeouts:
+    def test_slow_request_times_out_with_504(self, server_engine, server_spice):
+        config = ServerConfig(port=0, batch_window_ms=0.0,
+                              request_timeout_s=0.001)
+        with ThreadedServer(server_engine, config) as srv:
+            client = ServeClient(srv.url, timeout=10.0)
+            with pytest.raises(ServeError) as excinfo:
+                client.annotate(server_spice, name="SLOW", max_candidates=50)
+            assert excinfo.value.status == 504
+            assert excinfo.value.kind == "timeout"
+            # The daemon survives and still serves /healthz.
+            assert client.healthz()["status"] == "ok"

@@ -1,0 +1,229 @@
+"""Micro-batcher contracts: flush policy (property-based) + asyncio wrapper.
+
+The flush policy lives in :class:`MicroBatcherCore`, a pure state machine
+that takes the clock as an argument — so hypothesis can drive it with random
+arrival processes against a *simulated* clock and check the three service
+invariants exactly:
+
+* no flushed batch ever exceeds ``max_batch``,
+* demultiplexing is exact: items come back FIFO, none lost, none duplicated,
+* no item's flush is initiated later than one latency budget
+  (``window_s``) past its arrival.
+
+The asyncio wrapper (:class:`MicroBatcher`) is tested with a real event
+loop: size/window flushes, cross-submitter coalescing, per-item fault
+isolation and queue backpressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.server import MicroBatcher, MicroBatcherCore, ServerMetrics
+
+
+# --------------------------------------------------------------------------- #
+# Simulated-clock driver
+# --------------------------------------------------------------------------- #
+def simulate(arrival_gaps, max_batch, window_s):
+    """Run the flush policy over an arrival process on a simulated clock.
+
+    Mirrors the asyncio flush loop: wake on every arrival and on every
+    pending deadline, flush whenever the core says ready.  Returns the list
+    of flushed batches as ``(flush_time, [(payload, arrival), ...])``.
+    """
+    core = MicroBatcherCore(max_batch, window_s)
+    batches = []
+    now = 0.0
+
+    def flush_ready(at):
+        while core.ready(at):
+            batches.append((at, [(item.payload, item.arrival)
+                                 for item in core.take()]))
+
+    for index, gap in enumerate(arrival_gaps):
+        # Any deadline that expires before this arrival fires first.
+        while core.depth:
+            deadline = core.next_deadline()
+            if deadline >= now + gap:
+                break
+            flush_ready(deadline)
+        now += gap
+        core.add(index, now)
+        flush_ready(now)
+    while core.depth:
+        flush_ready(core.next_deadline())
+    return batches
+
+
+arrival_processes = st.lists(
+    st.floats(min_value=0.0, max_value=0.05, allow_nan=False), min_size=1, max_size=60)
+
+
+class TestFlushPolicyProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(gaps=arrival_processes, max_batch=st.integers(1, 8),
+           window_s=st.floats(0.0, 0.05, allow_nan=False))
+    def test_invariants(self, gaps, max_batch, window_s):
+        batches = simulate(gaps, max_batch, window_s)
+        # 1. No batch exceeds max_batch.
+        assert all(len(items) <= max_batch for _, items in batches)
+        # 2. Exact demultiplexing: FIFO, nothing lost, nothing duplicated.
+        flushed = [payload for _, items in batches for payload, _ in items]
+        assert flushed == list(range(len(gaps)))
+        # 3. No item waits more than one latency budget past its arrival.
+        for flush_time, items in batches:
+            for _, arrival in items:
+                assert flush_time <= arrival + window_s + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(gaps=arrival_processes, max_batch=st.integers(1, 8))
+    def test_zero_window_flushes_immediately(self, gaps, max_batch):
+        # window 0 degenerates to per-arrival flushing: every batch is taken
+        # at the instant its oldest item arrived.
+        for flush_time, items in simulate(gaps, max_batch, 0.0):
+            assert flush_time == items[0][1]
+
+    def test_full_batch_flushes_before_deadline(self):
+        core = MicroBatcherCore(max_batch=2, window_s=10.0)
+        core.add("a", 0.0)
+        assert not core.ready(0.5)
+        core.add("b", 0.5)
+        assert core.ready(0.5)  # size bound hit long before the window
+        assert [item.payload for item in core.take()] == ["a", "b"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcherCore(0, 1.0)
+        with pytest.raises(ValueError):
+            MicroBatcherCore(4, -1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda batch: batch, max_batch=8, max_queue=4)
+
+
+# --------------------------------------------------------------------------- #
+# Asyncio wrapper
+# --------------------------------------------------------------------------- #
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestMicroBatcher:
+    def test_demultiplexes_across_submitters(self):
+        """Concurrent submitters coalesce; each gets exactly its results."""
+        seen_batches = []
+
+        def runner(batch):
+            seen_batches.append(list(batch))
+            return [payload * 10 for payload in batch]
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch=64, window_s=0.02,
+                                   metrics=ServerMetrics())
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit([1, 2, 3]),
+                batcher.submit([4, 5]),
+                batcher.submit([6]),
+            )
+            await batcher.stop()
+            return results
+
+        results = run(main())
+        assert results == [[10, 20, 30], [40, 50], [60]]
+        # All six items coalesced into one shared batch (nobody hit the
+        # window alone: the submitters enqueue in the same loop iteration).
+        assert sorted(len(batch) for batch in seen_batches)[-1] == 6
+
+    def test_size_flush_happens_before_window(self):
+        flush_sizes = []
+
+        def runner(batch):
+            flush_sizes.append(len(batch))
+            return list(batch)
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch=4, window_s=60.0)
+            batcher.start()
+            await batcher.submit(list(range(8)))  # would wait 60s otherwise
+            await batcher.stop()
+
+        run(main())
+        assert flush_sizes == [4, 4]
+
+    def test_per_item_fault_isolation(self):
+        """A poisoned item fails alone; its batch-mates still get results."""
+
+        def runner(batch):
+            if any(payload == "poison" for payload in batch):
+                raise RuntimeError("poisoned sample")
+            return [f"ok:{payload}" for payload in batch]
+
+        async def main():
+            metrics = ServerMetrics()
+            batcher = MicroBatcher(runner, max_batch=16, window_s=0.01,
+                                   metrics=metrics)
+            batcher.start()
+            good, bad = await asyncio.gather(
+                batcher.submit(["a", "b"]),
+                batcher.submit(["poison"]),
+                return_exceptions=True,
+            )
+            await batcher.stop()
+            return good, bad, metrics
+
+        good, bad, metrics = run(main())
+        assert good == ["ok:a", "ok:b"]
+        assert isinstance(bad, RuntimeError)
+        assert metrics.get("batch_retries_total") >= 1
+        assert metrics._errors.get("batch_item_error", 0) == 1
+
+    def test_backpressure_bounds_queue_depth(self):
+        metrics = ServerMetrics()
+
+        def runner(batch):
+            return list(batch)
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch=4, window_s=0.0,
+                                   max_queue=4, metrics=metrics)
+            batcher.start()
+            results = await asyncio.gather(
+                *[batcher.submit(list(range(i * 10, i * 10 + 5)))
+                  for i in range(6)])
+            await batcher.stop()
+            return results
+
+        results = run(main())
+        assert [len(r) for r in results] == [5] * 6
+        assert sorted(sum(results, [])) == sorted(
+            sum([list(range(i * 10, i * 10 + 5)) for i in range(6)], []))
+        # submit() waited for space instead of growing past the bound.
+        assert metrics.max_queue_depth <= 4
+
+    def test_stop_drains_pending_items(self):
+        def runner(batch):
+            return [payload + 1 for payload in batch]
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch=64, window_s=120.0)
+            batcher.start()
+            pending = asyncio.ensure_future(batcher.submit([1, 2, 3]))
+            await asyncio.sleep(0.01)  # items are queued, window far away
+            assert not pending.done()
+            await batcher.stop()  # drain must flush them without the window
+            return await pending
+
+        assert run(main()) == [2, 3, 4]
+
+    def test_submit_requires_running_batcher(self):
+        async def main():
+            batcher = MicroBatcher(lambda batch: batch)
+            with pytest.raises(RuntimeError, match="not running"):
+                await batcher.submit([1])
+
+        run(main())

@@ -1,0 +1,198 @@
+"""Fault injection against the annotation daemon.
+
+Every scenario asserts two things: the *blast radius* (a fault stays
+contained to the request or sample that caused it) and the *accounting*
+(the matching ``/metrics`` error counter increments).  Scenarios:
+
+* malformed JSON bodies and oversized payloads → 400 / 413,
+* a mid-batch engine exception (one poisoned design coalesced into a shared
+  batch) → only the poisoned request fails; its batch-mates from other
+  requests are answered byte-identically to a fault-free run,
+* a client disconnecting mid-stream → the daemon stays healthy,
+* a flood against a tiny queue bound → backpressure, not unbounded memory.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import http.client
+import json
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.serve import annotation_payload, default_candidate_pairs
+from repro.core.server import (
+    ServeClient,
+    ServeError,
+    ServerConfig,
+    ThreadedServer,
+    dumps_canonical,
+)
+from repro.graph import netlist_to_graph
+from repro.netlist import parse_spice
+
+
+@pytest.fixture()
+def faulty_server(server_engine):
+    """A dedicated daemon per test (fault state must not leak)."""
+    config = ServerConfig(port=0, batch_window_ms=40.0, max_batch=64,
+                          max_body_bytes=64 * 1024)
+    with ThreadedServer(server_engine, config) as threaded:
+        yield threaded
+
+
+def raw_post(server, body: bytes, path: str = "/annotate"):
+    """POST arbitrary bytes, bypassing the JSON client."""
+    connection = http.client.HTTPConnection(server.server.host,
+                                            server.server.port, timeout=10)
+    connection.request("POST", path, body=body,
+                       headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    payload = json.loads(response.read())
+    connection.close()
+    return response.status, payload
+
+
+class TestProtocolFaults:
+    def test_malformed_json_is_a_400(self, faulty_server):
+        status, payload = raw_post(faulty_server, b"{not json at all")
+        assert status == 400
+        assert payload["error"]["type"] == "bad_json"
+        metrics = ServeClient(faulty_server.url).metrics()
+        assert metrics["errors_total"]["bad_json"] == 1
+        assert metrics["responses_error_total"] == 1
+
+    def test_wrong_shapes_are_400s(self, faulty_server):
+        for body in (b"[1,2,3]",                      # not an object
+                     b"{}",                           # neither spice nor designs
+                     b'{"designs": []}',              # empty designs
+                     b'{"designs": [{"name": "x"}]}',  # missing spice
+                     b'{"spice": ".end", "pairs": [["a"]]}',  # 1-element pair
+                     b'{"spice": ".end", "seed": "NaNsense"}'):
+            status, payload = raw_post(faulty_server, body)
+            assert status == 400, body
+            assert payload["error"]["type"] == "bad_request", body
+        metrics = ServeClient(faulty_server.url).metrics()
+        assert metrics["errors_total"]["bad_request"] == 6
+
+    def test_oversized_payload_is_a_413(self, faulty_server, server_spice):
+        padding = " ".join(["*pad"] * 40000)  # > the 64 KiB test limit
+        status, payload = raw_post(
+            faulty_server,
+            json.dumps({"spice": server_spice + "\n" + padding}).encode())
+        assert status == 413
+        assert payload["error"]["type"] == "payload_too_large"
+        metrics = ServeClient(faulty_server.url).metrics()
+        assert metrics["errors_total"]["payload_too_large"] == 1
+
+
+class TestMidBatchEngineFault:
+    def test_poisoned_design_fails_alone(self, faulty_server, server_engine,
+                                         server_spice, monkeypatch):
+        """One poisoned sample in a shared batch must not fail batch-mates."""
+        graph = netlist_to_graph(parse_spice(server_spice, name="GOOD").flatten())
+        pairs = default_candidate_pairs(graph, max_candidates=8,
+                                        rng=np.random.default_rng(7))
+        annotation = server_engine.annotate(graph, pairs=pairs, seed=1)
+        expected = dumps_canonical(annotation_payload(
+            annotation.design, annotation.records, annotation.threshold))
+
+        original = server_engine.predict_samples
+
+        def poisoned(samples):
+            if any(sample.extras.get("design") == "POISON"
+                   for sample in samples):
+                raise RuntimeError("injected mid-batch failure")
+            return original(samples)
+
+        monkeypatch.setattr(server_engine, "predict_samples", poisoned)
+        client = ServeClient(faulty_server.url)
+        good_request = {"spice": server_spice, "name": "GOOD",
+                        "pairs": [list(pair) for pair in pairs], "seed": 1}
+        poison_request = {"spice": server_spice, "name": "POISON",
+                          "pairs": [list(pair) for pair in pairs], "seed": 1}
+        # The 40 ms window guarantees both requests' links share batches.
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            good_future = pool.submit(client.annotate_raw, good_request)
+            poison_future = pool.submit(client.annotate, **{
+                "spice": poison_request["spice"],
+                "name": "POISON", "pairs": pairs, "seed": 1})
+            good_raw = good_future.result(timeout=30)
+            poison_report = poison_future.result(timeout=30)
+
+        assert good_raw.strip() == expected  # batch-mate unaffected, bit-for-bit
+        assert poison_report["status"] == "error"
+        assert poison_report["design"] == "POISON"
+        assert "injected mid-batch failure" in poison_report["error"]["message"]
+        metrics = client.metrics()
+        assert metrics["batch_retries_total"] >= 1
+        assert metrics["errors_total"]["batch_item_error"] >= 1
+        assert metrics["errors_total"]["design_error"] >= 1
+        # The shared engine really was patched back in business afterwards.
+        monkeypatch.undo()
+        assert client.annotate_raw(good_request).strip() == expected
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_stream_leaves_daemon_healthy(self, server_engine,
+                                                         server_spice):
+        # Dedicated server: the multi-design body is larger than the
+        # faulty_server fixture's tiny 64 KiB body cap.
+        config = ServerConfig(port=0, batch_window_ms=40.0)
+        with ThreadedServer(server_engine, config) as threaded:
+            self._disconnect_scenario(threaded, server_spice)
+
+    @staticmethod
+    def _disconnect_scenario(threaded, server_spice):
+        body = json.dumps({
+            "designs": [{"spice": server_spice, "name": f"D{i}",
+                         "max_candidates": 12} for i in range(6)],
+            "stream": True,
+        }).encode()
+        sock = socket.create_connection(
+            (threaded.server.host, threaded.server.port), timeout=10)
+        sock.sendall(b"POST /annotate HTTP/1.1\r\n"
+                     b"Content-Type: application/json\r\n"
+                     + f"Content-Length: {len(body)}\r\n\r\n".encode() + body)
+        first = sock.recv(64)  # headers started streaming; the request is live
+        assert first.startswith(b"HTTP/1.1 200")
+        # Abort hard: RST instead of FIN so pending writes fail server-side.
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        b"\x01\x00\x00\x00\x00\x00\x00\x00")
+        sock.close()
+
+        client = ServeClient(threaded.url)
+        deadline = time.monotonic() + 5.0
+        disconnected = False
+        while time.monotonic() < deadline:
+            metrics = client.metrics()  # the daemon must keep answering
+            if metrics["errors_total"].get("client_disconnect", 0) >= 1:
+                disconnected = True
+                break
+            time.sleep(0.05)
+        assert disconnected, "client_disconnect error counter never incremented"
+        # And annotation still works end-to-end afterwards.
+        report = client.annotate(server_spice, name="AFTER", max_candidates=3)
+        assert report["status"] == "ok"
+
+
+class TestBackpressure:
+    def test_bounded_queue_under_flood(self, server_engine, server_spice):
+        """A flood fills the queue to its bound, never past it."""
+        config = ServerConfig(port=0, batch_window_ms=5.0, max_batch=8,
+                              max_queue=8)
+        with ThreadedServer(server_engine, config) as threaded:
+            client = ServeClient(threaded.url, timeout=60.0)
+            request = {"spice": server_spice, "name": "FLOOD", "seed": 0,
+                       "max_candidates": 24}
+            with concurrent.futures.ThreadPoolExecutor(max_workers=6) as pool:
+                raws = list(pool.map(
+                    client.annotate_raw, [dict(request) for _ in range(6)]))
+            metrics = client.metrics()
+        assert len(set(raws)) == 1  # all identical, all complete
+        assert json.loads(raws[0])["status"] == "ok"
+        assert metrics["max_queue_depth"] <= 8
+        assert metrics["batched_items_total"] >= 6 * 24
