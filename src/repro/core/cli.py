@@ -8,7 +8,11 @@
 * ``annotate`` — load an artifact and annotate one-or-many SPICE netlists
   with predicted couplings (:class:`~repro.core.serve.AnnotationEngine`);
   with ``--remote URL`` the netlists are sent to a running ``serve`` daemon
-  instead of loading the artifact locally,
+  instead of loading the artifact locally; ``--shards N`` splits each
+  (chip-scale) netlist into memory-bounded shards annotated independently,
+* ``reannotate`` — replay an ECO-style netlist change against a previous
+  ``annotate --json`` report, re-scoring only the affected pairs
+  (:meth:`~repro.core.serve.AnnotationEngine.reannotate`),
 * ``serve``    — keep a loaded artifact resident behind a JSON-over-HTTP
   annotation daemon that micro-batches links across concurrent requests
   (:mod:`repro.core.server`),
@@ -128,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes sharding the netlists (0 = serial, "
                                "-1 = auto, default: serial; reports are identical "
                                "for any worker count)")
+    annotate.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="split each netlist into N bounded shards "
+                               "(hierarchy-aware when the netlist has subckt "
+                               "instances) and annotate them independently; "
+                               "bounds peak memory by the largest shard "
+                               "instead of the full flat design")
+    annotate.add_argument("--halo", type=int, default=None, metavar="HOPS",
+                          help="shard halo depth (flat partitions: node hops; "
+                               "hierarchical partitions: cell rings); default: "
+                               "the minimum that keeps enclosing subgraphs "
+                               "complete")
     annotate.add_argument("--seed", type=int, default=0, help="candidate sampling seed")
     annotate.add_argument("--backend", default=None,
                           help="compute backend for inference (default: numpy "
@@ -141,6 +156,31 @@ def build_parser() -> argparse.ArgumentParser:
                                "daemon at URL instead of loading the artifact "
                                "locally; the CHECKPOINT argument is treated "
                                "as the first netlist (or pass '-')")
+
+    reannotate = sub.add_parser(
+        "reannotate",
+        help="incrementally re-annotate a changed netlist from a previous report")
+    reannotate.add_argument("checkpoint", help="artifact path (directory or .npz)")
+    reannotate.add_argument("old_netlist", help="SPICE netlist the previous report "
+                                                "was produced from")
+    reannotate.add_argument("new_netlist", help="SPICE netlist after the ECO change")
+    reannotate.add_argument("--prev", required=True, metavar="REPORT.json",
+                            help="previous annotation report (from "
+                                 "'annotate --json') to carry records over from")
+    reannotate.add_argument("--batch-size", type=int, default=256,
+                            help="inference batch size (default: 256)")
+    reannotate.add_argument("--threshold", type=float, default=0.5,
+                            help="coupling probability threshold (default: 0.5)")
+    reannotate.add_argument("--json", default=None, metavar="PATH",
+                            help="write the updated report as JSON")
+    reannotate.add_argument("--seed", type=int, default=0,
+                            help="seed for re-scored pairs (default: 0)")
+    reannotate.add_argument("--backend", default=None,
+                            help="compute backend for inference (default: numpy "
+                                 "/ $REPRO_BACKEND)")
+    reannotate.add_argument("--precision", default="float64",
+                            choices=("float64", "float32"),
+                            help="serving precision (default: float64)")
 
     serve = sub.add_parser(
         "serve", help="run the persistent annotation service for an artifact")
@@ -342,6 +382,27 @@ def _parse_pairs(raw: list[str] | None) -> list[tuple[str, str]] | None:
     return pairs
 
 
+def _print_annotation(annotation) -> None:
+    """Print one :class:`NetlistAnnotation` as a table."""
+    rows = [_annotation_row(r) for r in annotation.records]
+    print(format_table(
+        rows,
+        title=f"{annotation.design}: {len(annotation.couplings)} predicted "
+              f"coupling(s) out of {annotation.num_candidates} candidates "
+              f"({annotation.elapsed_seconds * 1e3:.0f} ms)",
+    ))
+    print()
+
+
+def _write_annotated(netlist: str, annotation, out_dir: str) -> None:
+    """Write the annotated netlist for one design under ``out_dir``."""
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    out_path = directory / f"{pathlib.Path(netlist).stem}.annotated.sp"
+    out_path.write_text(annotation.annotated_spice())
+    print(f"Wrote annotated netlist to {out_path}")
+
+
 def _print_report_payload(payload: dict) -> None:
     """Print one wire-format annotation report (the ``--remote`` path)."""
     rows = [_annotation_row(record) for record in payload["records"]]
@@ -406,6 +467,10 @@ def cmd_annotate(args) -> int:
 
     pairs = _parse_pairs(args.pairs)
     if args.remote:
+        if args.shards is not None:
+            print("error: --shards is not supported with --remote (sharding "
+                  "happens inside the local engine)", file=sys.stderr)
+            return 2
         return _cmd_annotate_remote(args, pairs)
     workers = _resolve_cli_workers(args)
     _activate_backend(args.backend)
@@ -413,21 +478,23 @@ def cmd_annotate(args) -> int:
     engine = AnnotationEngine(pipeline, batch_size=args.batch_size,
                               threshold=args.threshold, workers=workers,
                               precision=args.precision)
+    if args.shards is not None:
+        return _cmd_annotate_sharded(args, engine, pairs)
     # Netlists are annotated in groups of one-per-worker so completed designs
     # are printed (and their annotated netlists written) as the run
     # progresses.  A bad netlist or unknown pair name fails only its own
     # design (on_error="collect"): the error goes to stderr, every other
     # design is still annotated, and the exit code is 2 when anything failed.
-    # The per-design seed is the global position (seed + index), so the
-    # grouping never changes results.
+    # Per-design seeds are spawned from the global seed at the global
+    # position (seed_offset), so the grouping never changes results.
     group_size = max(1, engine.workers)
     reports = []
     for start in range(0, len(args.netlists), group_size):
         group = args.netlists[start:start + group_size]
         annotations = engine.annotate_many(
             group, pairs=None if pairs is None else [pairs] * len(group),
-            max_candidates=args.max_candidates, seed=args.seed + start,
-            on_error="collect",
+            max_candidates=args.max_candidates, seed=args.seed,
+            seed_offset=start, on_error="collect",
         )
         reports.extend(annotations)
         for netlist, annotation in zip(group, annotations):
@@ -435,20 +502,9 @@ def cmd_annotate(args) -> int:
                 print(f"error: {annotation.design}: {annotation.message}",
                       file=sys.stderr)
                 continue
-            rows = [_annotation_row(r) for r in annotation.records]
-            print(format_table(
-                rows,
-                title=f"{annotation.design}: {len(annotation.couplings)} predicted "
-                      f"coupling(s) out of {annotation.num_candidates} candidates "
-                      f"({annotation.elapsed_seconds * 1e3:.0f} ms)",
-            ))
-            print()
+            _print_annotation(annotation)
             if args.annotated_out:
-                out_dir = pathlib.Path(args.annotated_out)
-                out_dir.mkdir(parents=True, exist_ok=True)
-                out_path = out_dir / f"{pathlib.Path(netlist).stem}.annotated.sp"
-                out_path.write_text(annotation.annotated_spice())
-                print(f"Wrote annotated netlist to {out_path}")
+                _write_annotated(netlist, annotation, args.annotated_out)
     if args.json:
         payload = reports[0].as_dict() if len(reports) == 1 else {
             "reports": [r.as_dict() for r in reports]
@@ -456,6 +512,78 @@ def cmd_annotate(args) -> int:
         save_json(args.json, payload)
         print(f"Wrote JSON report to {args.json}")
     return 2 if any(not report.ok for report in reports) else 0
+
+
+def _cmd_annotate_sharded(args, engine, pairs) -> int:
+    """``annotate --shards N``: shard each netlist inside the engine.
+
+    Netlists are processed one at a time — the point of sharding is bounding
+    peak memory, so designs must not be resident concurrently.  Per-design
+    seeds are spawned exactly like :meth:`AnnotationEngine.annotate_many`
+    spawns them, so a design's candidates do not depend on its position in
+    the argument list beyond its index.
+    """
+    from ..utils.rng import spawn_seeds
+
+    design_seeds = spawn_seeds(args.seed, len(args.netlists))
+    reports, failed = [], False
+    for netlist, seed in zip(args.netlists, design_seeds):
+        try:
+            annotation = engine.annotate_sharded(
+                netlist, pairs=pairs, num_shards=args.shards,
+                halo_hops=args.halo, max_candidates=args.max_candidates,
+                seed=seed)
+        except (ValueError, KeyError, OSError) as exc:
+            print(f"error: {netlist}: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        reports.append(annotation)
+        _print_annotation(annotation)
+        if args.annotated_out:
+            _write_annotated(netlist, annotation, args.annotated_out)
+    if args.json and reports:
+        payload = reports[0].as_dict() if len(reports) == 1 else {
+            "reports": [r.as_dict() for r in reports]
+        }
+        save_json(args.json, payload)
+        print(f"Wrote JSON report to {args.json}")
+    return 2 if failed else 0
+
+
+def cmd_reannotate(args) -> int:
+    """``reannotate``: replay an ECO delta against a previous report."""
+    from ..netlist import NetlistDelta, parse_spice_file
+    from .serve import AnnotationEngine, NetlistAnnotation
+
+    _activate_backend(args.backend)
+    payload = load_json(args.prev)
+    if "records" not in payload:
+        print(f"error: {args.prev} is not a single-design annotation report",
+              file=sys.stderr)
+        return 2
+    old_circuit = parse_spice_file(args.old_netlist)
+    new_circuit = parse_spice_file(args.new_netlist)
+    prev = NetlistAnnotation.from_payload(payload, circuit=old_circuit)
+    try:
+        delta = NetlistDelta.between(old_circuit, new_circuit)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pipeline = CircuitGPSPipeline.from_checkpoint(args.checkpoint)
+    engine = AnnotationEngine(pipeline, batch_size=args.batch_size,
+                              threshold=args.threshold, workers=0,
+                              precision=args.precision)
+    annotation = engine.reannotate(prev, delta, seed=args.seed)
+    summary = annotation.incremental or {}
+    print(f"{annotation.design}: delta of {delta.num_changes} device change(s) -> "
+          f"{summary.get('reused', 0)} record(s) reused, "
+          f"{summary.get('recomputed', 0)} recomputed, "
+          f"{summary.get('dropped', 0)} dropped")
+    _print_annotation(annotation)
+    if args.json:
+        save_json(args.json, annotation.as_dict())
+        print(f"Wrote JSON report to {args.json}")
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -610,9 +738,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"train": cmd_train, "annotate": cmd_annotate,
-                "serve": cmd_serve, "evaluate": cmd_evaluate,
-                "report": cmd_report, "bench": cmd_bench,
-                "components": cmd_components}
+                "reannotate": cmd_reannotate, "serve": cmd_serve,
+                "evaluate": cmd_evaluate, "report": cmd_report,
+                "bench": cmd_bench, "components": cmd_components}
     try:
         return handlers[args.command](args)
     except (CheckpointError, FileNotFoundError, RegistryError, SpecError,

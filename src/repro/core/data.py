@@ -59,18 +59,34 @@ class PECache:
     link type), the PE kind, and a cheap digest of the subgraph topology; the
     digest guarantees a stale entry can never be returned for a re-sampled
     subgraph with different nodes or edges.
+
+    Eviction is LRU under *two* caps: an entry-count cap (``capacity``) and an
+    approximate byte budget (``capacity_bytes``, summing the stored arrays'
+    ``nbytes``).  The entry cap alone is no memory bound — entry size scales
+    with subgraph size, so on chip-scale designs 16384 entries of large-hop
+    PEs can be gigabytes.  ``capacity_bytes=None`` disables the byte budget.
     """
 
-    def __init__(self, capacity: int = 16384):
+    def __init__(self, capacity: int = 16384,
+                 capacity_bytes: int | None = 256 * 2**20):
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("cache capacity_bytes must be positive (or None)")
         self.capacity = capacity
+        self.capacity_bytes = capacity_bytes
         self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._bytes = 0
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._store)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate bytes held (sum of stored ``nbytes``; keys excluded)."""
+        return self._bytes
 
     @property
     def hit_rate(self) -> float:
@@ -106,15 +122,40 @@ class PECache:
         return value
 
     def put(self, key: tuple, value: np.ndarray) -> None:
-        """Store an encoding, evicting least-recently-used entries over capacity."""
+        """Store an encoding, evicting LRU entries past either capacity cap.
+
+        A single value larger than ``capacity_bytes`` is evicted immediately
+        (the cache simply never retains it) rather than growing the budget.
+        """
+        old = self._store.pop(key, None)
+        if old is not None:
+            self._bytes -= int(old.nbytes)
         self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+        self._bytes += int(value.nbytes)
+        while self._store and (
+            len(self._store) > self.capacity
+            or (self.capacity_bytes is not None and self._bytes > self.capacity_bytes)
+        ):
+            _, evicted = self._store.popitem(last=False)
+            self._bytes -= int(evicted.nbytes)
+
+    def invalidate_design(self, design: str | None) -> int:
+        """Drop every entry of one design; returns the number evicted.
+
+        Used by incremental re-annotation: a :class:`NetlistDelta` shifts the
+        global node ids the keys are built from, so the design's entries can
+        never be valid against the edited graph again (the topology digest
+        already prevents wrong *hits*; this reclaims the memory).
+        """
+        stale = [key for key in self._store if key[0] == design]
+        for key in stale:
+            self._bytes -= int(self._store.pop(key).nbytes)
+        return len(stale)
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
         self._store.clear()
+        self._bytes = 0
         self.hits = 0
         self.misses = 0
 

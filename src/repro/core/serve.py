@@ -65,7 +65,7 @@ from ..netlist import Circuit, parse_spice_file, write_spice
 from ..netlist.spice import format_si_value
 from ..nn import no_grad, stable_sigmoid, use_dtype
 from ..utils.logging import get_logger
-from ..utils.rng import get_rng
+from ..utils.rng import get_rng, spawn_seeds
 from ..utils.serialization import save_json
 from .data import DataLoader, PECache, SubgraphDataset
 from .parallel import parallel_map
@@ -80,17 +80,19 @@ logger = get_logger("repro.serve")
 
 
 def default_candidate_pairs(graph: CircuitGraph, max_candidates: int = 200,
-                            rng=None) -> list[tuple[str, str]]:
+                            rng=None, allowed=None) -> list[tuple[str, str]]:
     """Candidate node pairs for a netlist without explicit targets.
 
     Enumerates unordered pairs of *signal* nets (ground and supply nets are
     skipped — their couplings are not interesting prediction targets).  When
     the full pair count exceeds ``max_candidates`` a deterministic random
-    subset is drawn.
+    subset is drawn.  ``allowed`` optionally restricts the net pool by name
+    (sharded annotation passes each shard's ownership predicate).
     """
     rng = get_rng(rng)
     nets = [int(i) for i in graph.nodes_of_type(NODE_NET)
-            if not Circuit.is_power_rail(graph.node_names[i])]
+            if not Circuit.is_power_rail(graph.node_names[i])
+            and (allowed is None or allowed(graph.node_names[i]))]
     n = len(nets)
     total = n * (n - 1) // 2
     if total <= max_candidates:
@@ -171,6 +173,9 @@ class NetlistAnnotation:
     threshold: float
     elapsed_seconds: float
     circuit: Circuit | None = field(default=None, repr=False)
+    #: Reuse summary of an incremental re-annotation (``reused`` /
+    #: ``recomputed`` / ``dropped`` / ``added`` counts); ``None`` for full runs.
+    incremental: dict | None = None
 
     @property
     def num_candidates(self) -> int:
@@ -190,12 +195,30 @@ class NetlistAnnotation:
 
     def as_dict(self) -> dict:
         """JSON-safe report (pairs become two-element lists)."""
-        return dict(annotation_payload(self.design, self.records, self.threshold),
-                    elapsed_seconds=self.elapsed_seconds)
+        payload = dict(annotation_payload(self.design, self.records, self.threshold),
+                       elapsed_seconds=self.elapsed_seconds)
+        if self.incremental is not None:
+            payload["incremental"] = dict(self.incremental)
+        return payload
 
     def write_json(self, path) -> pathlib.Path:
         """Write :meth:`as_dict` to ``path`` as JSON."""
         return save_json(path, self.as_dict())
+
+    @classmethod
+    def from_payload(cls, payload: dict,
+                     circuit: Circuit | None = None) -> "NetlistAnnotation":
+        """Rebuild a report from its JSON payload (pairs become tuples again).
+
+        ``circuit`` reattaches the netlist the report was produced from,
+        which :meth:`AnnotationEngine.reannotate` needs to replay a delta.
+        """
+        records = [dict(record, pair=tuple(record["pair"]))
+                   for record in payload["records"]]
+        return cls(design=payload["design"], records=records,
+                   threshold=float(payload.get("threshold", 0.5)),
+                   elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+                   circuit=circuit, incremental=payload.get("incremental"))
 
     def annotation_cards(self) -> list[str]:
         """SPICE cards for the predicted couplings.
@@ -204,7 +227,8 @@ class NetlistAnnotation:
         involving pins (``device:terminal`` names are not valid SPICE nodes)
         are emitted as comment cards carrying the same information.
         """
-        net_names = set(self.circuit.nets) if self.circuit is not None else set()
+        circuit = self._flat_circuit()
+        net_names = set(circuit.nets) if circuit is not None else set()
         cards = [f"* {len(self.couplings)} predicted coupling(s), "
                  f"p >= {self.threshold:g} (CircuitGPS annotation engine)"]
         for index, record in enumerate(self.couplings):
@@ -230,7 +254,14 @@ class NetlistAnnotation:
             raise RuntimeError(
                 "annotation was produced from a bare graph; no netlist to annotate"
             )
-        return write_spice(self.circuit, trailer_cards=self.annotation_cards())
+        return write_spice(self._flat_circuit(), trailer_cards=self.annotation_cards())
+
+    def _flat_circuit(self) -> Circuit | None:
+        """The flat view of ``circuit`` (sharded hierarchical runs keep the
+        hierarchical description and flatten only on demand here)."""
+        if self.circuit is None or self.circuit.is_flat:
+            return self.circuit
+        return self.circuit.flatten()
 
 
 class AnnotationEngine:
@@ -458,7 +489,7 @@ class AnnotationEngine:
 
     def annotate_many(self, netlists: Iterable, pairs=None, max_candidates: int = 200,
                       seed: int = 0, max_workers: int | None = None,
-                      on_error: str = "raise"
+                      on_error: str = "raise", seed_offset: int = 0
                       ) -> list[NetlistAnnotation | AnnotationFailure]:
         """Annotate several netlists, optionally sharded across worker processes.
 
@@ -475,11 +506,18 @@ class AnnotationEngine:
         fan out across a ``fork`` process pool
         (:func:`repro.core.parallel.parallel_map`): each worker inherits the
         engine — models, config, PE cache snapshot — runs the identical
-        serial recipe with the identical per-design seed (``seed + i``), and
-        the merged reports come back in input order, so the records are
-        byte-identical to a serial run.  Only the serial path accumulates
-        cross-design PE-cache warmth in this process; workers warm private
-        copies instead.
+        serial recipe with the identical per-design seed, and the merged
+        reports come back in input order, so the records are byte-identical
+        to a serial run.  Only the serial path accumulates cross-design
+        PE-cache warmth in this process; workers warm private copies instead.
+
+        Per-design seeds are spawned from ``np.random.SeedSequence(seed)``
+        (:func:`repro.utils.rng.spawn_seeds`), so designs of *different* base
+        seeds never share an RNG stream (additive ``seed + i`` derivation
+        made seed 0's design 1 collide with seed 1's design 0).
+        ``seed_offset`` skips that many spawned children first — callers that
+        process one long design list in groups pass each group's start
+        offset and get exactly the streams a single call would have used.
         """
         if on_error not in ("raise", "collect"):
             raise ValueError("on_error must be 'raise' or 'collect'")
@@ -488,10 +526,205 @@ class AnnotationEngine:
             pairs = list(pairs)
             if len(pairs) != len(netlists):
                 raise ValueError("pairs must align with netlists")
+        design_seeds = spawn_seeds(seed, len(netlists), offset=seed_offset)
         tasks = [
-            (netlist, None if pairs is None else pairs[i], max_candidates, seed + i,
-             on_error == "collect")
+            (netlist, None if pairs is None else pairs[i], max_candidates,
+             design_seeds[i], on_error == "collect")
             for i, netlist in enumerate(netlists)
         ]
         workers = max_workers if max_workers is not None else self.workers
         return parallel_map(self._annotate_task, tasks, workers=workers)
+
+    # ------------------------------------------------------------------ #
+    # Sharded annotation (chip-scale designs)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_sharded(netlist) -> tuple:
+        """Like :meth:`_resolve`, but *preserving* subcircuit hierarchy.
+
+        The shard planner wants the hierarchical description (it shards
+        along instances before flattening); flattening here would force the
+        full design into this process and defeat the memory bound.
+        """
+        if isinstance(netlist, CircuitGraph):
+            return netlist, None
+        if isinstance(netlist, Circuit):
+            return netlist, netlist
+        circuit = parse_spice_file(netlist)
+        return circuit, circuit
+
+    def _annotate_shard_task(self, task: tuple) -> list[dict]:
+        """Worker body of :meth:`annotate_sharded`: annotate one shard.
+
+        Hierarchy-strategy shards arrive as small circuits and are flattened
+        *here*, inside the worker — the parent never materializes the full
+        flat design.
+        """
+        shard, shard_pairs, max_candidates, seed = task
+        source = shard.source
+        graph = source if isinstance(source, CircuitGraph) else netlist_to_graph(source)
+        if shard_pairs is None:
+            rng = np.random.default_rng([int(seed), max(shard.index, 0)])
+            shard_pairs = default_candidate_pairs(
+                graph, max_candidates=max_candidates, rng=rng,
+                allowed=shard.owns_name,
+            )
+        links = self.links_for_pairs(graph, shard_pairs)
+        probs, caps_norm = self._predict(graph, links, seed=seed)
+        return self.build_records(shard_pairs, links, probs, caps_norm)
+
+    def annotate_sharded(self, netlist, pairs: Sequence[tuple[str, str]] | None = None,
+                         num_shards: int | None = None,
+                         max_workers: int | None = None,
+                         halo_hops: int | None = None,
+                         max_candidates: int = 200,
+                         seed: int = 0) -> NetlistAnnotation:
+        """Annotate one (chip-scale) netlist in independent bounded shards.
+
+        The design is split by :func:`repro.core.shard.plan_shards` — along
+        its subcircuit hierarchy when it has one (each shard flattens only
+        its own cells plus a halo, inside the worker), else by a BFS
+        partition of the flattened graph with ``halo_hops``-hop node halos —
+        and the shards fan out over the engine's fork pool, bounding each
+        process's peak memory by the largest shard instead of the full
+        design.
+
+        With explicit ``pairs``, every pair is annotated on a shard (or a
+        union shard for cross-shard pairs) that fully contains its enclosing
+        subgraph, so with deterministic extraction
+        (:attr:`deterministic_extraction`) the merged records are
+        byte-identical to an unsharded :meth:`annotate` of the same pairs.
+        Without ``pairs``, each shard draws up to ``max_candidates``
+        candidates among the signal nets *it owns* (a different, locally
+        generated candidate set than unsharded annotation would draw).
+        """
+        start = time.perf_counter()
+        workers = max_workers if max_workers is not None else self.workers
+        if num_shards is None:
+            num_shards = max(2, workers)
+        from .shard import plan_shards
+
+        source, circuit = self._resolve_sharded(netlist)
+        plan = plan_shards(source, num_shards=num_shards,
+                           hops=self.config.data.hops, halo_hops=halo_hops)
+        groups = None
+        if pairs is not None:
+            pairs = [tuple(pair) for pair in pairs]
+            groups = plan.assign(pairs)
+            tasks = [(shard, [pairs[i] for i in positions], max_candidates, seed)
+                     for shard, positions in groups]
+        else:
+            tasks = [(shard, None, max_candidates, seed) for shard in plan.shards]
+        shard_records = parallel_map(self._annotate_shard_task, tasks,
+                                     workers=workers)
+        if groups is not None:
+            records: list[dict] = [None] * len(pairs)  # type: ignore[list-item]
+            for (_, positions), chunk in zip(groups, shard_records):
+                for position, record in zip(positions, chunk):
+                    records[position] = record
+        else:
+            records = [record for chunk in shard_records for record in chunk]
+        elapsed = time.perf_counter() - start
+        logger.debug(
+            "annotated %s via %d %s shard(s): %d records in %.3fs",
+            source.name, plan.num_shards, plan.strategy, len(records), elapsed,
+        )
+        return NetlistAnnotation(design=source.name, records=records,
+                                 threshold=self.threshold,
+                                 elapsed_seconds=elapsed, circuit=circuit)
+
+    # ------------------------------------------------------------------ #
+    # Incremental re-annotation (ECO deltas)
+    # ------------------------------------------------------------------ #
+    def reannotate(self, prev_report: NetlistAnnotation, delta,
+                   seed: int = 0,
+                   extra_pairs: Sequence[tuple[str, str]] | None = None
+                   ) -> NetlistAnnotation:
+        """Re-annotate only what a :class:`~repro.netlist.delta.NetlistDelta`
+        can have changed.
+
+        A pair is *affected* when either anchor lies within ``hops`` of any
+        changed node (touched nets, changed devices and their pins) in the
+        pre- or post-change graph — exactly the condition under which its
+        enclosing subgraph (or the node statistics inside it) can differ.
+        Affected pairs are re-scored on the new graph; unaffected records
+        are carried over verbatim (byte-identical to a full re-annotation);
+        pairs whose anchors were removed are dropped; ``extra_pairs``
+        (e.g. candidates on newly added nets) are appended.  The design's
+        :class:`~repro.core.data.PECache` entries are invalidated — the
+        delta shifts the global node ids they are keyed by.
+        """
+        start = time.perf_counter()
+        if prev_report.circuit is None:
+            raise RuntimeError(
+                "previous report carries no circuit (annotated from a bare "
+                "graph?); incremental re-annotation needs prev_report.circuit"
+            )
+        old_flat = prev_report.circuit
+        if not old_flat.is_flat:
+            old_flat = old_flat.flatten()
+        new_flat = delta.apply(old_flat)
+        new_graph = netlist_to_graph(new_flat)
+        affected: set[str] = set()
+        if not delta.is_empty:
+            changed: set[str] = set(delta.touched_nets(old_flat))
+            removed = set(delta.remove_devices)
+            changed |= removed
+            for device in old_flat.devices:
+                if device.name in removed:
+                    changed.update(f"{device.name}:{terminal}"
+                                   for terminal in device.terminals)
+            for device in delta.add_devices:
+                changed.add(device.name)
+                changed.update(f"{device.name}:{terminal}"
+                               for terminal in device.terminals)
+            old_graph = netlist_to_graph(old_flat, with_stats=False)
+            hops = self.config.data.hops
+            for graph in (old_graph, new_graph):
+                anchor_ids = sorted(graph.node_index(name) for name in changed
+                                    if graph.has_node(name))
+                if anchor_ids:
+                    reached = graph.csr.k_hop(
+                        np.asarray(anchor_ids, dtype=np.int64), hops)
+                    affected.update(graph.node_names[int(i)] for i in reached)
+            self.cache.invalidate_design(prev_report.design)
+        merged: list[dict | None] = []
+        stale_positions: list[int] = []
+        stale_pairs: list[tuple[str, str]] = []
+        reused = dropped = 0
+        for record in prev_report.records:
+            name_a, name_b = record["pair"]
+            if not (new_graph.has_node(name_a) and new_graph.has_node(name_b)):
+                dropped += 1
+                continue
+            if name_a in affected or name_b in affected:
+                stale_positions.append(len(merged))
+                stale_pairs.append((name_a, name_b))
+                merged.append(None)
+            else:
+                merged.append(dict(record))
+                reused += 1
+        extras = [tuple(pair) for pair in (extra_pairs or [])]
+        request_pairs = stale_pairs + extras
+        if request_pairs:
+            links = self.links_for_pairs(new_graph, request_pairs)
+            probs, caps_norm = self._predict(new_graph, links, seed=seed)
+            fresh = self.build_records(request_pairs, links, probs, caps_norm)
+        else:
+            fresh = []
+        for position, record in zip(stale_positions, fresh[:len(stale_pairs)]):
+            merged[position] = record
+        merged.extend(fresh[len(stale_pairs):])
+        elapsed = time.perf_counter() - start
+        logger.debug(
+            "reannotated %s: %d reused, %d recomputed, %d dropped, %d added "
+            "in %.3fs", prev_report.design, reused, len(stale_pairs), dropped,
+            len(extras), elapsed,
+        )
+        return NetlistAnnotation(design=prev_report.design, records=merged,
+                                 threshold=self.threshold,
+                                 elapsed_seconds=elapsed, circuit=new_flat,
+                                 incremental={"reused": reused,
+                                              "recomputed": len(stale_pairs),
+                                              "dropped": dropped,
+                                              "added": len(extras)})

@@ -42,6 +42,7 @@ import numpy as np
 
 from ...graph import netlist_to_graph
 from ...netlist import parse_spice
+from ...utils.rng import spawn_seeds
 from ..serve import AnnotationFailure, annotation_payload, default_candidate_pairs
 from .batcher import MicroBatcher
 from .metrics import ServerMetrics
@@ -455,8 +456,11 @@ class AnnotationServer:
         started = loop.time()
         state = _SendState()
         self.metrics.in_flight += 1
-        # Per-design seeds mirror annotate_many: seed + position in request.
-        tasks = [loop.create_task(self._annotate_design(spec, seed + index, threshold))
+        # Per-design seeds mirror annotate_many: SeedSequence-spawned streams
+        # by position in the request (byte-parity with the local path).
+        design_seeds = spawn_seeds(seed, len(designs))
+        tasks = [loop.create_task(self._annotate_design(spec, design_seeds[index],
+                                                        threshold))
                  for index, spec in enumerate(designs)]
         try:
             await asyncio.wait_for(

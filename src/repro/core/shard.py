@@ -1,0 +1,435 @@
+"""Shard planning for chip-scale annotation.
+
+A chip-scale design cannot be flattened and annotated as one graph in one
+process.  The shard planner splits a design into independently annotatable
+pieces along one of two strategies:
+
+* **hierarchy** — when the input :class:`~repro.netlist.Circuit` still has
+  subcircuit instances, the planner partitions the *top-level cells*
+  (instances and top-level primitive devices) over their shared-net
+  connectivity, before any flattening.  Each shard flattens only its own
+  cells plus a cell-level halo, so no process ever materializes the full
+  flat design — the parent holds just the hierarchical description.  This is
+  the AMC-style path: a parameterized SRAM compiler emits banks/arrays as
+  instances, and each bank (plus its boundary periphery) becomes a shard.
+* **flat** — a design that arrives pre-flattened (or as a bare
+  :class:`~repro.graph.CircuitGraph`) falls back to a BFS/edge-cut partition
+  of the CSR adjacency (:func:`repro.graph.partition.bfs_partition`) with
+  k-hop node halos.
+
+Both strategies guarantee the *halo-containment contract*: for any candidate
+link whose anchors are owned by a shard, the ``hops``-hop enclosing subgraph
+extracted inside the shard is byte-identical to the extraction on the full
+graph — node order (ascending global order), induced edges and per-node
+statistics all match.  For the hierarchy strategy that requires the cell halo
+to cover ``hops + 2`` structural hops (the ``+2`` completes the incident-
+device ring that net statistics are computed from); crossing a cell boundary
+costs at least four structural edges (net → pin → device → pin), so
+``cell_halo = 1 + (hops + 1) // 4`` suffices and is the default.
+
+Cross-shard pairs (anchors owned by two different shards) are annotated on a
+*union shard* built from both shards' cells/nodes, so explicit-pair requests
+are exact for every pair, not only same-shard ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import CircuitGraph, netlist_to_graph
+from ..graph.partition import (
+    bfs_partition,
+    edge_cut_fraction,
+    halo_expand,
+    induced_circuit_subgraph,
+)
+from ..graph.csr import CSRGraph
+from ..graph.hetero import NODE_NET
+from ..netlist import Circuit
+from ..netlist.devices import SubcktInstance
+
+__all__ = ["Shard", "ShardPlan", "plan_shards"]
+
+HIER_SEPARATOR = "/"
+
+
+def _cell_nets(cell) -> list[str]:
+    """Nets a top-level cell touches (instances connect positionally)."""
+    return list(cell.connections) if isinstance(cell, SubcktInstance) else cell.nets
+
+
+def _subckt_weight(name: str, subckts: dict, memo: dict) -> int:
+    """Flattened device count of one subcircuit definition (memoized)."""
+    if name not in memo:
+        sub = subckts[name]
+        memo[name] = 1  # cycle guard; real netlists are acyclic
+        memo[name] = len(sub.devices) + sum(
+            _subckt_weight(inst.subckt_name, subckts, memo)
+            for inst in sub.instances
+        )
+    return memo[name]
+
+
+def _cell_weights(cells, subckts: dict) -> np.ndarray:
+    """Flattened device count each top-level cell expands to."""
+    memo: dict = {}
+    return np.array(
+        [_subckt_weight(cell.subckt_name, subckts, memo)
+         if isinstance(cell, SubcktInstance) else 1
+         for cell in cells],
+        dtype=np.int64,
+    )
+
+
+def _gravity_labels(bipartite: CSRGraph, heavy: np.ndarray,
+                    weights: np.ndarray, num_shards: int) -> np.ndarray:
+    """Weight-aware partition labels for every bipartite node.
+
+    Heavy cells (the array macros that dominate the flattened size) are
+    split into ``num_shards`` contiguous-by-id groups of balanced flattened
+    weight; every other node then adopts the label of its nearest heavy cell
+    (multi-source BFS, ties broken by lowest-id labeled neighbor).  Light
+    glue — pulse generators, per-bank buffers, read-reduce cells — thereby
+    follows the macro it serves instead of clustering by cell count, so no
+    shard's halo drags in macros from all over the design.
+    """
+    labels = np.full(bipartite.num_nodes, -1, dtype=np.int64)
+    target = weights[heavy].sum() / num_shards
+    part, acc = 0, 0.0
+    for cell_id in heavy.tolist():
+        labels[cell_id] = part
+        acc += float(weights[cell_id])
+        if acc >= target * (part + 1) and part < num_shards - 1:
+            part += 1
+    edge_index = bipartite.edge_index
+    src = np.concatenate([edge_index[0], edge_index[1]])
+    dst = np.concatenate([edge_index[1], edge_index[0]])
+    while True:
+        ready = (labels[src] >= 0) & (labels[dst] < 0)
+        if not ready.any():
+            break
+        s, d = src[ready], dst[ready]
+        order = np.lexsort((s, d))  # per target: lowest-id labeled source
+        s, d = s[order], d[order]
+        _, first = np.unique(d, return_index=True)
+        labels[d[first]] = labels[s[first]]
+    labels[labels < 0] = 0  # nodes with no path to any heavy cell
+    return labels
+
+
+@dataclass
+class Shard:
+    """One independently annotatable piece of a design.
+
+    ``source`` is either a (small, hierarchical or flat) :class:`Circuit`
+    that the worker flattens and converts itself, or a pre-sliced
+    :class:`CircuitGraph` (flat strategy).  ``owned_nets`` /
+    ``owned_scopes`` define which node names this shard *owns* (annotates):
+    a name is owned when its first hierarchical component is an owned
+    instance scope, or when it is an owned top-level name.
+    """
+
+    index: int
+    source: object  # Circuit | CircuitGraph
+    num_owned: int
+    owned_nets: set[str] = field(default_factory=set, repr=False)
+    owned_scopes: set[str] = field(default_factory=set, repr=False)
+
+    def owns_name(self, name: str) -> bool:
+        """Whether this shard owns (is responsible for) node ``name``."""
+        head = name.split(HIER_SEPARATOR, 1)[0]
+        if head != name and head in self.owned_scopes:
+            return True
+        return name in self.owned_nets or name.split(":", 1)[0] in self.owned_nets
+
+
+class ShardPlan:
+    """A planned sharding: shard list plus pair-to-shard assignment."""
+
+    strategy: str = "abstract"
+
+    def __init__(self, hops: int):
+        self.hops = int(hops)
+        self.shards: list[Shard] = []
+
+    # -- interface ------------------------------------------------------- #
+    def owner_of(self, name: str) -> int:
+        """Shard index owning node ``name`` (KeyError when unknown)."""
+        raise NotImplementedError
+
+    def _union_shard(self, index_a: int, index_b: int) -> Shard:
+        raise NotImplementedError
+
+    @property
+    def num_shards(self) -> int:
+        """Number of (non-empty) planned shards."""
+        return len(self.shards)
+
+    def shard_by_index(self, index: int) -> Shard:
+        """The shard with planner index ``index``."""
+        for shard in self.shards:
+            if shard.index == index:
+                return shard
+        raise KeyError(f"no shard with index {index}")
+
+    def assign(self, pairs) -> list[tuple[Shard, list[int]]]:
+        """Group explicit pairs by the shard that will annotate them.
+
+        Same-shard pairs go to their owner; cross-shard pairs go to a
+        *union shard* of the two owners (built lazily, one per owner pair),
+        so every pair's enclosing subgraph is halo-contained somewhere.
+        Returns ``(shard, pair_positions)`` groups in deterministic order.
+        """
+        groups: dict[tuple[int, int], list[int]] = {}
+        for position, (name_a, name_b) in enumerate(pairs):
+            owner_a = self.owner_of(name_a)
+            owner_b = self.owner_of(name_b)
+            key = (min(owner_a, owner_b), max(owner_a, owner_b))
+            groups.setdefault(key, []).append(position)
+        unions: dict[tuple[int, int], Shard] = {}
+        assignments = []
+        for (owner_a, owner_b), positions in sorted(groups.items()):
+            if owner_a == owner_b:
+                shard = self.shard_by_index(owner_a)
+            else:
+                if (owner_a, owner_b) not in unions:
+                    unions[(owner_a, owner_b)] = self._union_shard(owner_a, owner_b)
+                shard = unions[(owner_a, owner_b)]
+            assignments.append((shard, positions))
+        return assignments
+
+    def describe(self) -> dict:
+        """JSON-safe plan summary (CLI / benchmark reporting)."""
+        return {
+            "strategy": self.strategy,
+            "num_shards": self.num_shards,
+            "hops": self.hops,
+            "owned_sizes": [shard.num_owned for shard in self.shards],
+        }
+
+
+class FlatShardPlan(ShardPlan):
+    """BFS/edge-cut partition of a flattened graph with k-hop node halos."""
+
+    strategy = "flat"
+
+    def __init__(self, graph: CircuitGraph, num_shards: int, hops: int,
+                 halo_hops: int | None = None):
+        super().__init__(hops)
+        self.graph = graph
+        self.halo_hops = int(halo_hops) if halo_hops is not None else self.hops
+        if self.halo_hops < self.hops:
+            raise ValueError(
+                f"halo_hops ({self.halo_hops}) must be >= hops ({self.hops}); a "
+                "smaller halo truncates enclosing subgraphs at shard boundaries"
+            )
+        csr = graph.csr
+        self.parts = bfs_partition(csr, num_shards)
+        self.edge_cut = edge_cut_fraction(csr, self.parts)
+        self._nodes_by_part: dict[int, np.ndarray] = {}
+        highest = int(self.parts.max()) + 1 if graph.num_nodes else 0
+        for part in range(highest):
+            owned = np.flatnonzero(self.parts == part)
+            if owned.size == 0:
+                continue
+            nodes = halo_expand(csr, owned, self.halo_hops)
+            self._nodes_by_part[part] = nodes
+            owned_net_names = {
+                graph.node_names[int(i)] for i in owned
+                if graph.node_types[int(i)] == NODE_NET
+            }
+            self.shards.append(Shard(
+                index=part,
+                source=induced_circuit_subgraph(graph, nodes),
+                num_owned=int(owned.size),
+                owned_nets=owned_net_names,
+            ))
+
+    def owner_of(self, name: str) -> int:
+        """Shard index owning node ``name``."""
+        return int(self.parts[self.graph.node_index(name)])
+
+    def _union_shard(self, index_a: int, index_b: int) -> Shard:
+        shard_a = self.shard_by_index(index_a)
+        shard_b = self.shard_by_index(index_b)
+        nodes = np.union1d(self._nodes_by_part[index_a], self._nodes_by_part[index_b])
+        return Shard(
+            index=-1,
+            source=induced_circuit_subgraph(self.graph, nodes),
+            num_owned=shard_a.num_owned + shard_b.num_owned,
+            owned_nets=shard_a.owned_nets | shard_b.owned_nets,
+        )
+
+
+class HierarchyShardPlan(ShardPlan):
+    """Partition of the top-level cells of a hierarchical circuit.
+
+    Cells (top-level instances and primitive devices) are partitioned over
+    the bipartite cell/signal-net connectivity with the same deterministic
+    BFS region growing the flat strategy uses; each shard's circuit holds its
+    owned cells plus every cell within ``cell_halo`` cell-hops (two bipartite
+    hops each), the full port list and the shared subckt library.  Flattening
+    happens *inside the shard worker*, never over the whole design.
+    """
+
+    strategy = "hierarchy"
+
+    def __init__(self, circuit: Circuit, num_shards: int, hops: int,
+                 cell_halo: int | None = None):
+        super().__init__(hops)
+        self.circuit = circuit
+        self.cell_halo = (int(cell_halo) if cell_halo is not None
+                          else 1 + (self.hops + 1) // 4)
+        if self.cell_halo < 1 + (self.hops + 1) // 4:
+            raise ValueError(
+                f"cell_halo ({self.cell_halo}) too small for hops={self.hops}; "
+                f"need >= {1 + (self.hops + 1) // 4} to keep enclosing subgraphs "
+                "and their node statistics complete inside one shard"
+            )
+        # Cells: top-level primitive devices first, then instances — matching
+        # flatten()'s emission order, so shard subsets preserve global order.
+        self._cells = list(circuit.devices) + list(circuit.instances)
+        cell_nets = [sorted({net for net in _cell_nets(cell)
+                             if not Circuit.is_power_rail(net)})
+                     for cell in self._cells]
+        port_only = sorted({port for port in circuit.ports
+                            if not Circuit.is_power_rail(port)}
+                           - {net for nets in cell_nets for net in nets})
+        net_names = sorted({net for nets in cell_nets for net in nets} | set(port_only))
+        net_index = {net: i for i, net in enumerate(net_names)}
+        num_cells = len(self._cells)
+        sources, targets = [], []
+        for cell_id, nets in enumerate(cell_nets):
+            for net in nets:
+                sources.append(cell_id)
+                targets.append(num_cells + net_index[net])
+        edge_index = (np.array([sources, targets], dtype=np.int64)
+                      if sources else np.zeros((2, 0), dtype=np.int64))
+        bipartite = CSRGraph.from_edges(num_cells + len(net_names), edge_index)
+        # Partition by flattened weight when a few macro instances dominate
+        # the expanded size (the AMC shape): heavy cells split into balanced
+        # groups, light glue gravitates to its nearest macro.  Otherwise
+        # (uniformly small cells) plain BFS region growing by cell count.
+        weights = _cell_weights(self._cells, circuit.subckts)
+        heavy_cutoff = max(2.0, weights.sum() / (8 * max(1, num_shards)))
+        heavy = np.flatnonzero(weights >= heavy_cutoff)
+        if heavy.size >= num_shards:
+            labels = _gravity_labels(bipartite, heavy, weights, num_shards)
+            self.partition = "gravity"
+        else:
+            labels = bfs_partition(bipartite, num_shards)
+            self.partition = "bfs"
+        self._cell_part = labels[:num_cells]
+        self.edge_cut = edge_cut_fraction(bipartite, labels)
+
+        # Owner of a top-level net: the part of the lowest-indexed cell
+        # touching it (never a cell-less part); floating ports default to the
+        # first shard.
+        self._net_owner: dict[str, int] = {}
+        for cell_id, nets in enumerate(cell_nets):
+            for net in nets:
+                self._net_owner.setdefault(net, int(self._cell_part[cell_id]))
+        self._instance_owner: dict[str, int] = {}
+        self._device_owner: dict[str, int] = {}
+        for cell_id, cell in enumerate(self._cells):
+            owner = int(self._cell_part[cell_id])
+            if cell_id < len(circuit.devices):
+                self._device_owner[cell.name] = owner
+            else:
+                self._instance_owner[cell.name] = owner
+
+        self._included_by_part: dict[int, np.ndarray] = {}
+        highest = int(self._cell_part.max()) + 1 if num_cells else 0
+        default_part = None
+        for part in range(highest):
+            owned = np.flatnonzero(self._cell_part == part)
+            if owned.size == 0:
+                continue
+            reached = bipartite.k_hop(owned, 2 * self.cell_halo)
+            included = reached[reached < num_cells]
+            self._included_by_part[part] = included
+            if default_part is None:
+                default_part = part
+            self.shards.append(self._build_shard(part, owned, included))
+        for net in port_only:
+            self._net_owner[net] = default_part if default_part is not None else 0
+
+    def _build_shard(self, index: int, owned: np.ndarray,
+                     included: np.ndarray) -> Shard:
+        num_devices = len(self.circuit.devices)
+        owned_nets = {
+            net
+            for cell_id in owned.tolist()
+            for net in _cell_nets(self._cells[cell_id])
+            if self._net_owner.get(net) == index
+        }
+        owned_scopes = set()
+        for cell_id in owned.tolist():
+            cell = self._cells[cell_id]
+            if cell_id < num_devices:
+                owned_nets.add(cell.name)  # top-level device + its pins
+            else:
+                owned_scopes.add(cell.name)
+        return Shard(
+            index=index,
+            source=self._circuit_for_cells(included),
+            num_owned=int(owned.size),
+            owned_nets=owned_nets,
+            owned_scopes=owned_scopes,
+        )
+
+    def _circuit_for_cells(self, cell_ids: np.ndarray) -> Circuit:
+        sub = Circuit(self.circuit.name, ports=list(self.circuit.ports))
+        sub.subckts = self.circuit.subckts  # shared, read-only under flatten
+        for cell_id in sorted(int(i) for i in cell_ids):
+            sub.add(self._cells[cell_id])
+        return sub
+
+    def owner_of(self, name: str) -> int:
+        """Shard index owning node ``name`` (instance scope, device or net)."""
+        head = name.split(HIER_SEPARATOR, 1)[0]
+        if head != name and head in self._instance_owner:
+            return self._instance_owner[head]
+        base = name.split(":", 1)[0]
+        if base in self._device_owner:
+            return self._device_owner[base]
+        if name in self._net_owner:
+            return self._net_owner[name]
+        raise KeyError(f"node {name!r} is not known to the shard plan")
+
+    def _union_shard(self, index_a: int, index_b: int) -> Shard:
+        shard_a = self.shard_by_index(index_a)
+        shard_b = self.shard_by_index(index_b)
+        included = np.union1d(self._included_by_part[index_a],
+                              self._included_by_part[index_b])
+        return Shard(
+            index=-1,
+            source=self._circuit_for_cells(included),
+            num_owned=shard_a.num_owned + shard_b.num_owned,
+            owned_nets=shard_a.owned_nets | shard_b.owned_nets,
+            owned_scopes=shard_a.owned_scopes | shard_b.owned_scopes,
+        )
+
+
+def plan_shards(source, num_shards: int, hops: int,
+                halo_hops: int | None = None) -> ShardPlan:
+    """Plan a sharding of ``source`` (Circuit or CircuitGraph).
+
+    A hierarchical circuit shards along its subcircuit instances before any
+    flattening (``halo_hops`` then means *cell* halo hops); a flat circuit is
+    converted and, like a bare graph, falls back to the BFS node partition
+    with a ``halo_hops`` structural halo (default: the extraction ``hops``).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if isinstance(source, Circuit):
+        if not source.is_flat:
+            return HierarchyShardPlan(source, num_shards, hops,
+                                      cell_halo=halo_hops)
+        source = netlist_to_graph(source)
+    if not isinstance(source, CircuitGraph):
+        raise TypeError(f"cannot shard {type(source).__name__}; "
+                        "expected Circuit or CircuitGraph")
+    return FlatShardPlan(source, num_shards, hops, halo_hops=halo_hops)

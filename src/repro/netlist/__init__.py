@@ -9,6 +9,7 @@ inputs (schematic netlist + post-layout parasitics) the authors used.
 
 from .cells import standard_cell_library
 from .circuit import Circuit, CircuitStats, Subckt
+from .delta import NetlistDelta
 from .devices import (
     Capacitor,
     Device,
@@ -24,6 +25,7 @@ from .generators import (
     DesignSpec,
     build_design,
     digital_clk_gen,
+    hierarchical_sram,
     paper_suite,
     sandwich_ram,
     sram_array,
@@ -47,6 +49,7 @@ __all__ = [
     "Circuit",
     "CircuitStats",
     "Subckt",
+    "NetlistDelta",
     "Device",
     "Mosfet",
     "Resistor",
@@ -77,6 +80,7 @@ __all__ = [
     "TRAIN_DESIGNS",
     "TEST_DESIGNS",
     "DesignSpec",
+    "hierarchical_sram",
     "ssram",
     "ultra8t",
     "sandwich_ram",

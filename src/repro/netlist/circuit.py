@@ -72,6 +72,7 @@ class Circuit:
         self.devices: list[Device] = []
         self.instances: list[SubcktInstance] = []
         self.subckts: dict[str, Subckt] = {}
+        self._stats_cache: tuple[int, CircuitStats] | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -117,11 +118,47 @@ class Circuit:
                 mapping.setdefault(net, []).append(device)
         return mapping
 
+    def _structure_token(self) -> int:
+        """Hash of the full hierarchical description (for stats caching).
+
+        Linear in the *description* size — unlike :meth:`flatten`, which is
+        linear in the *expanded* size — so recomputing it per :meth:`stats`
+        call is cheap even for deeply arrayed hierarchies.  Covers top-level
+        devices/instances and every subckt body, so in-place mutations via
+        :meth:`Subckt.add` (or direct list edits) are caught too.
+        """
+        def device_token(d: Device) -> tuple:
+            return (d.name, type(d).__name__, tuple(sorted(d.terminals.items())))
+
+        def instance_token(i: SubcktInstance) -> tuple:
+            return (i.name, i.subckt_name, tuple(i.connections))
+
+        return hash((
+            tuple(self.ports),
+            tuple(device_token(d) for d in self.devices),
+            tuple(instance_token(i) for i in self.instances),
+            tuple(
+                (s.name, tuple(s.ports),
+                 tuple(device_token(d) for d in s.devices),
+                 tuple(instance_token(i) for i in s.instances))
+                for s in self.subckts.values()
+            ),
+        ))
+
     def stats(self) -> CircuitStats:
-        """Device/net/pin counts of the flattened circuit."""
+        """Device/net/pin counts of the flattened circuit.
+
+        The result is cached against a structural fingerprint of the
+        hierarchy, so repeated calls do not re-flatten an unchanged circuit
+        (flattening is linear in the *expanded* device count, which for
+        AMC-scale arrayed hierarchies dwarfs the description size).
+        """
+        token = self._structure_token()
+        if self._stats_cache is not None and self._stats_cache[0] == token:
+            return self._stats_cache[1]
         flat = self if self.is_flat else self.flatten()
         num_pins = sum(len(d.terminals) for d in flat.devices)
-        return CircuitStats(
+        result = CircuitStats(
             num_devices=len(flat.devices),
             num_nets=len(flat.nets),
             num_mosfets=sum(isinstance(d, Mosfet) for d in flat.devices),
@@ -130,6 +167,8 @@ class Circuit:
             num_diodes=sum(isinstance(d, Diode) for d in flat.devices),
             num_pins=num_pins,
         )
+        self._stats_cache = (token, result)
+        return result
 
     @staticmethod
     def is_ground(net: str) -> bool:
@@ -150,16 +189,31 @@ class Circuit:
     # Flattening
     # ------------------------------------------------------------------ #
     def flatten(self, separator: str = "/") -> "Circuit":
-        """Return a new circuit with all hierarchy expanded into primitives."""
+        """Return a new circuit with all hierarchy expanded into primitives.
+
+        Raises :class:`ValueError` when uniquification would silently alias
+        two distinct nets — e.g. a top-level net literally named ``x1/a``
+        colliding with the generated hierarchical name for instance ``x1``'s
+        internal net ``a``, or two sibling instances sharing a name.
+        """
         flat = Circuit(self.name, ports=list(self.ports))
+        # Every top-level net name is registered verbatim; generated scoped
+        # names must never land on one of them (or on a scoped name generated
+        # for a *different* original net).  Keys are resolved names, values
+        # identify the originating (scope, raw net) pair.
+        registry: dict[str, tuple[str, str]] = {net: ("", net) for net in self.nets}
+        scopes: set[str] = set()
         for device in self.devices:
             flat.add(copy.deepcopy(device))
         for instance in self.instances:
-            self._expand_instance(instance, prefix="", target=flat, separator=separator)
+            self._expand_instance(instance, prefix="", target=flat, separator=separator,
+                                  registry=registry, scopes=scopes)
         return flat
 
     def _expand_instance(self, instance: SubcktInstance, prefix: str, target: "Circuit",
-                         separator: str) -> None:
+                         separator: str,
+                         registry: dict[str, tuple[str, str]] | None = None,
+                         scopes: set[str] | None = None) -> None:
         definition = self.subckts.get(instance.subckt_name)
         if definition is None:
             raise KeyError(
@@ -171,6 +225,17 @@ class Circuit:
                 f"subckt {definition.name!r} has {len(definition.ports)} ports"
             )
         scope = f"{prefix}{instance.name}{separator}"
+        if registry is None:
+            registry = {}
+        if scopes is None:
+            scopes = set()
+        if scope in scopes:
+            raise ValueError(
+                f"duplicate instance name {instance.name!r} at scope "
+                f"{prefix or '<top>'!r}: flattening would alias the internal nets of "
+                f"both instances under {scope!r}; rename one of the instances"
+            )
+        scopes.add(scope)
         port_map = dict(zip(definition.ports, instance.connections))
 
         def resolve(net: str) -> str:
@@ -178,7 +243,18 @@ class Circuit:
                 return port_map[net]
             if Circuit.is_power_rail(net):
                 return net  # global nets are not uniquified
-            return f"{scope}{net}"
+            resolved = f"{scope}{net}"
+            origin = registry.setdefault(resolved, (scope, net))
+            if origin != (scope, net):
+                kind = ("a net literally named" if origin[0] == ""
+                        else f"the internal net {origin[1]!r} of instance scope {origin[0]!r}, i.e.")
+                raise ValueError(
+                    f"flattening would alias two distinct nets as {resolved!r}: "
+                    f"internal net {net!r} of instance scope {scope!r} collides with "
+                    f"{kind} {resolved!r}; rename the net or flatten with a different "
+                    f"separator"
+                )
+            return resolved
 
         for device in definition.devices:
             clone = copy.deepcopy(device)
@@ -193,7 +269,8 @@ class Circuit:
                 term: resolve(net) for term, net in child.terminals.items()
             }
             # Recurse with the extended prefix; the child's own name is appended there.
-            self._expand_instance(child_clone, prefix=scope, target=target, separator=separator)
+            self._expand_instance(child_clone, prefix=scope, target=target,
+                                  separator=separator, registry=registry, scopes=scopes)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,144 @@
+"""ECO-style netlist deltas for incremental re-annotation.
+
+An engineering change order (ECO) touches a handful of devices in a design
+that may hold hundreds of thousands — re-annotating from zero repeats almost
+all of the previous run's work.  :class:`NetlistDelta` is the minimal edit
+model the incremental path (:meth:`repro.core.serve.AnnotationEngine.reannotate`)
+consumes: devices added and devices removed, by name, against a *flat*
+circuit.  Nets are implicit — a net exists exactly while some device terminal
+(or port) references it, so adding/removing a device is also how nets appear
+and disappear; an in-place edit is modelled as remove + add of the same name.
+
+:meth:`NetlistDelta.between` recovers the delta from two circuit revisions
+(the CLI ``reannotate`` path, where the caller has an old and a new SPICE
+file rather than an explicit edit script), and :meth:`NetlistDelta.apply`
+replays a delta onto a circuit, which is how the engine builds the
+post-change revision from ``prev_report.circuit``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from .circuit import Circuit
+from .devices import Device, SubcktInstance
+
+__all__ = ["NetlistDelta"]
+
+
+@dataclass
+class NetlistDelta:
+    """An ECO-style edit: devices to add and device names to remove.
+
+    Attributes
+    ----------
+    add_devices:
+        Primitive devices to append (flat names; :class:`SubcktInstance` is
+        rejected — deltas operate on flattened circuits).
+    remove_devices:
+        Names of existing devices to drop.
+    """
+
+    add_devices: list[Device] = field(default_factory=list)
+    remove_devices: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        for device in self.add_devices:
+            if isinstance(device, SubcktInstance):
+                raise ValueError(
+                    f"delta device {device.name!r} is a subckt instance; deltas "
+                    "apply to flat circuits — flatten the edit first"
+                )
+        removed = set(self.remove_devices)
+        if len(removed) != len(self.remove_devices):
+            raise ValueError("remove_devices contains duplicate names")
+        added = [d.name for d in self.add_devices]
+        if len(set(added)) != len(added):
+            raise ValueError("add_devices contains duplicate names")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the delta changes nothing."""
+        return not self.add_devices and not self.remove_devices
+
+    @property
+    def num_changes(self) -> int:
+        """Total edit count (adds plus removes)."""
+        return len(self.add_devices) + len(self.remove_devices)
+
+    def touched_nets(self, circuit: Circuit) -> set[str]:
+        """Every net a changed device touches, in ``circuit``'s flat namespace.
+
+        Includes the nets of added devices and the nets of removed devices as
+        recorded in the pre-change ``circuit``; power rails are kept (the
+        graph drops them later, but callers may care).
+        """
+        removed = set(self.remove_devices)
+        nets: set[str] = set()
+        for device in circuit.devices:
+            if device.name in removed:
+                nets.update(device.nets)
+        for device in self.add_devices:
+            nets.update(device.nets)
+        return nets
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        """The post-change revision of a flat ``circuit`` (new object).
+
+        Device order is preserved for survivors, with added devices appended
+        — the same order a netlister would produce for an ECO patch.  Raises
+        ``KeyError`` for removals that name no existing device and
+        ``ValueError`` for additions that collide with a surviving name.
+        """
+        flat = circuit if circuit.is_flat else circuit.flatten()
+        existing = {device.name for device in flat.devices}
+        missing = [name for name in self.remove_devices if name not in existing]
+        if missing:
+            raise KeyError(f"delta removes unknown device(s) {missing}")
+        survivors = existing - set(self.remove_devices)
+        colliding = [d.name for d in self.add_devices if d.name in survivors]
+        if colliding:
+            raise ValueError(
+                f"delta adds device(s) {colliding} that already exist; remove "
+                "the old revision in the same delta to model an edit"
+            )
+        removed = set(self.remove_devices)
+        result = Circuit(flat.name, ports=list(flat.ports))
+        for device in flat.devices:
+            if device.name not in removed:
+                result.add(copy.deepcopy(device))
+        for device in self.add_devices:
+            result.add(copy.deepcopy(device))
+        return result
+
+    @classmethod
+    def between(cls, old: Circuit, new: Circuit) -> "NetlistDelta":
+        """The delta turning flat ``old`` into flat ``new``.
+
+        Devices are matched by name; a device present in both revisions but
+        differing in any field (type, terminals, geometry) becomes a
+        remove + add pair.  Hierarchical inputs are flattened first, so two
+        revisions of a hierarchical design diff in their flat namespace.
+        """
+        old_flat = old if old.is_flat else old.flatten()
+        new_flat = new if new.is_flat else new.flatten()
+        old_by_name = {device.name: device for device in old_flat.devices}
+        new_by_name = {device.name: device for device in new_flat.devices}
+        remove: list[str] = []
+        add: list[Device] = []
+        for name, device in old_by_name.items():
+            replacement = new_by_name.get(name)
+            if replacement is None:
+                remove.append(name)
+            elif type(replacement) is not type(device) or replacement != device:
+                remove.append(name)
+                add.append(copy.deepcopy(replacement))
+        for name, device in new_by_name.items():
+            if name not in old_by_name:
+                add.append(copy.deepcopy(device))
+        return cls(add_devices=add, remove_devices=remove)
+
+    def __repr__(self) -> str:
+        return (f"NetlistDelta(add={len(self.add_devices)}, "
+                f"remove={len(self.remove_devices)})")

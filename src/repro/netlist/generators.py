@@ -32,10 +32,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .cells import standard_cell_library
-from .circuit import Circuit
+from .circuit import Circuit, Subckt
 from .devices import SubcktInstance
 
 __all__ = [
+    "hierarchical_sram",
     "sram_array",
     "ssram",
     "ultra8t",
@@ -115,6 +116,114 @@ def sram_array(rows: int = 32, cols: int = 8, cell: str = "6t",
         bl_prefix = "BL" if cell == "6t" else "WBL"
         blb_prefix = "BLB" if cell == "6t" else "WBLB"
         _add_column_periphery(circuit, "col", cols, bl_prefix, blb_prefix)
+    return circuit
+
+
+def _bank_subckt(rows: int, cols: int, abits: int) -> Subckt:
+    """One self-contained SRAM bank: array, gated row decoder, column IO.
+
+    The bank is a :class:`Subckt` so chip-level designs can instantiate it
+    many times while the netlist stays compact — flattening multiplies the
+    device count by the bank count, which is exactly the memory cliff the
+    sharded annotation path is designed to sidestep.
+    """
+    ports = ["VDD", "VSS", "BSEL", "PCHB", "SAE", "WEN"] \
+        + [f"AB{i}" for i in range(abits)] \
+        + [f"DIN{c}" for c in range(cols)] + [f"Q{c}" for c in range(cols)]
+    bank = Subckt(name="HSRAM_BANK", ports=ports)
+    for row in range(rows):
+        for col in range(cols):
+            _inst(bank, f"XC{row}_{col}", "SRAM6T",
+                  [f"BL{col}", f"BLB{col}", f"WL{row}", "VDD", "VSS"])
+    _inst(bank, "XEN", "BUF_X2", ["BSEL", "row_en", "VDD", "VSS"])
+    _add_row_decoder(bank, "dec", rows, "row_en", [f"AB{i}" for i in range(abits)])
+    _add_column_periphery(bank, "col", cols)
+    for col in range(cols):
+        _inst(bank, f"XQB{col}", "BUF_X2", [f"DOUT{col}", f"Q{col}", "VDD", "VSS"])
+    return bank
+
+
+def hierarchical_sram(banks: int = 4, rows: int = 16, cols: int = 8,
+                      name: str = "HSRAM") -> Circuit:
+    """AMC-style banked SRAM compiler output: a chip built from bank macros.
+
+    Mirrors the structure an open SRAM compiler emits: one transistor-level
+    bank sub-circuit (array + decoder + periphery) instantiated ``banks``
+    times under a bank-select decoder, with shared address/data registers and
+    control pulse generation at the top.  Unlike the other generators, the
+    returned circuit keeps *deep* hierarchy (top -> bank -> library cell), so
+    its flat device count is ``banks`` times the bank size while the
+    hierarchical description stays small.  This is the stress shape for
+    :meth:`repro.core.AnnotationEngine.annotate_sharded`: shard planning runs
+    on the compact hierarchy and each worker flattens only its own banks.
+    """
+    if banks < 1 or rows < 1 or cols < 1:
+        raise ValueError("banks, rows and cols must be positive")
+    abits = 4
+    bbits = max(1, (banks - 1).bit_length())
+    ports = ["VDD", "VSS", "CLK", "CEN", "WEN_IN"] \
+        + [f"A{i}" for i in range(abits + bbits)] + [f"D{i}" for i in range(cols)]
+    circuit = _new_circuit(name, ports)
+    circuit.define_subckt(_bank_subckt(rows, cols, abits))
+
+    # Address pipeline: low bits go to every bank, high bits select the bank.
+    row_address, bank_address = [], []
+    for i in range(abits + bbits):
+        _inst(circuit, f"XAREG{i}", "DFF_X1", [f"A{i}", "CLK", f"ai{i}", "VDD", "VSS"])
+        _inst(circuit, f"XABUF{i}", "BUF_X2", [f"ai{i}", f"ab{i}", "VDD", "VSS"])
+        (row_address if i < abits else bank_address).append(f"ab{i}")
+
+    # Bank-select decoder: NAND/INV per bank, gated by chip enable.
+    _inst(circuit, "XCEN", "INV_X1", ["CEN", "cen_n", "VDD", "VSS"])
+    for b in range(banks):
+        a = bank_address[b % len(bank_address)]
+        bsel = bank_address[(b // len(bank_address)) % len(bank_address)]
+        _inst(circuit, f"XBDEC{b}", "NAND2_X1", [a, bsel, f"bdec_n{b}", "VDD", "VSS"])
+        _inst(circuit, f"XBDECI{b}", "NOR2_X1",
+              [f"bdec_n{b}", "cen_n", f"bsel{b}", "VDD", "VSS"])
+
+    # Shared data-in registers and write/precharge/sense pulse generation.
+    for col in range(cols):
+        _inst(circuit, f"XDREG{col}", "DFF_X1", [f"D{col}", "CLK", f"din{col}", "VDD", "VSS"])
+    _inst(circuit, "XWENR", "DFF_X1", ["WEN_IN", "CLK", "wen_q", "VDD", "VSS"])
+    _inst(circuit, "XWENB", "BUF_X2", ["wen_q", "wen", "VDD", "VSS"])
+    _inst(circuit, "XPG1", "INV_X1", ["CLK", "pg1", "VDD", "VSS"])
+    _inst(circuit, "XPG2", "NAND2_X1", ["CLK", "pg1", "pchb_pre", "VDD", "VSS"])
+    _inst(circuit, "XPG3", "BUF_X8", ["pchb_pre", "pchb", "VDD", "VSS"])
+    _inst(circuit, "XSAE1", "NOR2_X1", ["pg1", "wen_q", "sae_pre", "VDD", "VSS"])
+    _inst(circuit, "XSAE2", "BUF_X2", ["sae_pre", "sae", "VDD", "VSS"])
+
+    # The banks themselves, plus a per-column XOR reduce of the bank outputs
+    # (stand-in for the read mux an SRAM compiler would emit).  Control,
+    # address and data-in are re-buffered per bank — as a compiler does for
+    # drive strength — so the shared pulse/bus nets fan out to one buffer per
+    # bank and each bank macro sees only its private copies.  This keeps the
+    # top-level connectivity local: shard planning can carve out a few banks
+    # without every shared net dragging in all the others.
+    for b in range(banks):
+        for sig in ("pchb", "sae", "wen"):
+            _inst(circuit, f"X{sig.upper()}B{b}", "BUF_X2",
+                  [sig, f"{sig}_b{b}", "VDD", "VSS"])
+        for i, net in enumerate(row_address):
+            _inst(circuit, f"XABB{b}_{i}", "BUF_X2",
+                  [net, f"{net}_b{b}", "VDD", "VSS"])
+        for c in range(cols):
+            _inst(circuit, f"XDBB{b}_{c}", "BUF_X2",
+                  [f"din{c}", f"din{c}_b{b}", "VDD", "VSS"])
+        _inst(circuit, f"XBANK{b}", "HSRAM_BANK",
+              ["VDD", "VSS", f"bsel{b}", f"pchb_b{b}", f"sae_b{b}", f"wen_b{b}"]
+              + [f"{net}_b{b}" for net in row_address]
+              + [f"din{c}_b{b}" for c in range(cols)]
+              + [f"q{b}_{c}" for c in range(cols)])
+    for col in range(cols):
+        previous = "VSS"
+        for b in range(banks):
+            _inst(circuit, f"XRD{b}_{col}", "XOR2_X1",
+                  [previous, f"q{b}_{col}", f"rd{b}_{col}", "VDD", "VSS"])
+            previous = f"rd{b}_{col}"
+        _inst(circuit, f"XQREG{col}", "DFF_X1", [previous, "CLK", f"Q{col}", "VDD", "VSS"])
+    for i in range(4):
+        _inst(circuit, f"XDC{i}", "DECAP", ["VDD", "VSS"])
     return circuit
 
 

@@ -1,7 +1,7 @@
 """Shared utilities: RNG management, logging, serialisation, timing."""
 
 from .logging import MetricLogger, get_logger
-from .rng import get_rng, seed_all, spawn_rng
+from .rng import get_rng, seed_all, spawn_rng, spawn_seeds
 from .serialization import (
     CheckpointError,
     checkpoint_schema,
@@ -19,6 +19,7 @@ __all__ = [
     "get_rng",
     "seed_all",
     "spawn_rng",
+    "spawn_seeds",
     "CheckpointError",
     "checkpoint_schema",
     "load_checkpoint",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["seed_all", "get_rng", "spawn_rng"]
+__all__ = ["seed_all", "get_rng", "spawn_rng", "spawn_seeds"]
 
 _GLOBAL_RNG = np.random.default_rng(0)
 
@@ -41,3 +41,19 @@ def spawn_rng(rng: np.random.Generator | int | None = None) -> np.random.Generat
     base = get_rng(rng)
     seed = int(base.integers(0, 2**32 - 1))
     return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int, count: int, offset: int = 0) -> list[int]:
+    """``count`` independent integer seeds derived from one base seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the streams for
+    ``(seed, index)`` pairs are pairwise independent *across base seeds* —
+    unlike additive ``seed + index`` derivation, where e.g. ``seed=0`` item 1
+    and ``seed=1`` item 0 collide.  ``offset`` skips the first ``offset``
+    children, so a caller processing items in groups can hand each group the
+    same streams a single full-list call would have produced
+    (``spawn_seeds(s, n)[i:j] == spawn_seeds(s, j - i, offset=i)``).
+    """
+    children = np.random.SeedSequence(int(seed)).spawn(int(offset) + int(count))
+    return [int(child.generate_state(1, np.uint64)[0])
+            for child in children[int(offset):]]

@@ -154,6 +154,88 @@ class TestEndToEnd:
         assert code == 0
         assert capsys.readouterr().out.count("out of 1 candidates") == 2
 
+    def test_annotate_sharded(self, workdir, artifact, tmp_path, capsys):
+        """``--shards N`` annotates the hierarchical netlist in pieces."""
+        report = tmp_path / "sharded.json"
+        annotated = tmp_path / "annotated"
+        code = main([
+            "annotate", str(artifact), str(workdir / "user_macro.sp"),
+            "--pairs", "BL0,BL1", "--pairs", "BL0,BLB0",
+            "--shards", "2", "--json", str(report),
+            "--annotated-out", str(annotated),
+        ])
+        assert code == 0
+        assert "user_macro" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert [r["pair"] for r in payload["records"]] \
+            == [["BL0", "BL1"], ["BL0", "BLB0"]]
+        assert (annotated / "user_macro.annotated.sp").exists()
+
+    def test_annotate_sharded_auto_candidates(self, workdir, artifact, capsys):
+        code = main([
+            "annotate", str(artifact), str(workdir / "user_macro.sp"),
+            "--shards", "2", "--max-candidates", "4", "--threshold", "0.0",
+        ])
+        assert code == 0
+        assert "candidates" in capsys.readouterr().out
+
+    def test_shards_rejected_with_remote(self, workdir, capsys):
+        code = main([
+            "annotate", "-", str(workdir / "user_macro.sp"),
+            "--remote", "http://127.0.0.1:1", "--shards", "2",
+        ])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_unknown_pair_reports_error(self, workdir, artifact, capsys):
+        code = main([
+            "annotate", str(artifact), str(workdir / "user_macro.sp"),
+            "--pairs", "nope,also_nope", "--shards", "2",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_reannotate_end_to_end(self, workdir, artifact, tmp_path, capsys):
+        """annotate --json -> edit the netlist -> reannotate --prev."""
+        report = tmp_path / "base.json"
+        code = main([
+            "annotate", str(artifact), str(workdir / "user_macro.sp"),
+            "--pairs", "BL0,BL1", "--pairs", "WL0,WL1", "--threshold", "0.0",
+            "--json", str(report),
+        ])
+        assert code == 0
+        eco = tmp_path / "user_macro_eco.sp"
+        base_text = (workdir / "user_macro.sp").read_text()
+        eco.write_text(base_text.replace(
+            ".end", "CECO BL0 VSS 2f\n.end"))
+        updated = tmp_path / "updated.json"
+        capsys.readouterr()
+        code = main([
+            "reannotate", str(artifact), str(workdir / "user_macro.sp"),
+            str(eco), "--prev", str(report), "--threshold", "0.0",
+            "--json", str(updated),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recomputed" in out and "reused" in out
+        payload = json.loads(updated.read_text())
+        assert [r["pair"] for r in payload["records"]] \
+            == [["BL0", "BL1"], ["WL0", "WL1"]]
+        summary = payload["incremental"]
+        assert summary["recomputed"] >= 1                  # the BL0 pair
+        assert summary["reused"] + summary["recomputed"] == 2
+
+    def test_reannotate_rejects_multi_design_report(self, workdir, artifact,
+                                                    tmp_path, capsys):
+        bogus = tmp_path / "multi.json"
+        bogus.write_text(json.dumps({"reports": []}))
+        code = main([
+            "reannotate", str(artifact), str(workdir / "user_macro.sp"),
+            str(workdir / "user_macro.sp"), "--prev", str(bogus),
+        ])
+        assert code == 2
+        assert "report" in capsys.readouterr().err
+
 
 class TestBenchCompare:
     """``python -m repro bench --compare OLD NEW`` (the CI perf gate)."""

@@ -57,6 +57,57 @@ class TestPECache:
         assert PECache.key_for(a, "dspd") != PECache.key_for(b, "dspd")
         assert PECache.key_for(a, "dspd") != PECache.key_for(a, "rwse")
 
+    def test_byte_budget_evicts_lru_before_entry_cap(self):
+        """Regression: eviction used to count entries only, so a few huge
+        PEs could blow memory while the entry count sat far below capacity."""
+        row = np.zeros((100,), dtype=np.float64)  # 800 bytes per entry
+        cache = PECache(capacity=1000, capacity_bytes=2000)
+        for index in range(3):
+            cache.put(("k", index), row.copy())
+        assert len(cache) == 2                     # third put evicted ("k", 0)
+        assert cache.size_bytes == 1600
+        assert cache.get(("k", 0)) is None
+        assert cache.get(("k", 2)) is not None
+
+    def test_oversized_single_value_does_not_stick(self):
+        cache = PECache(capacity=8, capacity_bytes=100)
+        cache.put(("big",), np.zeros(1000, dtype=np.float64))
+        assert len(cache) == 0
+        assert cache.size_bytes == 0
+
+    def test_overwrite_same_key_updates_byte_accounting(self):
+        cache = PECache(capacity=8, capacity_bytes=10_000)
+        cache.put(("k",), np.zeros(100, dtype=np.float64))
+        cache.put(("k",), np.zeros(50, dtype=np.float64))
+        assert len(cache) == 1
+        assert cache.size_bytes == 400
+
+    def test_byte_budget_disabled_with_none(self):
+        cache = PECache(capacity=4, capacity_bytes=None)
+        for index in range(4):
+            cache.put(("k", index), np.zeros(10_000, dtype=np.float64))
+        assert len(cache) == 4
+
+    def test_clear_resets_byte_accounting(self):
+        cache = PECache(capacity=8, capacity_bytes=10_000)
+        cache.put(("k",), np.zeros(100, dtype=np.float64))
+        cache.clear()
+        assert cache.size_bytes == 0 and len(cache) == 0
+
+    def test_invalid_byte_budget_rejected(self):
+        with pytest.raises(ValueError):
+            PECache(capacity_bytes=0)
+
+    def test_invalidate_design_drops_only_that_design(self):
+        cache = PECache()
+        cache.put(("DESIGN_A", 1, 2), np.zeros(4))
+        cache.put(("DESIGN_A", 3, 4), np.zeros(4))
+        cache.put(("DESIGN_B", 1, 2), np.zeros(4))
+        assert cache.invalidate_design("DESIGN_A") == 2
+        assert cache.get(("DESIGN_B", 1, 2)) is not None
+        assert len(cache) == 1
+        assert cache.size_bytes == 32
+
     def test_attach_pe_hits_on_second_call(self, samples):
         cache = PECache()
         subgraph = samples[0]

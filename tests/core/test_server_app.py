@@ -40,10 +40,17 @@ def client(server):
     return ServeClient(server.url, timeout=30.0)
 
 
-def local_reference(engine, spice: str, name: str, pairs, seed: int) -> bytes:
-    """What the wire bytes must equal: the local engine's annotation."""
+def local_reference(engine, spice: str, name: str, pairs, seed: int,
+                    max_candidates: int = 200) -> bytes:
+    """What the wire bytes must equal: the local engine's annotation.
+
+    Uses :meth:`annotate_many` so the per-design seed is the same
+    SeedSequence-spawned stream the daemon derives for position 0.
+    """
     graph = netlist_to_graph(parse_spice(spice, name=name).flatten())
-    annotation = engine.annotate(graph, pairs=pairs, seed=seed)
+    (annotation,) = engine.annotate_many(
+        [graph], pairs=None if pairs is None else [pairs],
+        max_candidates=max_candidates, seed=seed)
     return dumps_canonical(annotation_payload(
         annotation.design, annotation.records, annotation.threshold))
 
@@ -100,12 +107,8 @@ class TestAnnotate:
                                                 server_spice):
         report = client.annotate(server_spice, name="AUTO", max_candidates=6,
                                  seed=2)
-        local = json.loads(local_reference(
-            server_engine, server_spice, "AUTO",
-            default_candidate_pairs(
-                netlist_to_graph(parse_spice(server_spice, name="AUTO").flatten()),
-                max_candidates=6, rng=np.random.default_rng(2)),
-            seed=2))
+        local = json.loads(local_reference(server_engine, server_spice, "AUTO",
+                                           None, seed=2, max_candidates=6))
         assert report == local
 
     def test_threshold_override(self, client, server_spice, workload):
@@ -128,8 +131,8 @@ class TestAnnotate:
             seed=0, stream=True, on_result=lambda r: arrivals.append(r["design"]))
         assert [r["design"] for r in reports] == ["D0", "D1", "D2", "D3"]
         assert arrivals == ["D0", "D1", "D2", "D3"]
-        # Per-design seeds are seed + index: same text, different candidates
-        # stay per-design deterministic.
+        # Per-design seeds are SeedSequence-spawned by position: same text,
+        # different candidates stay per-design deterministic.
         again = client.annotate_many(
             [{"spice": server_spice, "name": f"D{i}", "max_candidates": 3}
              for i in range(4)], seed=0, stream=False)

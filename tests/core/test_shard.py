@@ -1,0 +1,331 @@
+"""Tests for chip-scale sharded annotation and incremental re-annotation.
+
+Covers the shard planner (``repro.core.shard``), the sharded engine path
+(:meth:`AnnotationEngine.annotate_sharded`) and ECO re-annotation
+(:meth:`AnnotationEngine.reannotate`).  The central contract: with explicit
+pairs and deterministic extraction, sharded results equal unsharded results
+at the canonical wire encoding, and incremental re-annotation carries
+unaffected records over byte-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serve import NetlistAnnotation, default_candidate_pairs
+from repro.core.shard import (
+    FlatShardPlan,
+    HierarchyShardPlan,
+    Shard,
+    plan_shards,
+)
+from repro.core.server import dumps_canonical
+from repro.graph import netlist_to_graph
+from repro.netlist import (Circuit, NetlistDelta, Resistor, hierarchical_sram,
+                           ssram)
+
+
+@pytest.fixture(scope="module")
+def hier_circuit() -> Circuit:
+    return ssram(rows=4, cols=2)
+
+
+@pytest.fixture(scope="module")
+def flat_circuit(hier_circuit) -> Circuit:
+    return hier_circuit.flatten()
+
+
+@pytest.fixture(scope="module")
+def full_graph(flat_circuit):
+    return netlist_to_graph(flat_circuit)
+
+
+@pytest.fixture(scope="module")
+def pairs(full_graph):
+    """Explicit candidate pairs drawn over the whole design."""
+    return default_candidate_pairs(full_graph, max_candidates=24,
+                                   rng=np.random.default_rng(3))
+
+
+def canonical_records(annotation) -> bytes:
+    return dumps_canonical(annotation.records)
+
+
+# --------------------------------------------------------------------------- #
+# Planner
+# --------------------------------------------------------------------------- #
+class TestPlanShards:
+    def test_hierarchical_circuit_uses_hierarchy_strategy(self, hier_circuit):
+        plan = plan_shards(hier_circuit, num_shards=3, hops=2)
+        assert isinstance(plan, HierarchyShardPlan)
+        assert plan.strategy == "hierarchy"
+        assert 1 <= plan.num_shards <= 3
+        cells = len(hier_circuit.devices) + len(hier_circuit.instances)
+        assert sum(shard.num_owned for shard in plan.shards) == cells
+        # Shard sources stay hierarchical; flattening is the worker's job.
+        assert all(isinstance(shard.source, Circuit) for shard in plan.shards)
+
+    def test_flat_circuit_falls_back_to_flat_strategy(self, flat_circuit):
+        plan = plan_shards(flat_circuit, num_shards=3, hops=2)
+        assert isinstance(plan, FlatShardPlan)
+        assert plan.strategy == "flat"
+
+    def test_bare_graph_uses_flat_strategy(self, full_graph):
+        plan = plan_shards(full_graph, num_shards=4, hops=1)
+        assert plan.strategy == "flat"
+        assert sum(s.num_owned for s in plan.shards) == full_graph.num_nodes
+
+    def test_rejects_unshardable_input(self):
+        with pytest.raises(TypeError, match="cannot shard"):
+            plan_shards({"not": "a design"}, num_shards=2, hops=1)
+
+    def test_rejects_nonpositive_shard_count(self, full_graph):
+        with pytest.raises(ValueError, match="num_shards"):
+            plan_shards(full_graph, num_shards=0, hops=1)
+
+    def test_flat_halo_must_cover_extraction_hops(self, full_graph):
+        with pytest.raises(ValueError, match="halo_hops"):
+            FlatShardPlan(full_graph, num_shards=2, hops=3, halo_hops=1)
+
+    def test_hierarchy_cell_halo_must_cover_extraction_hops(self, hier_circuit):
+        with pytest.raises(ValueError, match="cell_halo"):
+            HierarchyShardPlan(hier_circuit, num_shards=2, hops=8, cell_halo=1)
+
+    def test_every_node_has_exactly_one_owner(self, hier_circuit, full_graph):
+        plan = plan_shards(hier_circuit, num_shards=3, hops=2)
+        for name in full_graph.node_names:
+            owner = plan.owner_of(name)
+            owners = [s.index for s in plan.shards if s.owns_name(name)]
+            assert owners == [owner]
+
+    def test_owner_of_unknown_name_raises(self, hier_circuit):
+        plan = plan_shards(hier_circuit, num_shards=2, hops=2)
+        with pytest.raises(KeyError):
+            plan.owner_of("NOT_A_NODE")
+
+    def test_describe_is_json_safe(self, hier_circuit):
+        plan = plan_shards(hier_circuit, num_shards=3, hops=2)
+        summary = plan.describe()
+        assert summary["strategy"] == "hierarchy"
+        assert summary["num_shards"] == plan.num_shards
+        assert summary["owned_sizes"] == [s.num_owned for s in plan.shards]
+
+    def test_assign_routes_cross_shard_pairs_to_union_shards(
+            self, hier_circuit, pairs):
+        plan = plan_shards(hier_circuit, num_shards=3, hops=2)
+        assignments = plan.assign(pairs)
+        covered = sorted(p for _, positions in assignments for p in positions)
+        assert covered == list(range(len(pairs)))
+        for shard, positions in assignments:
+            for position in positions:
+                name_a, name_b = pairs[position]
+                # The annotating shard owns both anchors (union shards own
+                # the merged set of both constituents).
+                assert shard.owns_name(name_a) and shard.owns_name(name_b)
+
+    def test_shard_owns_name_resolves_scopes_nets_and_pins(self):
+        shard = Shard(index=0, source=None, num_owned=2,
+                      owned_nets={"BL0", "M1"}, owned_scopes={"XCELL"})
+        assert shard.owns_name("BL0")
+        assert shard.owns_name("M1:D")          # device pin -> device name
+        assert shard.owns_name("XCELL/int")     # hierarchical scope
+        assert not shard.owns_name("WL3")
+        assert not shard.owns_name("XOTHER/int")
+
+
+# --------------------------------------------------------------------------- #
+# Sharded annotation (engine level)
+# --------------------------------------------------------------------------- #
+class TestAnnotateSharded:
+    def test_hierarchy_sharded_matches_unsharded_wire_bytes(
+            self, server_engine, hier_circuit, full_graph, pairs):
+        """The halo-containment contract, end to end: sharding along the
+        hierarchy must not change a single canonical record."""
+        unsharded = server_engine.annotate(full_graph, pairs=pairs, seed=0)
+        sharded = server_engine.annotate_sharded(hier_circuit, pairs=pairs,
+                                                 num_shards=3, seed=0)
+        assert canonical_records(sharded) == canonical_records(unsharded)
+        assert sharded.design == unsharded.design
+        assert [tuple(r["pair"]) for r in sharded.records] == list(pairs)
+
+    def test_flat_sharded_matches_unsharded_wire_bytes(
+            self, server_engine, flat_circuit, full_graph, pairs):
+        unsharded = server_engine.annotate(full_graph, pairs=pairs, seed=0)
+        sharded = server_engine.annotate_sharded(flat_circuit, pairs=pairs,
+                                                 num_shards=4, seed=0)
+        assert canonical_records(sharded) == canonical_records(unsharded)
+
+    def test_fork_pool_matches_serial_shards(self, server_engine, hier_circuit,
+                                             pairs):
+        serial = server_engine.annotate_sharded(hier_circuit, pairs=pairs,
+                                                num_shards=3, max_workers=0,
+                                                seed=0)
+        forked = server_engine.annotate_sharded(hier_circuit, pairs=pairs,
+                                                num_shards=3, max_workers=2,
+                                                seed=0)
+        assert canonical_records(forked) == canonical_records(serial)
+
+    def test_candidate_mode_draws_owned_pairs_per_shard(self, server_engine,
+                                                        hier_circuit):
+        plan = plan_shards(hier_circuit, num_shards=3,
+                           hops=server_engine.config.data.hops)
+        annotation = server_engine.annotate_sharded(hier_circuit,
+                                                    num_shards=3,
+                                                    max_candidates=5, seed=7)
+        assert 0 < len(annotation.records) <= 5 * plan.num_shards
+        for record in annotation.records:
+            name_a, name_b = record["pair"]
+            # Both anchors of a shard-local candidate share one owner.
+            assert plan.owner_of(name_a) == plan.owner_of(name_b)
+
+    def test_candidate_mode_is_deterministic(self, server_engine, hier_circuit):
+        first = server_engine.annotate_sharded(hier_circuit, num_shards=3,
+                                               max_candidates=5, seed=7)
+        again = server_engine.annotate_sharded(hier_circuit, num_shards=3,
+                                               max_candidates=5, seed=7)
+        assert canonical_records(first) == canonical_records(again)
+
+    def test_sharded_keeps_the_hierarchical_circuit(self, server_engine,
+                                                    hier_circuit, pairs):
+        annotation = server_engine.annotate_sharded(hier_circuit, pairs=pairs,
+                                                    num_shards=2, seed=0)
+        assert annotation.circuit is hier_circuit
+
+    def test_gravity_partition_localizes_macros_and_keeps_parity(
+            self, server_engine):
+        """Banked designs take the weight-aware gravity partition: each
+        shard's circuit holds only its own bank macros (the memory bound),
+        and the wire bytes still match the unsharded reference."""
+        banked = hierarchical_sram(banks=6, rows=4, cols=2)
+        plan = plan_shards(banked, num_shards=3,
+                           hops=server_engine.config.data.hops)
+        assert plan.partition == "gravity"
+        for shard in plan.shards:
+            included_banks = sum(
+                1 for inst in shard.source.instances
+                if inst.subckt_name == "HSRAM_BANK")
+            assert included_banks == 2, (
+                f"shard {shard.index} flattens {included_banks} of 6 banks; "
+                "the halo should stay local to the owned banks"
+            )
+        graph = netlist_to_graph(banked.flatten())
+        pairs = default_candidate_pairs(graph, max_candidates=48,
+                                        rng=np.random.default_rng(11))
+        unsharded = server_engine.annotate(graph, pairs=pairs, seed=0)
+        sharded = server_engine.annotate_sharded(banked, pairs=pairs,
+                                                 num_shards=3, seed=0)
+        assert canonical_records(sharded) == canonical_records(unsharded)
+
+
+# --------------------------------------------------------------------------- #
+# Incremental re-annotation
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def prev_report(server_engine, flat_circuit, pairs):
+    return server_engine.annotate(flat_circuit, pairs=pairs, seed=0)
+
+
+def _eco_delta(flat_circuit, pairs) -> NetlistDelta:
+    """Remove a device on the first candidate pair's net and add a resistor
+    there, so at least one annotated pair is genuinely affected."""
+    target_net = pairs[0][0]
+    (victim,) = [d for d in flat_circuit.devices
+                 if target_net in d.terminals.values()][:1]
+    return NetlistDelta(
+        add_devices=[Resistor("RECO", {"P": target_net, "N": "eco_new"},
+                              resistance=1e3)],
+        remove_devices=[victim.name],
+    )
+
+
+class TestReannotate:
+    def test_matches_full_reannotation_on_the_new_circuit(
+            self, server_engine, flat_circuit, pairs, prev_report):
+        delta = _eco_delta(flat_circuit, pairs)
+        incremental = server_engine.reannotate(prev_report, delta, seed=0)
+        full = server_engine.annotate(delta.apply(flat_circuit),
+                                      pairs=[r["pair"] for r in
+                                             incremental.records], seed=0)
+        assert canonical_records(incremental) == canonical_records(full)
+
+    def test_unaffected_records_are_carried_over_verbatim(
+            self, server_engine, flat_circuit, pairs, prev_report):
+        delta = _eco_delta(flat_circuit, pairs)
+        result = server_engine.reannotate(prev_report, delta, seed=0)
+        summary = result.incremental
+        assert summary["reused"] > 0 and summary["recomputed"] > 0
+        by_pair = {tuple(r["pair"]): r for r in prev_report.records}
+        reused = [r for r in result.records
+                  if r == by_pair.get(tuple(r["pair"]))]
+        # Every carried-over record is byte-identical to its predecessor
+        # (recomputed ones may *also* coincide, hence >=).
+        assert len(reused) >= summary["reused"]
+        assert summary["reused"] + summary["recomputed"] + summary["dropped"] \
+            == len(prev_report.records)
+
+    def test_empty_delta_reuses_everything(self, server_engine, prev_report):
+        result = server_engine.reannotate(prev_report, NetlistDelta(), seed=0)
+        assert result.incremental == {
+            "reused": len(prev_report.records), "recomputed": 0,
+            "dropped": 0, "added": 0}
+        assert canonical_records(result) == canonical_records(prev_report)
+
+    def test_extra_pairs_are_appended(self, server_engine, flat_circuit,
+                                      pairs, prev_report):
+        delta = _eco_delta(flat_circuit, pairs)
+        extra = ("eco_new", list(flat_circuit.devices[1].terminals.values())[0])
+        result = server_engine.reannotate(prev_report, delta, seed=0,
+                                          extra_pairs=[extra])
+        assert result.incremental["added"] == 1
+        assert tuple(result.records[-1]["pair"]) == extra
+
+    def test_invalidates_the_design_pe_cache_entries(
+            self, server_engine, flat_circuit, pairs, prev_report):
+        sentinel = (prev_report.design, "sentinel")
+        server_engine.cache.put(sentinel, np.zeros(2))
+        server_engine.reannotate(prev_report, _eco_delta(flat_circuit, pairs), seed=0)
+        assert server_engine.cache.get(sentinel) is None
+
+    def test_requires_the_previous_circuit(self, server_engine, full_graph,
+                                           pairs):
+        bare = server_engine.annotate(full_graph, pairs=pairs, seed=0)
+        assert bare.circuit is None
+        with pytest.raises(RuntimeError, match="circuit"):
+            server_engine.reannotate(bare, NetlistDelta(), seed=0)
+
+    def test_incremental_summary_roundtrips_through_the_payload(
+            self, server_engine, flat_circuit, pairs, prev_report):
+        result = server_engine.reannotate(prev_report,
+                                          _eco_delta(flat_circuit, pairs), seed=0)
+        payload = result.as_dict()
+        assert payload["incremental"] == result.incremental
+        restored = NetlistAnnotation.from_payload(payload)
+        assert restored.incremental == result.incremental
+        # Full runs omit the key entirely.
+        assert "incremental" not in prev_report.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Seed-stream hygiene at the serve level
+# --------------------------------------------------------------------------- #
+class TestAnnotateManySeedStreams:
+    def test_nearby_base_seeds_do_not_share_candidate_streams(
+            self, server_engine, full_graph):
+        """Regression for additive ``seed + i`` derivation: seed 0's second
+        design used to reuse seed 1's first design's RNG stream."""
+        designs = [full_graph, full_graph]
+        seed0 = server_engine.annotate_many(designs, max_candidates=12, seed=0)
+        seed1 = server_engine.annotate_many(designs, max_candidates=12, seed=1)
+        assert canonical_records(seed0[1]) != canonical_records(seed1[0])
+
+    def test_seed_offset_matches_the_single_call_streams(
+            self, server_engine, full_graph):
+        designs = [full_graph] * 3
+        whole = server_engine.annotate_many(designs, max_candidates=12, seed=5)
+        grouped = (server_engine.annotate_many(designs[:1], max_candidates=12,
+                                               seed=5)
+                   + server_engine.annotate_many(designs[1:], max_candidates=12,
+                                                 seed=5, seed_offset=1))
+        assert [canonical_records(a) for a in whole] \
+            == [canonical_records(a) for a in grouped]

@@ -430,3 +430,62 @@ class TestNegativeSamplingParity:
         a = generate_negative_links(small_design.graph, ratio=0.5, rng=3)
         b = generate_negative_links(small_design.graph, ratio=0.5, rng=3)
         assert [l.key() for l in a] == [l.key() for l in b]
+
+
+class TestPickleRoundtrip:
+    """``__getstate__`` ships only the edge list; ``__setstate__`` must
+    rebuild an identical adjacency for every degenerate topology."""
+
+    @staticmethod
+    def _roundtrip(csr: CSRGraph) -> CSRGraph:
+        import pickle
+
+        return pickle.loads(pickle.dumps(csr))
+
+    @staticmethod
+    def _assert_identical(a: CSRGraph, b: CSRGraph) -> None:
+        assert b.num_nodes == a.num_nodes
+        assert b.num_edges == a.num_edges
+        np.testing.assert_array_equal(b.indptr, a.indptr)
+        np.testing.assert_array_equal(b.indices, a.indices)
+        np.testing.assert_array_equal(b.edge_ids, a.edge_ids)
+        np.testing.assert_array_equal(b.edge_index, a.edge_index)
+        np.testing.assert_array_equal(b.edge_types, a.edge_types)
+
+    def test_empty_graph_roundtrip(self):
+        csr = CSRGraph.from_edges(0, np.zeros((2, 0), dtype=np.int64))
+        restored = self._roundtrip(csr)
+        self._assert_identical(csr, restored)
+        assert restored.degrees().tolist() == []
+
+    def test_edgeless_nodes_roundtrip(self):
+        csr = CSRGraph.from_edges(5, np.zeros((2, 0), dtype=np.int64))
+        restored = self._roundtrip(csr)
+        self._assert_identical(csr, restored)
+        np.testing.assert_array_equal(restored.degrees(), np.zeros(5))
+
+    def test_isolated_nodes_among_connected_roundtrip(self):
+        # Nodes 2 and 5 never appear in the edge list.
+        edge_index = np.array([[0, 1, 3], [1, 3, 4]])
+        csr = CSRGraph.from_edges(6, edge_index)
+        restored = self._roundtrip(csr)
+        self._assert_identical(csr, restored)
+        assert restored.neighbors(2).tolist() == []
+        assert restored.neighbors(5).tolist() == []
+        assert restored.k_hop([2], 2).tolist() == [2]
+
+    def test_self_loops_roundtrip(self):
+        edge_index = np.array([[0, 1, 2, 2], [0, 2, 1, 2]])
+        csr = CSRGraph.from_edges(3, edge_index)
+        restored = self._roundtrip(csr)
+        self._assert_identical(csr, restored)
+        np.testing.assert_array_equal(restored.degrees(), csr.degrees())
+        np.testing.assert_array_equal(restored.bfs_distances(0, unreachable=-1),
+                                      csr.bfs_distances(0, unreachable=-1))
+
+    def test_edge_types_survive_roundtrip(self):
+        edge_index = np.array([[0, 1], [1, 2]])
+        edge_types = np.array([3, 7], dtype=np.int64)
+        csr = CSRGraph.from_edges(3, edge_index, edge_types)
+        restored = self._roundtrip(csr)
+        self._assert_identical(csr, restored)

@@ -1,0 +1,133 @@
+"""Tests for graph partitioning and halo extraction (repro.graph.partition)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    bfs_partition,
+    edge_cut_fraction,
+    halo_expand,
+    induced_circuit_subgraph,
+    netlist_to_graph,
+)
+from repro.netlist import ssram
+
+from .test_csr import random_graph
+
+
+class TestBfsPartition:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_parts", [1, 2, 4, 7])
+    def test_partition_covers_all_nodes_with_valid_labels(self, seed, num_parts):
+        graph = random_graph(80, 160, seed)
+        parts = bfs_partition(graph.csr, num_parts)
+        assert parts.shape == (80,)
+        assert parts.min() >= 0 and parts.max() < num_parts
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_partition_is_roughly_balanced(self, seed):
+        graph = random_graph(100, 220, seed)
+        parts = bfs_partition(graph.csr, 4)
+        sizes = np.bincount(parts, minlength=4)
+        # Region growing targets ceil(remaining / remaining_parts) per part.
+        assert sizes.max() - sizes.min() <= 2
+
+    def test_partition_is_deterministic(self):
+        graph = random_graph(64, 130, 3)
+        a = bfs_partition(graph.csr, 3)
+        b = bfs_partition(graph.csr, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_partition_beats_random_split_on_edge_cut(self):
+        graph = netlist_to_graph(ssram(rows=8, cols=4).flatten())
+        parts = bfs_partition(graph.csr, 4)
+        grown = edge_cut_fraction(graph.csr, parts)
+        rng = np.random.default_rng(0)
+        random_cut = edge_cut_fraction(
+            graph.csr, rng.integers(0, 4, size=graph.num_nodes))
+        assert grown < random_cut
+
+    def test_disconnected_graph_is_fully_assigned(self):
+        # Two components: 0-1-2 and 3-4; node 5 isolated.
+        edge_index = np.array([[0, 1, 3], [1, 2, 4]])
+        csr = CSRGraph.from_edges(6, edge_index)
+        parts = bfs_partition(csr, 3)
+        assert (parts >= 0).all()
+
+    def test_more_parts_than_nodes_clamps(self):
+        csr = CSRGraph.from_edges(3, np.array([[0, 1], [1, 2]]))
+        parts = bfs_partition(csr, 10)
+        assert (parts >= 0).all() and parts.max() < 3
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_edges(0, np.zeros((2, 0), dtype=np.int64))
+        assert bfs_partition(csr, 4).shape == (0,)
+
+
+class TestHaloExpand:
+    def test_halo_matches_k_hop(self):
+        graph = random_graph(60, 140, 4)
+        owned = np.array([0, 5, 9])
+        for hops in (1, 2):
+            np.testing.assert_array_equal(
+                halo_expand(graph.csr, owned, hops),
+                graph.csr.k_hop(owned, hops))
+
+    def test_halo_of_empty_set_is_empty(self):
+        graph = random_graph(10, 20, 0)
+        assert halo_expand(graph.csr, np.zeros(0, dtype=np.int64), 2).size == 0
+
+    def test_halo_contains_owned_and_is_sorted(self):
+        graph = random_graph(50, 100, 6)
+        owned = np.array([7, 21, 33])
+        halo = halo_expand(graph.csr, owned, 1)
+        assert set(owned.tolist()) <= set(halo.tolist())
+        assert (np.diff(halo) > 0).all()
+
+
+class TestInducedCircuitSubgraph:
+    def test_slices_names_types_stats_and_edges(self):
+        graph = netlist_to_graph(ssram(rows=4, cols=2).flatten())
+        nodes = halo_expand(graph.csr, np.arange(0, 30), 1)
+        sub = induced_circuit_subgraph(graph, nodes)
+        assert sub.name == graph.name
+        assert sub.num_nodes == nodes.size
+        assert sub.node_names == [graph.node_names[int(i)] for i in nodes]
+        np.testing.assert_array_equal(sub.node_types, graph.node_types[nodes])
+        np.testing.assert_array_equal(sub.node_stats, graph.node_stats[nodes])
+        # Every local edge maps back to a global edge between the same nodes.
+        for local_s, local_t in sub.edge_index.T[:50]:
+            name_s = sub.node_names[int(local_s)]
+            name_t = sub.node_names[int(local_t)]
+            gs, gt = graph.node_index(name_s), graph.node_index(name_t)
+            pair = {gs, gt}
+            matches = [
+                e for e in range(graph.num_edges)
+                if {int(graph.edge_index[0][e]), int(graph.edge_index[1][e])} == pair
+            ]
+            assert matches
+
+    def test_rejects_unsorted_nodes(self):
+        graph = random_graph(20, 40, 1)
+        with pytest.raises(ValueError, match="sorted"):
+            induced_circuit_subgraph(graph, np.array([3, 1, 2]))
+
+    def test_rejects_duplicate_nodes(self):
+        graph = random_graph(20, 40, 1)
+        with pytest.raises(ValueError, match="sorted"):
+            induced_circuit_subgraph(graph, np.array([1, 1, 2]))
+
+
+class TestEdgeCutFraction:
+    def test_single_part_has_zero_cut(self):
+        graph = random_graph(30, 60, 2)
+        assert edge_cut_fraction(graph.csr, np.zeros(30, dtype=np.int64)) == 0.0
+
+    def test_all_distinct_parts_cut_everything(self):
+        csr = CSRGraph.from_edges(4, np.array([[0, 1, 2], [1, 2, 3]]))
+        assert edge_cut_fraction(csr, np.arange(4)) == 1.0
+
+    def test_empty_graph_is_zero(self):
+        csr = CSRGraph.from_edges(3, np.zeros((2, 0), dtype=np.int64))
+        assert edge_cut_fraction(csr, np.zeros(3, dtype=np.int64)) == 0.0

@@ -92,3 +92,64 @@ class TestFlatten:
         assert stats.num_pins == 16
         assert stats.num_resistors == 0
         assert stats.as_dict()["num_devices"] == 4
+
+
+class TestStatsCaching:
+    """Regression: ``stats`` used to re-flatten the full hierarchy per call."""
+
+    @staticmethod
+    def _counting(circuit, monkeypatch):
+        calls = {"flatten": 0}
+        original = Circuit.flatten
+
+        def counted(self, separator="/"):
+            calls["flatten"] += 1
+            return original(self, separator)
+
+        monkeypatch.setattr(Circuit, "flatten", counted)
+        return calls
+
+    def _hierarchical(self):
+        circuit = Circuit("top", ports=["in", "out"])
+        circuit.define_subckt(_inverter_subckt())
+        circuit.add(SubcktInstance("XB1", {}, subckt_name="INV",
+                                   connections=["in", "mid", "VDD", "VSS"]))
+        circuit.add(SubcktInstance("XB2", {}, subckt_name="INV",
+                                   connections=["mid", "out", "VDD", "VSS"]))
+        return circuit
+
+    def test_repeated_stats_flatten_once(self, monkeypatch):
+        circuit = self._hierarchical()
+        calls = self._counting(circuit, monkeypatch)
+        first = circuit.stats()
+        for _ in range(5):
+            assert circuit.stats() is first
+        assert calls["flatten"] == 1
+
+    def test_top_level_mutation_invalidates_the_cache(self, monkeypatch):
+        circuit = self._hierarchical()
+        calls = self._counting(circuit, monkeypatch)
+        before = circuit.stats()
+        circuit.add(Resistor("R1", {"P": "in", "N": "out"}))
+        after = circuit.stats()
+        assert calls["flatten"] == 2
+        assert after.num_devices == before.num_devices + 1
+        assert after.num_resistors == before.num_resistors + 1
+
+    def test_subckt_body_mutation_invalidates_the_cache(self, monkeypatch):
+        circuit = self._hierarchical()
+        calls = self._counting(circuit, monkeypatch)
+        before = circuit.stats()
+        # In-place edit of a *definition*: both instances grow a device.
+        circuit.subckts["INV"].add(
+            Resistor("RLOAD", {"P": "Y", "N": "VSS"}))
+        after = circuit.stats()
+        assert calls["flatten"] == 2
+        assert after.num_devices == before.num_devices + 2
+
+    def test_flat_circuit_stats_do_not_flatten(self, monkeypatch):
+        circuit = Circuit("flat")
+        circuit.add(Resistor("R1", {"P": "a", "N": "b"}))
+        calls = self._counting(circuit, monkeypatch)
+        assert circuit.stats().num_devices == 1
+        assert calls["flatten"] == 0

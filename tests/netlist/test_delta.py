@@ -1,0 +1,111 @@
+"""Tests for ECO-style netlist deltas (:class:`repro.netlist.NetlistDelta`)."""
+
+import pytest
+
+from repro.netlist import Circuit, NetlistDelta, Resistor, SubcktInstance
+from repro.netlist.devices import Capacitor
+
+
+def _flat_circuit() -> Circuit:
+    circuit = Circuit("FLAT", ports=["a", "c"])
+    circuit.add(Resistor("R1", {"P": "a", "N": "b"}, resistance=1e3))
+    circuit.add(Resistor("R2", {"P": "b", "N": "c"}, resistance=2e3))
+    circuit.add(Capacitor("C1", {"P": "c", "N": "VSS"}, capacitance=1e-15))
+    return circuit
+
+
+class TestValidation:
+    def test_rejects_subckt_instance_additions(self):
+        with pytest.raises(ValueError, match="subckt instance"):
+            NetlistDelta(add_devices=[SubcktInstance("X1", {}, subckt_name="INV",
+                                                     connections=["a"])])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            NetlistDelta(remove_devices=["R1", "R1"])
+        with pytest.raises(ValueError, match="duplicate"):
+            NetlistDelta(add_devices=[Resistor("R9", {"P": "a", "N": "b"}),
+                                      Resistor("R9", {"P": "b", "N": "c"})])
+
+    def test_empty_and_counts(self):
+        assert NetlistDelta().is_empty
+        delta = NetlistDelta(add_devices=[Resistor("R9", {"P": "a", "N": "b"})],
+                             remove_devices=["R1"])
+        assert not delta.is_empty
+        assert delta.num_changes == 2
+
+
+class TestApply:
+    def test_apply_preserves_survivor_order_and_appends_adds(self):
+        delta = NetlistDelta(add_devices=[Resistor("R9", {"P": "c", "N": "d"})],
+                             remove_devices=["R1"])
+        result = delta.apply(_flat_circuit())
+        assert [d.name for d in result.devices] == ["R2", "C1", "R9"]
+        assert "d" in result.nets and "b" in result.nets
+
+    def test_apply_does_not_mutate_the_input(self):
+        circuit = _flat_circuit()
+        NetlistDelta(remove_devices=["R1"]).apply(circuit)
+        assert [d.name for d in circuit.devices] == ["R1", "R2", "C1"]
+
+    def test_apply_unknown_removal_raises(self):
+        with pytest.raises(KeyError, match="RMISSING"):
+            NetlistDelta(remove_devices=["RMISSING"]).apply(_flat_circuit())
+
+    def test_apply_colliding_addition_raises(self):
+        delta = NetlistDelta(add_devices=[Resistor("R2", {"P": "a", "N": "b"})])
+        with pytest.raises(ValueError, match="already exist"):
+            delta.apply(_flat_circuit())
+
+    def test_edit_is_remove_plus_add_of_the_same_name(self):
+        delta = NetlistDelta(
+            add_devices=[Resistor("R2", {"P": "b", "N": "c"}, resistance=9e3)],
+            remove_devices=["R2"])
+        result = delta.apply(_flat_circuit())
+        (r2,) = [d for d in result.devices if d.name == "R2"]
+        assert r2.resistance == 9e3
+
+
+class TestTouchedNets:
+    def test_covers_removed_and_added_device_nets(self):
+        delta = NetlistDelta(add_devices=[Resistor("R9", {"P": "x", "N": "y"})],
+                             remove_devices=["R1"])
+        assert delta.touched_nets(_flat_circuit()) == {"a", "b", "x", "y"}
+
+
+class TestBetween:
+    def test_between_recovers_adds_removes_and_edits(self):
+        old = _flat_circuit()
+        new = _flat_circuit()
+        new.devices = [d for d in new.devices if d.name != "C1"]  # removal
+        new.add(Resistor("R9", {"P": "c", "N": "d"}))             # addition
+        new.devices[0].resistance = 5e3                           # edit of R1
+        delta = NetlistDelta.between(old, new)
+        assert sorted(delta.remove_devices) == ["C1", "R1"]
+        assert sorted(d.name for d in delta.add_devices) == ["R1", "R9"]
+        replayed = delta.apply(old)
+        assert {d.name for d in replayed.devices} == {"R1", "R2", "R9"}
+        (r1,) = [d for d in replayed.devices if d.name == "R1"]
+        assert r1.resistance == 5e3
+
+    def test_between_identical_revisions_is_empty(self):
+        assert NetlistDelta.between(_flat_circuit(), _flat_circuit()).is_empty
+
+    def test_between_flattens_hierarchy_first(self):
+        from repro.netlist import Subckt
+
+        def hierarchical(extra: bool) -> Circuit:
+            circuit = Circuit("H", ports=["in"])
+            cell = Subckt("CELL", ports=["p"])
+            cell.add(Resistor("R1", {"P": "p", "N": "mid"}))
+            if extra:
+                cell.add(Capacitor("C1", {"P": "mid", "N": "VSS"},
+                                   capacitance=2e-15))
+            circuit.define_subckt(cell)
+            circuit.add(SubcktInstance("X1", {}, subckt_name="CELL",
+                                       connections=["in"]))
+            return circuit
+
+        delta = NetlistDelta.between(hierarchical(False), hierarchical(True))
+        assert delta.remove_devices == []
+        assert [d.name for d in delta.add_devices] == ["X1/C1"]

@@ -175,6 +175,72 @@ def test_second_roundtrip_is_a_fixed_point(seed):
     assert text_once == text_twice
 
 
+# --------------------------------------------------------------------------- #
+# Flatten aliasing (regression: collisions used to merge nets silently)
+# --------------------------------------------------------------------------- #
+def _internal_nets(cell: Subckt) -> list[str]:
+    """Nets private to ``cell``: not ports, not power rails."""
+    nets: set[str] = set()
+    for device in cell.devices:
+        nets.update(device.terminals.values())
+    return sorted(nets - set(cell.ports) - {"VDD", "VSS"})
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_TRIALS, 3))
+def test_flatten_rejects_top_net_aliasing_an_internal_net(seed):
+    """Property: a top-level net literally named like the hierarchical name
+    of any instance-internal net must make ``flatten`` raise — flattening
+    used to silently merge the two electrically distinct nets."""
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(seed)
+    victims = [
+        (instance, net)
+        for instance in circuit.instances
+        for net in _internal_nets(circuit.subckts[instance.subckt_name])
+    ]
+    if not victims:
+        pytest.skip("this draw produced no instance-internal nets")
+    instance, net = victims[int(rng.integers(len(victims)))]
+    colliding = f"{instance.name}/{net}"
+    circuit.add(Capacitor(name="CALIAS", terminals={"P": colliding, "N": "net0"},
+                          capacitance=1e-15))
+    with pytest.raises(ValueError, match="alias"):
+        circuit.flatten()
+
+
+def test_flatten_rejects_colliding_scoped_nets_across_nesting_levels():
+    """An internal net of a nested instance can also collide with an internal
+    net of a sibling subtree; both spellings must be rejected."""
+    circuit = Circuit("NEST")
+    leaf = Subckt(name="LEAF", ports=["a"])
+    leaf.add(Resistor(name="R1", terminals={"P": "a", "N": "mid"}))
+    circuit.define_subckt(leaf)
+    wrap = Subckt(name="WRAP", ports=["a"])
+    # Inside WRAP, instance XI expands to <scope>/XI/mid; the literal net
+    # "XI/mid" inside the same WRAP body expands to the identical name.
+    wrap.add(SubcktInstance(name="XI", terminals={}, subckt_name="LEAF",
+                            connections=["a"]))
+    wrap.add(Capacitor(name="C1", terminals={"P": "XI/mid", "N": "a"},
+                       capacitance=2e-15))
+    circuit.define_subckt(wrap)
+    circuit.add(SubcktInstance(name="XW", terminals={}, subckt_name="WRAP",
+                               connections=["top"]))
+    with pytest.raises(ValueError, match="alias"):
+        circuit.flatten()
+
+
+def test_flatten_rejects_duplicate_instance_names():
+    circuit = Circuit("DUP")
+    cell = Subckt(name="CELL", ports=["a"])
+    cell.add(Resistor(name="R1", terminals={"P": "a", "N": "mid"}))
+    circuit.define_subckt(cell)
+    for _ in range(2):
+        circuit.instances.append(SubcktInstance(
+            name="X1", terminals={}, subckt_name="CELL", connections=["top"]))
+    with pytest.raises(ValueError, match="duplicate instance name"):
+        circuit.flatten()
+
+
 @pytest.mark.parametrize("seed", range(0, NUM_TRIALS, 5))
 def test_si_value_roundtrip(seed):
     """format_si_value -> parse_si_value is the identity up to 6 digits."""

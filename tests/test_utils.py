@@ -18,6 +18,7 @@ from repro.utils import (
     save_json,
     seed_all,
     spawn_rng,
+    spawn_seeds,
     timed,
     validate_state_keys,
 )
@@ -46,6 +47,29 @@ class TestRng:
         child_a = spawn_rng()
         child_b = spawn_rng()
         assert not np.allclose(child_a.random(4), child_b.random(4))
+
+    def test_spawn_seeds_deterministic_and_distinct(self):
+        seeds = spawn_seeds(0, 8)
+        assert seeds == spawn_seeds(0, 8)
+        assert len(set(seeds)) == 8
+
+    def test_spawn_seeds_offset_slices_the_same_stream(self):
+        # Grouped spawning (offset) must reproduce the one-shot spawning:
+        # spawn_seeds(s, n)[i:j] == spawn_seeds(s, j - i, offset=i).
+        full = spawn_seeds(42, 10)
+        assert full[3:7] == spawn_seeds(42, 4, offset=3)
+        assert full[:2] == spawn_seeds(42, 2)
+
+    def test_spawn_seeds_nearby_bases_do_not_collide(self):
+        """Regression: additive per-design seeding (``seed + i``) made design
+        i under base seed s reuse the exact RNG stream of design i - 1 under
+        base seed s + 1.  SeedSequence spawning keys the child stream on the
+        (base, index) pair, so nearby bases share nothing."""
+        overlap = set(spawn_seeds(0, 16)) & set(spawn_seeds(1, 16))
+        assert not overlap
+        rng_a = np.random.default_rng(spawn_seeds(0, 2)[1])
+        rng_b = np.random.default_rng(spawn_seeds(1, 2)[0])
+        assert not np.allclose(rng_a.random(8), rng_b.random(8))
 
 
 class TestLogging:
