@@ -1,0 +1,64 @@
+"""Workload-plugin table: the two datapipe workloads trained via the facade.
+
+Both one-file workload plugins (``repro.workloads``) are fit end-to-end with
+``repro.api.fit`` — task name only, their declarative ``DEFAULT_SAMPLING``
+pipelines doing the sampling — then evaluated zero-shot on a held-out SRAM
+design of a different geometry.  The rows land next to the paper tables so
+the plugins' quality is tracked like any other experiment.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.api import ExperimentSpec, evaluate, fit
+from repro.workloads import sram_design
+
+import pytest
+
+from .conftest import record_result, run_once
+
+pytestmark = pytest.mark.benchmark
+
+WORKLOADS = ["sram_coupling", "cross_hierarchy"]
+
+
+def _spec(task: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        backbone={"type": "circuitgps", "dim": 24, "num_layers": 2,
+                  "dropout": 0.05, "attention": "none"},
+        task=task,
+        train={"epochs": 4, "batch_size": 64, "lr": 3e-3},
+        data={"max_links_per_design": 150, "max_nodes_per_hop": 20},
+        name=f"{task}-workload",
+    )
+
+
+def test_table_workloads_link_prediction(benchmark):
+    train = sram_design(banks=2, rows=8, cols=4, seed=0, split="train")
+    held_out = sram_design(banks=2, rows=4, cols=8, seed=7, split="test")
+
+    def experiment():
+        rows = []
+        for task in WORKLOADS:
+            pipeline = fit(_spec(task), designs=[train])
+            metrics = evaluate(pipeline, held_out, task=task)
+            rows.append({"workload": task, "design": held_out.name,
+                         "accuracy": metrics["accuracy"], "f1": metrics["f1"],
+                         "auc": metrics["auc"],
+                         "num_samples": metrics["num_samples"]})
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(rows, columns=["workload", "design", "accuracy", "f1",
+                                      "auc", "num_samples"],
+                       title="Workload plugins — zero-shot link prediction"))
+    record_result("table_workloads", {"measured": rows})
+
+    # Shape check: both workloads must learn something transferable — clearly
+    # better than chance on an unseen SRAM geometry.
+    for row in rows:
+        assert row["auc"] > 0.6, (
+            f"workload {row['workload']} failed to beat chance on "
+            f"{row['design']} (auc={row['auc']:.3f})"
+        )

@@ -20,6 +20,10 @@ Two measurement backends:
   reported by ``code.co_lines()``.  Slower and slightly stricter (worker-only
   lines are not credited), but dependency-free.
 
+A gate path may name a package directory (``src/repro/core``) or one module
+file (``src/repro/graph/datapipe.py``) — single-file gates keep a hot module
+honest even when its package-wide average would mask it.
+
 Usage::
 
     python scripts/check_coverage.py [--gate PATH=PCT ...]
@@ -62,7 +66,8 @@ def run_with_coverage_module(gates) -> int:
     ]
     commands.extend(
         [sys.executable, "-m", "coverage", "report",
-         f"--include={path}/*", f"--fail-under={threshold}"]
+         "--include=" + (path if path.endswith(".py") else f"{path}/*"),
+         f"--fail-under={threshold}"]
         for path, threshold in gates
     )
     for command in commands:
@@ -95,7 +100,8 @@ def run_with_settrace(gates) -> int:
     import pytest
 
     sys.path.insert(0, str(SRC))
-    prefixes = tuple(str(REPO_ROOT / path) + "/" for path, _ in gates)
+    prefixes = tuple(str(REPO_ROOT / path) if path.endswith(".py")
+                     else str(REPO_ROOT / path) + "/" for path, _ in gates)
     executed: dict[str, set[int]] = {}
 
     def local_tracer(frame, event, _arg):
@@ -129,7 +135,8 @@ def run_with_settrace(gates) -> int:
         target = REPO_ROOT / path
         total_executable = total_hit = 0
         rows = []
-        for source in sorted(target.glob("*.py")):
+        sources = [target] if path.endswith(".py") else sorted(target.glob("*.py"))
+        for source in sources:
             expected = executable_lines(source)
             hit = executed.get(str(source), set()) & expected
             total_executable += len(expected)

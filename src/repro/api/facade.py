@@ -68,7 +68,8 @@ def fit(spec, designs=None, *, verbose: bool = False):
     task = spec.build_task()
     with use_backend(spec.backend):
         if task.kind == "classification":
-            pipeline.pretrain(verbose=verbose)
+            pipeline.pretrain(verbose=verbose,
+                              sampling=getattr(task, "sampling", None))
             return pipeline
         mode = spec.mode if spec.pretrain else "scratch"
         pipeline.finetune(mode=mode, task=task, verbose=verbose)

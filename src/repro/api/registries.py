@@ -15,7 +15,9 @@ Registry       Contents
 ``ATTENTION``  global-attention kernels used inside GPS layers
 ``HEADS``      task-head modules (pool + MLP readouts)
 ``ENCODINGS``  positional/structural encodings (``pe_kind`` values)
-``SAMPLERS``   subgraph extraction strategies
+``SAMPLERS``   sampling-pipeline stage factories (uniform
+               ``(graph, seeds, *, rng)`` contract; see
+               :mod:`repro.graph.datapipe`)
 ``TASKS``      :class:`~repro.api.tasks.Task` implementations
 ``BACKENDS``   compute backends of the segment-ops engine
                (:class:`~repro.nn.backends.base.ArrayBackend`)
@@ -49,13 +51,14 @@ def load_builtin_components() -> None:
         return
     _loaded = True  # set first: the imports below hit the registries again
     import repro.graph.encodings   # noqa: F401  (ENCODINGS)
-    import repro.graph.sampling    # noqa: F401  (SAMPLERS)
+    import repro.graph.datapipe    # noqa: F401  (SAMPLERS: pipeline stages)
     import repro.nn.attention      # noqa: F401  (ATTENTION: transformer)
     import repro.nn.performer      # noqa: F401  (ATTENTION: performer)
     import repro.nn.backends       # noqa: F401  (BACKENDS)
     import repro.models.heads      # noqa: F401  (HEADS)
     import repro.models.circuitgps  # noqa: F401  (BACKBONES)
     import repro.api.tasks         # noqa: F401  (TASKS)
+    import repro.workloads         # noqa: F401  (TASKS/SAMPLERS: workload plugins)
 
 
 BACKBONES = Registry("backbone", ensure_loaded=load_builtin_components)

@@ -81,6 +81,7 @@ class ExperimentSpec:
     mode: str = "all"
     pretrain: bool = True
     backend: str = "numpy"
+    sampling: list | str | None = None
     name: str = "experiment"
     version: int = SPEC_VERSION
 
@@ -118,6 +119,10 @@ class ExperimentSpec:
         # Name check only: the spec stays valid on machines where an optional
         # backend's dependency is missing (building it is what fails there).
         BACKENDS.get(self.backend)
+        if self.sampling is not None:
+            from ..graph.datapipe import normalize_sampling_spec
+
+            self.sampling = normalize_sampling_spec(self.sampling)
         _check_known_keys(self.train, _TRAIN_FIELDS, "train")
         _check_known_keys(self.data, _DATA_FIELDS, "data")
         return self
@@ -217,7 +222,14 @@ class ExperimentSpec:
         return BACKBONES.build(self.backbone, rng=rng)
 
     def build_task(self):
-        """Instantiate the task through the registry."""
+        """Instantiate the task through the registry.
+
+        A spec-level ``sampling`` pipeline is applied to tasks that carry
+        none of their own (a task-level ``sampling`` entry wins).
+        """
         from .tasks import resolve_task
 
-        return resolve_task(self.task)
+        task = resolve_task(self.task)
+        if self.sampling is not None and getattr(task, "sampling", None) is None:
+            task.sampling = self.sampling
+        return task

@@ -50,12 +50,28 @@ class Task(ABC):
     task string handed to the backbone's ``forward`` — built-in tasks map to
     one of CircuitGPS's heads; custom tasks default it to their own name)
     and implement :meth:`build_samples`.
+
+    Every task optionally carries a declarative ``sampling`` pipeline spec
+    (see :mod:`repro.graph.datapipe`): built-in tasks route it into their
+    dataset builders, and it round-trips through :meth:`spec`, experiment
+    specs and checkpoints.  Subclasses overriding ``__init__`` should call
+    ``super().__init__(sampling=...)`` (or define a ``DEFAULT_SAMPLING``
+    class attribute used when none is given).
     """
 
     name: str = "task"
     kind: str = "regression"
     #: Head selector passed to ``model(batch, task=...)``; defaults to ``name``.
     model_task: str | None = None
+    #: Default sampling pipeline spec applied when none is passed.
+    DEFAULT_SAMPLING: list | str | None = None
+
+    def __init__(self, sampling=None):
+        from ..graph.datapipe import normalize_sampling_spec
+
+        if sampling is None:
+            sampling = self.DEFAULT_SAMPLING
+        self.sampling = normalize_sampling_spec(sampling)
 
     # ------------------------------------------------------------------ #
     # Dataset construction
@@ -132,14 +148,24 @@ class Task(ABC):
 
     # ------------------------------------------------------------------ #
     def spec(self) -> dict:
-        """The declarative ``{"type": name}`` form of this task."""
-        return {"type": self.name}
+        """The declarative ``{"type": name}`` form of this task.
+
+        A non-default ``sampling`` pipeline is included, so the sampling
+        recipe survives spec/checkpoint round-trips.
+        """
+        spec = {"type": self.name}
+        sampling = getattr(self, "sampling", None)
+        if sampling is not None:
+            spec["sampling"] = sampling
+        return spec
 
     def __eq__(self, other) -> bool:
         return type(other) is type(self) and other.spec() == self.spec()
 
     def __hash__(self) -> int:
-        return hash((type(self), tuple(sorted(self.spec().items()))))
+        import json
+
+        return hash((type(self), json.dumps(self.spec(), sort_keys=True, default=str)))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, kind={self.kind!r})"
@@ -155,7 +181,8 @@ class LinkPredictionTask(Task):
     def build_samples(self, design, config, *, pe_kind="dspd", normalizer=None,
                       rng=None):
         """Balanced positive/negative link subgraphs for one design."""
-        return build_link_samples(design, config, pe_kind=pe_kind, rng=rng)
+        return build_link_samples(design, config, pe_kind=pe_kind, rng=rng,
+                                  sampling=getattr(self, "sampling", None))
 
 
 @TASKS.register("edge_regression")
@@ -169,7 +196,8 @@ class EdgeRegressionTask(Task):
                       rng=None):
         """Capacitance-labelled link subgraphs (negatives carry zero targets)."""
         return build_edge_regression_samples(design, config, pe_kind=pe_kind,
-                                             normalizer=normalizer, rng=rng)
+                                             normalizer=normalizer, rng=rng,
+                                             sampling=getattr(self, "sampling", None))
 
 
 @TASKS.register("node_regression")
@@ -183,7 +211,8 @@ class NodeRegressionTask(Task):
                       rng=None):
         """2-hop node subgraphs labelled with normalised ground capacitance."""
         return build_node_regression_samples(design, config, pe_kind=pe_kind,
-                                             normalizer=normalizer, rng=rng)
+                                             normalizer=normalizer, rng=rng,
+                                             sampling=getattr(self, "sampling", None))
 
 
 @TASKS.register("graph_property")
@@ -204,7 +233,8 @@ class GraphPropertyTask(Task):
     #: Supported property names -> target function of a subgraph.
     PROPERTIES = ("density", "log_size")
 
-    def __init__(self, property: str = "density"):
+    def __init__(self, property: str = "density", sampling=None):
+        super().__init__(sampling=sampling)
         if property not in self.PROPERTIES:
             raise RegistryError(
                 f"unknown graph property {property!r}, available: "

@@ -101,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--attention", default=None,
                        choices=("transformer", "performer", "none"),
                        help="override the attention flavour")
+    train.add_argument("--sampling", default=None, metavar="SPEC",
+                       help="sampling pipeline for dataset construction: a "
+                            "registered sampler name (see 'components "
+                            "--family samplers'), inline JSON (a stage-entry "
+                            "list), or a JSON file path; default: the task's "
+                            "own pipeline / the paper's recipe")
     train.add_argument("--workers", type=int, default=None,
                        help="worker processes for data loading (0 = serial, "
                             "-1 = auto, default: serial; results are identical "
@@ -310,6 +316,31 @@ def _apply_overrides(config: ExperimentConfig, args) -> ExperimentConfig:
     return config
 
 
+def _parse_sampling(raw: str | None):
+    """The validated sampling spec behind ``--sampling``.
+
+    Accepts a registered sampler name, inline JSON (a stage-entry list or a
+    single stage dict), or a path to a JSON file holding either; returns the
+    canonical form from
+    :func:`repro.graph.datapipe.normalize_sampling_spec` (``None`` when the
+    flag was not given).
+    """
+    import json
+
+    from ..graph.datapipe import normalize_sampling_spec
+
+    if raw is None:
+        return None
+    text = raw.strip()
+    if text.startswith("[") or text.startswith("{"):
+        value = json.loads(text)
+    elif pathlib.Path(raw).is_file():
+        value = load_json(raw)
+    else:
+        value = raw  # a registered sampler name; validated below
+    return normalize_sampling_spec(value)
+
+
 def cmd_train(args) -> int:
     from ..api.spec import ExperimentSpec
 
@@ -336,6 +367,9 @@ def cmd_train(args) -> int:
         backbone = None
         pretrain = True
         spec_backend = None
+    sampling = _parse_sampling(args.sampling)
+    if sampling is None and args.spec:
+        sampling = spec.sampling
     if not pretrain:
         # "pretrain": false means the task model must not adapt a meta-learner
         # (same training as repro.api.fit: a scratch fine-tune).  The link
@@ -347,11 +381,15 @@ def cmd_train(args) -> int:
     print(f"Building the design suite (scale={config.data.scale}) ...")
     pipeline.load_designs(names=args.designs)
     print(f"Pre-training on {len(pipeline.train_designs)} training design(s) ...")
-    result = pipeline.pretrain(verbose=args.verbose)
+    result = pipeline.pretrain(verbose=args.verbose, sampling=sampling)
     metrics = {k: round(v, 4) for k, v in result.val_metrics.items()}
     print(f"  link-prediction validation metrics: {metrics}")
     for task in tasks:
         name = task["type"] if isinstance(task, dict) else task
+        if sampling is not None:
+            # Tasks carrying their own pipeline keep it; --sampling fills the rest.
+            task = {"type": task} if isinstance(task, str) else dict(task)
+            task.setdefault("sampling", sampling)
         print(f"Fine-tuning ({name}, mode={mode}) ...")
         pipeline.finetune(mode=mode, task=task, verbose=args.verbose)
     path = pipeline.save(args.out)

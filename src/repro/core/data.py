@@ -31,8 +31,6 @@ from ..graph import (
     collate,
     compute_pe,
     compute_pe_batch,
-    extract_enclosing_subgraph,
-    extract_enclosing_subgraphs,
 )
 from ..graph.hetero import CircuitGraph, Link
 from ..utils.rng import get_rng
@@ -224,22 +222,27 @@ def attach_pe_batch(subgraphs: Sequence[Subgraph], pe_kind: str,
 class _LinkSampler:
     """Picklable extraction recipe of a link-backed lazy dataset.
 
-    Holds the host graph plus the sampling parameters and reproduces the
-    per-index (and per-block) deterministic extraction that used to live in
-    ``from_links`` closures.  Being a plain object (not a closure) it survives
-    ``pickle``, which is what lets a lazy :class:`SubgraphDataset` be shipped
-    to ``spawn``-style workers or written to disk; ``fork`` workers inherit it
+    Holds the host graph plus an :class:`~repro.graph.datapipe.EnclosingExtractStage`
+    carrying the extraction parameters, and reproduces the per-index (and
+    per-block) deterministic extraction that used to live in ``from_links``
+    closures.  Being a plain object (not a closure) it survives ``pickle``,
+    which is what lets a lazy :class:`SubgraphDataset` be shipped to
+    ``spawn``-style workers or written to disk; ``fork`` workers inherit it
     for free.
     """
 
     def __init__(self, graph: CircuitGraph, links: Sequence[Link], *, hops: int,
                  max_nodes_per_hop: int | None, add_target_edge: bool,
-                 targets: Sequence[float] | None, design: str, seed: int):
+                 targets: Sequence[float] | None, design: str, seed: int,
+                 fanouts=None):
+        from ..graph.datapipe import EnclosingExtractStage
+
         self.graph = graph
         self.links = list(links)
-        self.hops = hops
-        self.max_nodes_per_hop = max_nodes_per_hop
-        self.add_target_edge = add_target_edge
+        self.stage = EnclosingExtractStage(hops=hops,
+                                           max_nodes_per_hop=max_nodes_per_hop,
+                                           add_target_edge=add_target_edge,
+                                           fanouts=fanouts)
         self.targets = None if targets is None else list(targets)
         self.design = design
         self.seed = int(seed)
@@ -253,21 +256,14 @@ class _LinkSampler:
     def __call__(self, index: int) -> Subgraph:
         link = self.links[index]
         rng = np.random.default_rng([self.seed, index])
-        subgraph = extract_enclosing_subgraph(
-            self.graph, link, hops=self.hops,
-            max_nodes_per_hop=self.max_nodes_per_hop,
-            add_target_edge=self.add_target_edge, rng=rng,
-        )
+        subgraph = self.stage.extract_one(self.graph, link, rng=rng)
         return self._finish(subgraph, index)
 
     def block(self, indices: list[int]) -> list[Subgraph]:
         """Extract a block of indices with the batched CSR sampler."""
         rng = np.random.default_rng([self.seed, len(indices), int(indices[0])])
-        subgraphs = extract_enclosing_subgraphs(
-            self.graph, [self.links[i] for i in indices], hops=self.hops,
-            max_nodes_per_hop=self.max_nodes_per_hop,
-            add_target_edge=self.add_target_edge, rng=rng,
-        )
+        subgraphs = self.stage.extract_many(
+            self.graph, [self.links[i] for i in indices], rng=rng)
         return [self._finish(s, i) for s, i in zip(subgraphs, indices)]
 
 
@@ -334,18 +330,22 @@ class SubgraphDataset:
                    add_target_edge: bool = True, targets: Sequence[float] | None = None,
                    pe_kind: str | None = "dspd", design: str | None = None,
                    cache: PECache | None = None, seed: int = 0,
-                   memoize: bool = False) -> "SubgraphDataset":
+                   memoize: bool = False, fanouts=None) -> "SubgraphDataset":
         """Lazy dataset: one enclosing subgraph per link, extracted on demand.
 
         The extraction recipe lives in a picklable :class:`_LinkSampler`
-        (not a closure), so the dataset itself can be pickled to workers.
+        (not a closure) driving an
+        :class:`~repro.graph.datapipe.EnclosingExtractStage`, so the dataset
+        itself can be pickled to workers.  ``fanouts`` optionally bounds the
+        per-hop frontier expansion (its length overrides ``hops``).
         """
         links = list(links)
         design = design if design is not None else graph.name
         sampler = _LinkSampler(graph, links, hops=hops,
                                max_nodes_per_hop=max_nodes_per_hop,
                                add_target_edge=add_target_edge,
-                               targets=targets, design=design, seed=seed)
+                               targets=targets, design=design, seed=seed,
+                               fanouts=fanouts)
         dataset = cls(factory=sampler, length=len(links), pe_kind=pe_kind,
                       design=design, cache=cache, memoize=memoize)
         dataset._block_factory = sampler.block

@@ -27,15 +27,9 @@ from ..graph import (
     NODE_DEVICE,
     CircuitGraph,
     Subgraph,
-    balance_links,
-    extract_enclosing_subgraphs,
-    extract_node_subgraphs,
-    generate_negative_links,
-    inject_link_edges,
     netlist_to_graph,
 )
 from .data import attach_pe_batch
-from ..graph.hetero import Link
 from ..netlist import Circuit, ParasiticReport, Placement, build_design, extract_parasitics, place_circuit
 from ..netlist.generators import PAPER_DESIGNS, TEST_DESIGNS, TRAIN_DESIGNS
 from ..utils.rng import get_rng
@@ -198,22 +192,39 @@ def load_design_suite(scale: float = 0.5, seed: int = 0, names: list[str] | None
 # --------------------------------------------------------------------------- #
 # Link-prediction samples
 # --------------------------------------------------------------------------- #
-def build_link_samples(design: DesignData, config: DataConfig = DataConfig(),
-                       pe_kind: str = "dspd", rng=None) -> list[Subgraph]:
-    """Balanced link-prediction subgraphs for one design (positives + negatives)."""
-    rng = get_rng(rng if rng is not None else config.seed)
-    from ..graph import sample_link_dataset
+def _link_pipeline_for(config: DataConfig, sampling=None):
+    """The sampling pipeline a link-level builder should run.
 
-    samples = sample_link_dataset(
-        design.graph,
+    ``sampling`` (a pipeline / registered name / stage-entry list) wins;
+    otherwise the legacy recipe is assembled from the :class:`DataConfig`
+    knobs — byte-identical to the historical monolithic sampler.
+    """
+    from ..graph.datapipe import as_pipeline, default_link_pipeline
+
+    if sampling is not None:
+        return as_pipeline(sampling)
+    return default_link_pipeline(
         max_links=config.max_links_per_design,
         negative_ratio=config.negative_ratio,
         balance=config.balance,
         hops=config.hops,
         max_nodes_per_hop=config.max_nodes_per_hop,
         inject_links=config.inject_links,
-        rng=rng,
     )
+
+
+def build_link_samples(design: DesignData, config: DataConfig = DataConfig(),
+                       pe_kind: str = "dspd", rng=None,
+                       sampling=None) -> list[Subgraph]:
+    """Balanced link-prediction subgraphs for one design (positives + negatives).
+
+    A thin configuration of the staged sampling pipeline
+    (:mod:`repro.graph.datapipe`): ``sampling`` overrides the default recipe
+    with any pipeline spec.
+    """
+    rng = get_rng(rng if rng is not None else config.seed)
+    pipeline = _link_pipeline_for(config, sampling)
+    samples = pipeline.run(design.graph, rng=rng)
     for sample in samples:
         sample.extras["design"] = design.name
     attach_pe_batch(samples, pe_kind, design=design.name)
@@ -226,46 +237,51 @@ def build_link_samples(design: DesignData, config: DataConfig = DataConfig(),
 def build_edge_regression_samples(design: DesignData, config: DataConfig = DataConfig(),
                                   pe_kind: str = "dspd",
                                   normalizer: CapacitanceNormalizer | None = None,
-                                  include_negatives: bool = True, rng=None) -> list[Subgraph]:
+                                  include_negatives: bool = True, rng=None,
+                                  sampling=None) -> list[Subgraph]:
     """Coupling-capacitance regression subgraphs for one design.
 
     Positive links outside ``[cap_min, cap_max]`` are dropped (the paper keeps
     1e-21 F to 1e-15 F); targets are the normalised capacitances; injected
     negatives carry a zero target.
+
+    The sampling itself is a staged pipeline seeded with the range-filtered
+    positives; ``sampling`` may swap in any custom pipeline spec, provided it
+    keeps links aligned with subgraphs (no shuffle stage — targets are zipped
+    onto the extraction order; the builder shuffles at the end).
     """
+    from ..graph.datapipe import (
+        EnclosingExtractStage,
+        InjectStage,
+        LinkSeedStage,
+        PermuteNegativeStage,
+        SamplingPipeline,
+        SeedBatch,
+        as_pipeline,
+    )
+
     rng = get_rng(rng if rng is not None else config.seed)
     normalizer = normalizer or CapacitanceNormalizer(config.cap_min, config.cap_max)
 
     positives = [link for link in design.graph.links if normalizer.in_range(link.capacitance)]
-    positives = balance_links(positives, rng=rng)
-    if config.max_links_per_design is not None and len(positives) > config.max_links_per_design:
-        chosen = rng.choice(len(positives), size=config.max_links_per_design, replace=False)
-        positives = [positives[i] for i in chosen]
+    if not positives:
+        return []
+    if sampling is not None:
+        pipeline = as_pipeline(sampling)
+    else:
+        stages: list = [LinkSeedStage(balance=True, max_links=config.max_links_per_design)]
+        if include_negatives:
+            stages.append(PermuteNegativeStage(ratio=0.25))
+        if config.inject_links:
+            stages.append(InjectStage())
+        stages.append(EnclosingExtractStage(hops=config.hops,
+                                            max_nodes_per_hop=config.max_nodes_per_hop))
+        pipeline = SamplingPipeline(stages)
 
-    negatives: list[Link] = []
-    if include_negatives:
-        probe = CircuitGraph(
-            name=design.graph.name,
-            node_types=design.graph.node_types,
-            node_names=design.graph.node_names,
-            edge_index=design.graph.edge_index,
-            edge_types=design.graph.edge_types,
-            node_stats=design.graph.node_stats,
-            links=positives,
-        )
-        negatives = generate_negative_links(probe, ratio=0.25, rng=rng)
-
-    host = design.graph
-    add_target = True
-    if config.inject_links:
-        host = inject_link_edges(design.graph, list(design.graph.links) + negatives)
-        add_target = False
-
-    links = positives + negatives
-    samples = extract_enclosing_subgraphs(
-        host, links, hops=config.hops, max_nodes_per_hop=config.max_nodes_per_hop,
-        add_target_edge=add_target, rng=rng,
-    )
+    _, seeds = pipeline(design.graph, SeedBatch(positives=positives), rng=rng)
+    if seeds.subgraphs is None:
+        raise ValueError("edge-regression sampling pipeline has no extraction stage")
+    links, samples = seeds.links, seeds.subgraphs
     for link, subgraph in zip(links, samples):
         subgraph.target = normalizer.normalize(link.capacitance)
         subgraph.extras["design"] = design.name
@@ -281,12 +297,25 @@ def build_edge_regression_samples(design: DesignData, config: DataConfig = DataC
 def build_node_regression_samples(design: DesignData, config: DataConfig = DataConfig(),
                                   pe_kind: str = "dspd",
                                   normalizer: CapacitanceNormalizer | None = None,
-                                  rng=None) -> list[Subgraph]:
+                                  rng=None, sampling=None) -> list[Subgraph]:
     """Ground-capacitance regression subgraphs (Section IV-D).
 
     One sample per net/pin node with a known ground capacitance; 2-hop
     neighbourhoods, single anchor (so ``D0 == D1``), no negative injection.
+
+    The label-filtered candidate nodes (with their normalised targets) seed a
+    staged pipeline; ``sampling`` may replace the default cap-and-extract
+    recipe, provided it keeps nodes aligned with subgraphs (no shuffle
+    stage — the builder shuffles at the end).
     """
+    from ..graph.datapipe import (
+        NodeExtractStage,
+        NodeSeedStage,
+        SamplingPipeline,
+        SeedBatch,
+        as_pipeline,
+    )
+
     rng = get_rng(rng if rng is not None else config.seed)
     normalizer = normalizer or CapacitanceNormalizer(config.cap_min, config.cap_max)
     if design.graph.node_ground_caps is None:
@@ -298,18 +327,26 @@ def build_node_regression_samples(design: DesignData, config: DataConfig = DataC
         and design.graph.node_ground_caps[node] > 0
         and normalizer.in_range(design.graph.node_ground_caps[node])
     ]
-    limit = config.max_nodes_per_design
-    if limit is not None and len(candidates) > limit:
-        chosen = rng.choice(len(candidates), size=limit, replace=False)
-        candidates = [candidates[i] for i in chosen]
-
     targets = [normalizer.normalize(design.graph.node_ground_caps[node])
                for node in candidates]
-    samples = extract_node_subgraphs(
-        design.graph, candidates, hops=config.node_hops, targets=targets,
-        max_nodes_per_hop=config.max_nodes_per_hop, rng=rng,
-    )
-    for node, subgraph in zip(candidates, samples):
+    if sampling is not None:
+        pipeline = as_pipeline(sampling)
+    else:
+        pipeline = SamplingPipeline([
+            NodeSeedStage(limit=config.max_nodes_per_design),
+            NodeExtractStage(hops=config.node_hops,
+                             max_nodes_per_hop=config.max_nodes_per_hop),
+        ])
+
+    _, seeds = pipeline(design.graph,
+                        SeedBatch(nodes=np.asarray(candidates, dtype=np.int64),
+                                  targets=targets),
+                        rng=rng)
+    if seeds.subgraphs is None:
+        raise ValueError("node-regression sampling pipeline has no extraction stage")
+    nodes = [] if seeds.nodes is None else [int(n) for n in seeds.nodes]
+    samples = seeds.subgraphs
+    for node, subgraph in zip(nodes, samples):
         subgraph.extras["design"] = design.name
         subgraph.extras["node"] = node
         subgraph.extras["capacitance_farad"] = design.graph.node_ground_caps[node]

@@ -110,13 +110,18 @@ class CircuitGPSPipeline:
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
-    def pretrain(self, verbose: bool = False) -> PretrainResult:
-        """Pre-train the meta-learner on link prediction over the training designs."""
+    def pretrain(self, verbose: bool = False, sampling=None) -> PretrainResult:
+        """Pre-train the meta-learner on link prediction over the training designs.
+
+        ``sampling`` optionally names a custom sampling-pipeline spec for the
+        link sampling (see :mod:`repro.graph.datapipe`).
+        """
         if not self.train_designs:
             raise RuntimeError("no training designs loaded")
         self.pretrain_result = pretrain_link_model(self.train_designs, self.config,
                                                    verbose=verbose,
-                                                   backbone=self.backbone_spec)
+                                                   backbone=self.backbone_spec,
+                                                   sampling=sampling)
         return self.pretrain_result
 
     def finetune(self, mode: str = "all", task="edge_regression",

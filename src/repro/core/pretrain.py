@@ -85,11 +85,14 @@ def build_model(config: ExperimentConfig, pe_kind: str | None = None, rng=None,
 def pretrain_link_model(designs: list[DesignData], config: ExperimentConfig | None = None,
                         pe_kind: str | None = None, val_fraction: float = 0.1,
                         verbose: bool = False, rng=None,
-                        backbone: dict | str | None = None) -> PretrainResult:
+                        backbone: dict | str | None = None,
+                        sampling=None) -> PretrainResult:
     """Pre-train the backbone on link prediction over the given training designs.
 
     ``backbone`` optionally names a registered backbone spec (see
-    :func:`build_model`); the default is the paper's CircuitGPS.
+    :func:`build_model`); the default is the paper's CircuitGPS.  ``sampling``
+    optionally swaps in a custom sampling-pipeline spec
+    (see :mod:`repro.graph.datapipe`) for the per-design link sampling.
     """
     config = config or ExperimentConfig.default()
     rng = get_rng(rng if rng is not None else config.train.seed)
@@ -97,7 +100,8 @@ def pretrain_link_model(designs: list[DesignData], config: ExperimentConfig | No
 
     samples = []
     for design in designs:
-        samples.extend(build_link_samples(design, config.data, pe_kind=pe, rng=spawn_rng(rng)))
+        samples.extend(build_link_samples(design, config.data, pe_kind=pe,
+                                          rng=spawn_rng(rng), sampling=sampling))
     dataset = SubgraphDataset.from_samples(samples, pe_kind=pe).shuffled(rng)
     val_dataset, train_dataset = dataset.split(val_fraction)
 

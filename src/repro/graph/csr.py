@@ -160,21 +160,26 @@ class CSRGraph:
         return self.indices[flat], self.edge_ids[flat]
 
     def k_hop(self, seeds, hops: int, max_nodes_per_hop: int | None = None,
-              rng=None) -> np.ndarray:
+              rng=None, fanouts=None) -> np.ndarray:
         """All nodes within ``hops`` of any seed (sorted, seeds included).
 
         Frontier expansion over a boolean visited mask; each hop is one ragged
         gather plus one unique.  ``max_nodes_per_hop`` caps the number of
-        half-edges expanded per frontier node (hub-node guard).
+        half-edges expanded per frontier node (hub-node guard); ``fanouts``
+        replaces it with a per-hop cap plan whose length overrides ``hops``
+        (``None`` entries leave that hop uncapped).
         """
         seeds = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
+        if fanouts is not None:
+            hops = len(fanouts)
         visited = np.zeros(self.num_nodes, dtype=bool)
         visited[seeds] = True
         frontier = np.unique(seeds)
-        for _ in range(hops):
+        for hop in range(hops):
             if frontier.size == 0:
                 break
-            flat = self._half_edges(frontier, max_nodes_per_hop, rng)
+            cap = fanouts[hop] if fanouts is not None else max_nodes_per_hop
+            flat = self._half_edges(frontier, cap, rng)
             neigh = self.indices[flat]
             fresh = neigh[~visited[neigh]]
             if fresh.size == 0:

@@ -25,6 +25,7 @@ from .hetero import LINK_TYPE_NAMES, CircuitGraph, Link
 
 __all__ = [
     "Subgraph",
+    "normalize_fanouts",
     "generate_negative_links",
     "balance_links",
     "inject_link_edges",
@@ -81,61 +82,47 @@ class Subgraph:
 # --------------------------------------------------------------------------- #
 # Negative sampling and balancing
 # --------------------------------------------------------------------------- #
+def normalize_fanouts(fanouts) -> tuple | None:
+    """Normalise a per-hop fanout plan to a tuple of ``int | None`` caps.
+
+    Accepts an int or a sequence of per-hop caps; ``-1`` or ``None`` entries
+    mean "no cap at that hop" (the graphbolt convention).  The plan's length
+    fixes the number of hops wherever a plan is given.
+    """
+    if fanouts is None:
+        return None
+    if isinstance(fanouts, (int, np.integer)):
+        fanouts = [fanouts]
+    plan = []
+    for cap in fanouts:
+        if cap is None or int(cap) < 0:
+            plan.append(None)
+        elif int(cap) == 0:
+            raise ValueError("fanout caps must be positive, None or -1 (uncapped)")
+        else:
+            plan.append(int(cap))
+    if not plan:
+        raise ValueError("a fanout plan needs at least one hop")
+    return tuple(plan)
+
+
 def generate_negative_links(graph: CircuitGraph, ratio: float = 1.0, rng=None,
                             max_tries: int = 50) -> list[Link]:
     """Create structural negative links by permuting positive endpoints.
 
-    For each link type, sources and destinations of the observed (positive)
-    links are re-paired at random; a candidate is rejected if it coincides
-    with an observed link or a previously generated negative.  The node types
-    of each negative therefore match its link type by construction.
-
-    Candidates are drawn in vectorised batches (PyG-style negative sampling):
-    each round draws a batch of endpoint pairs, encodes them as scalar keys
-    and filters self-loops / collisions with ``isin`` + ``unique`` instead of
-    testing one candidate at a time.
+    .. deprecated::
+        Thin byte-compatible shim over
+        :func:`repro.graph.negative.permute_negative_links` with
+        ``strict=False`` — it silently under-delivers when the draw budget
+        runs out on a near-complete graph, exactly like the historical
+        implementation.  New code should call the :mod:`repro.graph.negative`
+        samplers (strict by default) or use a ``negative_*`` pipeline stage.
     """
-    rng = get_rng(rng)
-    positives_by_type: dict[int, list[Link]] = {}
-    for link in graph.links:
-        positives_by_type.setdefault(link.link_type, []).append(link)
+    from .negative import permute_negative_links
 
-    n = max(graph.num_nodes, 1)
-    existing = np.unique(np.array(
-        [lo * n + hi for lo, hi in (link.key() for link in graph.links)], dtype=np.int64,
-    )) if graph.links else np.zeros(0, dtype=np.int64)
-
-    negatives: list[Link] = []
-    for link_type, positives in positives_by_type.items():
-        sources = np.array([l.source for l in positives], dtype=np.int64)
-        targets = np.array([l.target for l in positives], dtype=np.int64)
-        wanted = int(round(len(positives) * ratio))
-        seen = existing
-        budget = max_tries * max(1, wanted)
-        chosen_s: list[np.ndarray] = []
-        chosen_t: list[np.ndarray] = []
-        produced = 0
-        tries = 0
-        while produced < wanted and tries < budget:
-            size = int(min(budget - tries, max(64, 2 * (wanted - produced))))
-            tries += size
-            s = sources[rng.integers(len(sources), size=size)]
-            t = targets[rng.integers(len(targets), size=size)]
-            keys = np.minimum(s, t) * n + np.maximum(s, t)
-            candidates = np.flatnonzero((s != t) & ~np.isin(keys, seen))
-            # Keep the first occurrence of each key, in draw order.
-            _, first = np.unique(keys[candidates], return_index=True)
-            picked = candidates[np.sort(first)][:wanted - produced]
-            if picked.size:
-                chosen_s.append(s[picked])
-                chosen_t.append(t[picked])
-                seen = np.union1d(seen, keys[picked])
-                produced += int(picked.size)
-        if chosen_s:
-            for s, t in zip(np.concatenate(chosen_s), np.concatenate(chosen_t)):
-                negatives.append(Link(source=int(s), target=int(t), link_type=link_type,
-                                      label=0.0, capacitance=0.0))
-    return negatives
+    return permute_negative_links(list(graph.links), graph.num_nodes,
+                                  ratio=ratio, rng=rng, max_tries=max_tries,
+                                  strict=False)
 
 
 def balance_links(links: list[Link], per_type: int | None = None, rng=None) -> list[Link]:
@@ -205,7 +192,8 @@ def _induced_subgraph(graph: CircuitGraph, nodes: np.ndarray) -> tuple[np.ndarra
 
 def extract_enclosing_subgraph(graph: CircuitGraph, link: Link, hops: int = 1,
                                max_nodes_per_hop: int | None = None,
-                               add_target_edge: bool = True, rng=None) -> Subgraph:
+                               add_target_edge: bool = True, rng=None,
+                               fanouts=None) -> Subgraph:
     """Extract the h-hop enclosing subgraph of a target link (Definition 1).
 
     The h-hop neighbourhood and the induced edges are computed as vectorised
@@ -227,10 +215,17 @@ def extract_enclosing_subgraph(graph: CircuitGraph, link: Link, hops: int = 1,
         the SEAL-style "inject target links into the graph" setup the paper
         follows.  Both positives and negatives receive the edge, so it carries
         no label information.
+    fanouts:
+        Optional per-hop expansion caps (overrides ``hops`` and
+        ``max_nodes_per_hop``; see :func:`normalize_fanouts`).
     """
     rng = get_rng(rng)
+    fanouts = normalize_fanouts(fanouts)
+    if fanouts is not None:
+        hops = len(fanouts)
     visited = graph.csr.k_hop([link.source, link.target], hops,
-                              max_nodes_per_hop=max_nodes_per_hop, rng=rng)
+                              max_nodes_per_hop=max_nodes_per_hop, rng=rng,
+                              fanouts=fanouts)
 
     # Anchors first so their local indices are 0 and 1; the rest stays sorted.
     others = visited[(visited != link.source) & (visited != link.target)]
@@ -257,7 +252,7 @@ def extract_enclosing_subgraph(graph: CircuitGraph, link: Link, hops: int = 1,
 
 def extract_node_subgraph(graph: CircuitGraph, node: int, hops: int = 2,
                           target: float = 0.0, max_nodes_per_hop: int | None = None,
-                          rng=None) -> Subgraph:
+                          rng=None, fanouts=None) -> Subgraph:
     """Extract the h-hop subgraph around a single anchor node (node-level tasks).
 
     Used for ground-capacitance regression (Section IV-D): no negative links
@@ -265,7 +260,11 @@ def extract_node_subgraph(graph: CircuitGraph, node: int, hops: int = 2,
     coincide, making ``D0 == D1``.
     """
     rng = get_rng(rng)
-    visited = graph.csr.k_hop([int(node)], hops, max_nodes_per_hop=max_nodes_per_hop, rng=rng)
+    fanouts = normalize_fanouts(fanouts)
+    if fanouts is not None:
+        hops = len(fanouts)
+    visited = graph.csr.k_hop([int(node)], hops, max_nodes_per_hop=max_nodes_per_hop,
+                              rng=rng, fanouts=fanouts)
     others = visited[visited != int(node)]
     node_ids = np.concatenate([np.array([int(node)], dtype=np.int64), others])
     edge_index, edge_types = _induced_subgraph(graph, node_ids)
@@ -291,7 +290,8 @@ _EXTRACT_CELL_BUDGET = 8_000_000
 
 
 def _extract_many(graph: CircuitGraph, src: np.ndarray, dst: np.ndarray, hops: int,
-                  max_nodes_per_hop: int | None, rng, single_anchor: bool
+                  max_nodes_per_hop: int | None, rng, single_anchor: bool,
+                  fanouts: tuple | None = None
                   ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Extract the h-hop subgraphs of many ``(src, dst)`` anchor pairs at once.
 
@@ -317,10 +317,11 @@ def _extract_many(graph: CircuitGraph, src: np.ndarray, dst: np.ndarray, hops: i
     visited_mask[query_range, src] = True
     visited_mask[query_range, dst] = True
     frontier_query, frontier_node = np.nonzero(visited_mask)
-    for _ in range(hops):
+    for hop in range(hops):
         if frontier_node.size == 0:
             break
-        flat, counts = csr._half_edges(frontier_node, max_nodes_per_hop, rng,
+        cap = fanouts[hop] if fanouts is not None else max_nodes_per_hop
+        flat, counts = csr._half_edges(frontier_node, cap, rng,
                                        return_counts=True)
         owner = np.repeat(frontier_query, counts)
         neigh = csr.indices[flat]
@@ -393,21 +394,23 @@ def _extract_many(graph: CircuitGraph, src: np.ndarray, dst: np.ndarray, hops: i
 
 def _extract_many_chunked(graph: CircuitGraph, src: np.ndarray, dst: np.ndarray,
                           hops: int, max_nodes_per_hop: int | None, rng,
-                          single_anchor: bool) -> list:
+                          single_anchor: bool, fanouts: tuple | None = None) -> list:
     """Run :func:`_extract_many` in query chunks bounded by the cell budget."""
     chunk = max(1, _EXTRACT_CELL_BUDGET // max(graph.num_nodes, 1))
     if src.shape[0] <= chunk:
-        return _extract_many(graph, src, dst, hops, max_nodes_per_hop, rng, single_anchor)
+        return _extract_many(graph, src, dst, hops, max_nodes_per_hop, rng, single_anchor,
+                             fanouts)
     parts: list = []
     for start in range(0, src.shape[0], chunk):
         parts.extend(_extract_many(graph, src[start:start + chunk], dst[start:start + chunk],
-                                   hops, max_nodes_per_hop, rng, single_anchor))
+                                   hops, max_nodes_per_hop, rng, single_anchor, fanouts))
     return parts
 
 
 def extract_enclosing_subgraphs(graph: CircuitGraph, links: list[Link], hops: int = 1,
                                 max_nodes_per_hop: int | None = None,
-                                add_target_edge: bool = True, rng=None) -> list[Subgraph]:
+                                add_target_edge: bool = True, rng=None,
+                                fanouts=None) -> list[Subgraph]:
     """Batched :func:`extract_enclosing_subgraph` over many links at once.
 
     Produces the same subgraphs as the per-link extractor (hub-node sampling
@@ -416,10 +419,13 @@ def extract_enclosing_subgraphs(graph: CircuitGraph, links: list[Link], hops: in
     if not links:
         return []
     rng = get_rng(rng)
+    fanouts = normalize_fanouts(fanouts)
+    if fanouts is not None:
+        hops = len(fanouts)
     src = np.array([l.source for l in links], dtype=np.int64)
     dst = np.array([l.target for l in links], dtype=np.int64)
     parts = _extract_many_chunked(graph, src, dst, hops, max_nodes_per_hop, rng,
-                                  single_anchor=False)
+                                  single_anchor=False, fanouts=fanouts)
 
     subgraphs = []
     for link, (node_ids, edge_index, edge_types) in zip(links, parts):
@@ -442,14 +448,17 @@ def extract_enclosing_subgraphs(graph: CircuitGraph, links: list[Link], hops: in
 
 def extract_node_subgraphs(graph: CircuitGraph, nodes, hops: int = 2,
                            targets=None, max_nodes_per_hop: int | None = None,
-                           rng=None) -> list[Subgraph]:
+                           rng=None, fanouts=None) -> list[Subgraph]:
     """Batched :func:`extract_node_subgraph` over many anchor nodes at once."""
     nodes = np.asarray(list(nodes), dtype=np.int64)
     if nodes.size == 0:
         return []
     rng = get_rng(rng)
+    fanouts = normalize_fanouts(fanouts)
+    if fanouts is not None:
+        hops = len(fanouts)
     parts = _extract_many_chunked(graph, nodes, nodes, hops, max_nodes_per_hop, rng,
-                                  single_anchor=True)
+                                  single_anchor=True, fanouts=fanouts)
     targets = np.zeros(nodes.size) if targets is None else np.asarray(targets, dtype=np.float64)
     return [
         Subgraph(
@@ -470,7 +479,8 @@ def extract_node_subgraphs(graph: CircuitGraph, nodes, hops: int = 2,
 def sample_link_dataset(graph: CircuitGraph, max_links: int | None = None,
                         negative_ratio: float = 1.0, balance: bool = True,
                         hops: int = 1, max_nodes_per_hop: int | None = None,
-                        inject_links: bool = True, rng=None) -> list[Subgraph]:
+                        inject_links: bool = True, rng=None,
+                        fanouts=None) -> list[Subgraph]:
     """Full sampling pipeline: negatives, balancing, injection, extraction.
 
     Returns one :class:`Subgraph` per (positive or negative) link, shuffled.
@@ -479,39 +489,20 @@ def sample_link_dataset(graph: CircuitGraph, max_links: int | None = None,
     used for training.  With ``inject_links=True`` (the paper's SEAL-style
     setup) all positive links of the design plus the generated negatives are
     added to the host graph as typed edges before subgraph extraction.
+
+    .. deprecated::
+        Thin byte-compatible shim over
+        :func:`repro.graph.datapipe.default_link_pipeline` — new code should
+        compose a :class:`~repro.graph.datapipe.SamplingPipeline` directly.
     """
-    rng = get_rng(rng)
-    positives = list(graph.links)
-    if balance:
-        positives = balance_links(positives, rng=rng)
-    if max_links is not None and len(positives) > max_links:
-        chosen = rng.choice(len(positives), size=max_links, replace=False)
-        positives = [positives[i] for i in chosen]
+    from .datapipe import default_link_pipeline
 
-    negative_graph = CircuitGraph(
-        name=graph.name,
-        node_types=graph.node_types,
-        node_names=graph.node_names,
-        edge_index=graph.edge_index,
-        edge_types=graph.edge_types,
-        node_stats=graph.node_stats,
-        links=positives,
+    pipeline = default_link_pipeline(
+        max_links=max_links, negative_ratio=negative_ratio, balance=balance,
+        hops=hops, max_nodes_per_hop=max_nodes_per_hop,
+        inject_links=inject_links, fanouts=fanouts,
     )
-    negatives = generate_negative_links(negative_graph, ratio=negative_ratio, rng=rng)
-
-    if inject_links:
-        # All observed couplings plus the sampled negatives become typed edges.
-        host = inject_link_edges(graph, list(graph.links) + negatives)
-        add_target = False
-    else:
-        host = graph
-        add_target = True
-
-    samples = extract_enclosing_subgraphs(host, positives + negatives, hops=hops,
-                                          max_nodes_per_hop=max_nodes_per_hop,
-                                          add_target_edge=add_target, rng=rng)
-    order = rng.permutation(len(samples))
-    return [samples[i] for i in order]
+    return pipeline.run(graph, rng=get_rng(rng))
 
 
 def link_type_histogram(links: list[Link]) -> dict[str, int]:
@@ -525,14 +516,6 @@ def link_type_histogram(links: list[Link]) -> dict[str, int]:
 
 __all__.append("link_type_histogram")
 
-
-# --------------------------------------------------------------------------- #
-# Registry: the extraction strategies are discoverable/pluggable via
-# repro.api.SAMPLERS.  A sampler takes (graph, links-or-nodes, ...) and
-# returns a list of Subgraph objects; see extract_enclosing_subgraphs.
-# --------------------------------------------------------------------------- #
-from ..api.registries import SAMPLERS  # noqa: E402  (registration epilogue)
-
-SAMPLERS.register("enclosing", extract_enclosing_subgraphs)
-SAMPLERS.register("node", extract_node_subgraphs)
-SAMPLERS.register("link_dataset", sample_link_dataset)
+# The SAMPLERS registry entries live in repro.graph.datapipe: every stage
+# factory follows the uniform (graph, seeds, *, rng) contract there, instead
+# of the incompatible raw-function signatures this module used to register.

@@ -1,0 +1,27 @@
+"""One-file workload plugins built on the sampling datapipes.
+
+Each module in this package is a self-contained workload: it registers a
+:class:`~repro.api.tasks.Task` (and any custom sampling stages it needs) and
+declares its sampling recipe as a ``DEFAULT_SAMPLING`` pipeline spec — no
+changes to the core training/serving stack.  The package is imported by
+:func:`repro.api.registries.load_builtin_components`, so the workloads are
+always selectable by name (``repro.api.fit({"task": "sram_coupling"})``).
+
+* :mod:`~repro.workloads.sram_coupling` — coupling-existence prediction on
+  banked hierarchical-SRAM designs, fanout-bounded so the dense array's hub
+  nodes cannot explode the enclosing subgraphs.
+* :mod:`~repro.workloads.cross_hierarchy` — link prediction restricted to
+  couplings that span two top-level hierarchy cells (the inter-macro
+  parasitics flat sampling underweights).
+"""
+
+from .cross_hierarchy import CrossCellSeedStage, CrossHierarchyLinkTask, cross_cell_links
+from .sram_coupling import SRAMCouplingTask, sram_design
+
+__all__ = [
+    "CrossCellSeedStage",
+    "CrossHierarchyLinkTask",
+    "cross_cell_links",
+    "SRAMCouplingTask",
+    "sram_design",
+]

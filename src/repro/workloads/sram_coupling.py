@@ -1,0 +1,59 @@
+"""SRAM-array coupling prediction — a one-file workload plugin.
+
+Banked SRAM macros are the worst case for enclosing-subgraph sampling: every
+bitcell hangs off shared bitline/wordline/supply hubs, so unbounded h-hop
+neighbourhoods absorb most of a bank within two hops.  This workload is
+plain link prediction on :func:`repro.netlist.hierarchical_sram` designs,
+but its ``DEFAULT_SAMPLING`` pipeline inserts a fanout plan that caps the
+half-edges expanded per frontier node at every hop — the subgraphs stay
+small and bank-local while the task remains the paper's coupling-existence
+objective.
+
+The whole workload is this file: a design helper plus one registered task
+with a declarative sampling spec (see ``docs/extending.md``).
+"""
+
+from __future__ import annotations
+
+from ..api.registries import TASKS
+from ..api.tasks import LinkPredictionTask
+from ..core.datasets import DesignData
+
+__all__ = ["SRAMCouplingTask", "sram_design"]
+
+
+def sram_design(banks: int = 2, rows: int = 16, cols: int = 8, seed: int = 0,
+                split: str = "train") -> DesignData:
+    """A placed-and-extracted hierarchical-SRAM design for this workload.
+
+    Builds :func:`repro.netlist.hierarchical_sram`, flattens it (node names
+    keep their ``BANK/CELL/...`` prefixes) and runs placement + parasitic
+    extraction, returning a ready-to-train :class:`DesignData`.
+    """
+    from ..netlist import hierarchical_sram
+
+    circuit = hierarchical_sram(banks=banks, rows=rows, cols=cols,
+                                name=f"HSRAM_B{banks}R{rows}C{cols}")
+    return DesignData.from_circuit(circuit, seed=seed, split=split)
+
+
+@TASKS.register("sram_coupling")
+class SRAMCouplingTask(LinkPredictionTask):
+    """Coupling-existence prediction on SRAM banks, fanout-bounded.
+
+    Identical head/loss/metrics to :class:`LinkPredictionTask`; the sampling
+    pipeline swaps the unbounded h-hop extraction for a per-hop fanout plan
+    (``[8, 4]``: at most 8 half-edges per frontier node at hop 0, 4 at hop
+    1), which bounds subgraph size on the array's hub nodes.
+    """
+
+    name = "sram_coupling"
+    model_task = "link"
+    DEFAULT_SAMPLING = [
+        {"stage": "link_seeds", "balance": True, "max_links": 256},
+        {"stage": "negative_permute", "ratio": 1.0},
+        {"stage": "inject"},
+        {"stage": "fanout", "fanouts": [8, 4]},
+        {"stage": "enclosing"},
+        {"stage": "shuffle"},
+    ]

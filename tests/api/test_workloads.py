@@ -1,0 +1,147 @@
+"""End-to-end tests for the one-file workload plugins (`repro.workloads`).
+
+Both workloads must train through the public facade — ``repro.api.fit`` with
+only a task name — and their declarative ``DEFAULT_SAMPLING`` pipelines must
+actually shape the sampled data: fanout-bounded subgraphs for the SRAM
+workload, cross-cell-only seed links for the hierarchy workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, TASKS, evaluate, fit
+from repro.api.tasks import resolve_task
+from repro.core import DataConfig
+from repro.graph import SeedBatch, as_pipeline
+from repro.workloads import (
+    CrossCellSeedStage,
+    CrossHierarchyLinkTask,
+    SRAMCouplingTask,
+    cross_cell_links,
+    sram_design,
+)
+
+
+@pytest.fixture(scope="module")
+def sram():
+    """A small banked SRAM design shared by both workload tests."""
+    return sram_design(banks=2, rows=4, cols=2, seed=0)
+
+
+def _tiny_spec(task: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        backbone={"type": "circuitgps", "dim": 16, "num_layers": 1,
+                  "pe_hidden": 4, "dropout": 0.0, "attention": "none"},
+        task=task,
+        train={"epochs": 2, "batch_size": 32, "lr": 5e-3},
+        data={"max_links_per_design": 48, "max_nodes_per_hop": 10},
+        name=f"{task}-e2e",
+    )
+
+
+class TestSRAMCouplingWorkload:
+    def test_design_keeps_hierarchy_prefixes(self, sram):
+        assert sram.split == "train"
+        assert any("/" in name for name in sram.graph.node_names)
+        assert sram.graph.links
+
+    def test_task_registered_with_fanout_sampling(self):
+        task = resolve_task("sram_coupling")
+        assert isinstance(task, SRAMCouplingTask)
+        stages = [entry["stage"] for entry in task.sampling]
+        assert "fanout" in stages
+        # The spec survives the task's declarative round-trip.
+        assert resolve_task(task.spec()).sampling == task.sampling
+
+    def test_sampling_bounds_subgraphs(self, sram):
+        """The fanout plan keeps SRAM subgraphs smaller than unbounded ones."""
+        task = resolve_task("sram_coupling")
+        config = DataConfig(max_links_per_design=32)
+        bounded = task.build_samples(sram, config, rng=np.random.default_rng(0))
+        # The same recipe with the fanout stage dropped (and the same 2-hop
+        # radius the [8, 4] plan implies) expands frontiers unboundedly.
+        unbounded_spec = [dict(e) for e in task.sampling
+                          if e["stage"] != "fanout"]
+        for entry in unbounded_spec:
+            if entry["stage"] == "enclosing":
+                entry["hops"] = 2
+        free_task = resolve_task({"type": "sram_coupling",
+                                  "sampling": unbounded_spec})
+        free = free_task.build_samples(sram, config,
+                                       rng=np.random.default_rng(0))
+        assert bounded
+        assert max(s.node_ids.size for s in bounded) < \
+            max(s.node_ids.size for s in free)
+        assert np.mean([s.node_ids.size for s in bounded]) < \
+            np.mean([s.node_ids.size for s in free])
+
+    def test_fit_end_to_end(self, sram):
+        pipeline = fit(_tiny_spec("sram_coupling"), designs=[sram])
+        result = pipeline.pretrain_result
+        assert result is not None
+        assert np.isfinite(result.history.last()["loss"])
+        metrics = evaluate(pipeline, sram.name, task="sram_coupling")
+        assert 0.0 <= metrics["auc"] <= 1.0
+        assert metrics["num_samples"] > 0
+
+
+class TestCrossHierarchyWorkload:
+    def test_cross_cell_links_found_on_hierarchical_design(self, sram):
+        crossing = cross_cell_links(sram.graph)
+        assert crossing
+        names = sram.graph.node_names
+        for link in crossing[:20]:
+            cell = lambda n: n.split("/", 1)[0] if "/" in n else ""
+            assert cell(names[link.source]) != cell(names[link.target])
+
+    def test_seed_stage_filters_to_crossing_links(self, sram):
+        _, seeds = CrossCellSeedStage()(sram.graph, None,
+                                        rng=np.random.default_rng(0))
+        assert seeds.positives == cross_cell_links(sram.graph)
+
+    def test_seed_stage_raises_actionably_on_flat_design(self, sram):
+        """A design without 'CELL/...' prefixes: the error must say so."""
+        from repro.graph import CircuitGraph
+
+        graph = sram.graph
+        flat = CircuitGraph(
+            name="FLAT", node_types=graph.node_types,
+            node_names=[n.replace("/", "_") for n in graph.node_names],
+            edge_index=graph.edge_index, edge_types=graph.edge_types,
+            node_stats=graph.node_stats, links=graph.links)
+        with pytest.raises(ValueError, match="cross_hierarchy"):
+            CrossCellSeedStage()(flat, None, rng=np.random.default_rng(0))
+
+    def test_task_pipeline_yields_only_crossing_positives(self, sram):
+        task = resolve_task("cross_hierarchy")
+        assert isinstance(task, CrossHierarchyLinkTask)
+        pipeline = as_pipeline(task.sampling)
+        _, seeds = pipeline(sram.graph, SeedBatch(),
+                            rng=np.random.default_rng(0))
+        crossing_keys = {l.key() for l in cross_cell_links(sram.graph)}
+        positives = [s for s in seeds.subgraphs if s.label > 0]
+        assert positives
+        # Every positive subgraph was extracted around a cross-cell link.
+        assert all(l.key() in crossing_keys for l in seeds.positives)
+
+    def test_fit_end_to_end(self, sram):
+        pipeline = fit(_tiny_spec("cross_hierarchy"), designs=[sram])
+        result = pipeline.pretrain_result
+        assert result is not None
+        assert np.isfinite(result.history.last()["loss"])
+        metrics = evaluate(pipeline, sram.name, task="cross_hierarchy")
+        assert 0.0 <= metrics["auc"] <= 1.0
+
+
+class TestWorkloadRegistration:
+    def test_both_tasks_listed(self):
+        assert {"sram_coupling", "cross_hierarchy"} <= set(TASKS.names())
+
+    def test_spec_level_sampling_defers_to_task_default(self, sram):
+        """Task-level DEFAULT_SAMPLING wins over a spec-level override."""
+        spec = ExperimentSpec(task="sram_coupling", sampling="link_dataset")
+        spec.validate()
+        task = spec.build_task()
+        assert task.sampling == resolve_task("sram_coupling").sampling
