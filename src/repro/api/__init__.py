@@ -3,8 +3,8 @@
 Everything a downstream user (or plugin author) needs lives here:
 
 * **Registries** (:data:`BACKBONES`, :data:`ATTENTION`, :data:`HEADS`,
-  :data:`ENCODINGS`, :data:`SAMPLERS`, :data:`TASKS`, :data:`BACKENDS`) —
-  decorator-based
+  :data:`ENCODINGS`, :data:`SAMPLERS`, :data:`TASKS`, :data:`BACKENDS`,
+  :data:`LINT_RULES`) — decorator-based
   component registries; registering a class in one file makes it
   constructible from declarative config everywhere (CLI, checkpoints,
   serving).
@@ -38,6 +38,7 @@ from .registries import (
     BACKENDS,
     ENCODINGS,
     HEADS,
+    LINT_RULES,
     REGISTRIES,
     SAMPLERS,
     TASKS,
@@ -57,6 +58,7 @@ __all__ = [
     "SAMPLERS",
     "TASKS",
     "BACKENDS",
+    "LINT_RULES",
     "REGISTRIES",
     "list_components",
     "load_builtin_components",

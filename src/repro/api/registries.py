@@ -21,6 +21,8 @@ Registry       Contents
 ``TASKS``      :class:`~repro.api.tasks.Task` implementations
 ``BACKENDS``   compute backends of the segment-ops engine
                (:class:`~repro.nn.backends.base.ArrayBackend`)
+``LINT_RULES`` static-analysis rules of ``repro lint``
+               (:class:`~repro.analysis.lint.core.LintRule`)
 =============  ==========================================================
 """
 
@@ -36,6 +38,7 @@ __all__ = [
     "SAMPLERS",
     "TASKS",
     "BACKENDS",
+    "LINT_RULES",
     "REGISTRIES",
     "load_builtin_components",
     "list_components",
@@ -59,6 +62,7 @@ def load_builtin_components() -> None:
     import repro.models.circuitgps  # noqa: F401  (BACKBONES)
     import repro.api.tasks         # noqa: F401  (TASKS)
     import repro.workloads         # noqa: F401  (TASKS/SAMPLERS: workload plugins)
+    import repro.analysis.lint.rules  # noqa: F401  (LINT_RULES)
 
 
 BACKBONES = Registry("backbone", ensure_loaded=load_builtin_components)
@@ -68,6 +72,7 @@ ENCODINGS = Registry("positional encoding", ensure_loaded=load_builtin_component
 SAMPLERS = Registry("sampler", ensure_loaded=load_builtin_components)
 TASKS = Registry("task", ensure_loaded=load_builtin_components)
 BACKENDS = Registry("compute backend", ensure_loaded=load_builtin_components)
+LINT_RULES = Registry("lint rule", ensure_loaded=load_builtin_components)
 
 REGISTRIES: dict[str, Registry] = {
     "backbones": BACKBONES,
@@ -77,6 +82,7 @@ REGISTRIES: dict[str, Registry] = {
     "samplers": SAMPLERS,
     "tasks": TASKS,
     "backends": BACKENDS,
+    "lint_rules": LINT_RULES,
 }
 
 

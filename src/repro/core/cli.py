@@ -23,8 +23,11 @@
 * ``bench``    — diff two machine-readable ``BENCH_*.json`` benchmark records
   and exit nonzero on a perf regression (``--compare OLD NEW``),
 * ``components`` — list every registered backbone / attention kernel / head /
-  encoding / sampler / task / compute backend (the plugin surface of
-  :mod:`repro.api`).
+  encoding / sampler / task / compute backend / lint rule (the plugin
+  surface of :mod:`repro.api`),
+* ``lint``     — run the registered static-analysis rules
+  (:mod:`repro.analysis.lint`) over python sources and exit 1 on findings
+  not grandfathered by the committed baseline.
 
 ``train``, ``annotate`` and ``evaluate`` accept ``--backend`` to run the
 segment-ops engine on a registered compute backend (numpy/numba/torch; the
@@ -249,6 +252,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="restrict to one registry (e.g. backbones, tasks)")
     components.add_argument("--json", default=None, metavar="PATH",
                             help="write the component listing as JSON")
+
+    lint = sub.add_parser(
+        "lint", help="statically check python sources against the repo's "
+                     "determinism/dtype/backend/fork-safety contracts")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      help="diagnostic format (default: text)")
+    lint.add_argument("--rules", default=None, metavar="NAMES",
+                      help="comma-separated subset of rule names to run "
+                           "(see 'components --family lint_rules'; "
+                           "default: all)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline JSON of grandfathered findings; only "
+                           "findings not in it fail the run")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline with the current findings "
+                           "and exit 0")
     return parser
 
 
@@ -767,6 +788,53 @@ def cmd_components(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``lint``: run the registered static-analysis rules over sources."""
+    import json
+
+    from ..analysis.lint import (
+        format_findings, load_baseline, report_to_json, resolve_rules,
+        run_lint, write_baseline,
+    )
+
+    rule_names = None
+    if args.rules is not None:
+        rule_names = [name.strip() for name in args.rules.split(",")
+                      if name.strip()]
+    rules = resolve_rules(rule_names)
+    baseline = None
+    if args.baseline and not args.update_baseline:
+        if pathlib.Path(args.baseline).exists():
+            baseline = load_baseline(args.baseline)
+        else:
+            print(f"note: baseline {args.baseline} does not exist yet; "
+                  "treating every finding as new", file=sys.stderr)
+    try:
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, report.findings)
+        print(f"Wrote baseline with {len(report.findings)} grandfathered "
+              f"finding(s) to {args.baseline}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(report_to_json(report), indent=2))
+    else:
+        if report.findings:
+            print(format_findings(report.findings))
+        suffix = (f" ({len(report.grandfathered)} grandfathered by baseline)"
+                  if report.grandfathered else "")
+        print(f"{len(report.findings)} finding(s) across "
+              f"{report.files_checked} file(s){suffix}")
+    return 1 if report.findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``; returns a process exit code."""
     from ..api.registry import RegistryError
@@ -778,7 +846,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"train": cmd_train, "annotate": cmd_annotate,
                 "reannotate": cmd_reannotate, "serve": cmd_serve,
                 "evaluate": cmd_evaluate, "report": cmd_report,
-                "bench": cmd_bench, "components": cmd_components}
+                "bench": cmd_bench, "components": cmd_components,
+                "lint": cmd_lint}
     try:
         return handlers[args.command](args)
     except (CheckpointError, FileNotFoundError, RegistryError, SpecError,

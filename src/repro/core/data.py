@@ -33,6 +33,7 @@ from ..graph import (
     compute_pe_batch,
 )
 from ..graph.hetero import CircuitGraph, Link
+from ..nn.dtypes import FLOAT64
 from ..utils.rng import get_rng
 
 __all__ = [
@@ -349,9 +350,9 @@ class SubgraphDataset:
         dataset = cls(factory=sampler, length=len(links), pe_kind=pe_kind,
                       design=design, cache=cache, memoize=memoize)
         dataset._block_factory = sampler.block
-        dataset._labels = np.array([l.label for l in links], dtype=np.float64)
+        dataset._labels = np.array([l.label for l in links], dtype=FLOAT64)
         if targets is not None:
-            dataset._targets = np.array(targets, dtype=np.float64)
+            dataset._targets = np.array(targets, dtype=FLOAT64)
         dataset._link_types = np.array([l.link_type for l in links], dtype=np.int64)
         return dataset
 
@@ -451,13 +452,13 @@ class SubgraphDataset:
     def labels(self) -> np.ndarray:
         """Per-sample link labels (no subgraph extraction needed)."""
         if getattr(self, "_labels", None) is None:
-            self._labels = np.array([s.label for s in self._materialized()], dtype=np.float64)
+            self._labels = np.array([s.label for s in self._materialized()], dtype=FLOAT64)
         return self._labels
 
     def targets(self) -> np.ndarray:
         """Per-sample regression targets (no subgraph extraction needed)."""
         if getattr(self, "_targets", None) is None:
-            self._targets = np.array([s.target for s in self._materialized()], dtype=np.float64)
+            self._targets = np.array([s.target for s in self._materialized()], dtype=FLOAT64)
         return self._targets
 
     def link_types(self) -> np.ndarray:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.dtypes import FLOAT64
+
 __all__ = [
     "accuracy",
     "f1_score",
@@ -23,8 +25,8 @@ __all__ = [
 
 
 def _as_arrays(pred, target) -> tuple[np.ndarray, np.ndarray]:
-    pred = np.asarray(pred, dtype=np.float64).reshape(-1)
-    target = np.asarray(target, dtype=np.float64).reshape(-1)
+    pred = np.asarray(pred, dtype=FLOAT64).reshape(-1)
+    target = np.asarray(target, dtype=FLOAT64).reshape(-1)
     if pred.shape != target.shape:
         raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
     if pred.size == 0:
@@ -38,7 +40,7 @@ def _as_arrays(pred, target) -> tuple[np.ndarray, np.ndarray]:
 def accuracy(scores, labels, threshold: float = 0.5) -> float:
     """Fraction of correct binary predictions; ``scores`` are probabilities."""
     scores, labels = _as_arrays(scores, labels)
-    predictions = (scores >= threshold).astype(np.float64)
+    predictions = (scores >= threshold).astype(FLOAT64)
     return float((predictions == labels).mean())
 
 

@@ -64,6 +64,7 @@ from ..graph.hetero import (
 from ..netlist import Circuit, parse_spice_file, write_spice
 from ..netlist.spice import format_si_value
 from ..nn import no_grad, stable_sigmoid, use_dtype
+from ..nn.dtypes import FLOAT32, FLOAT_DTYPES
 from ..utils.logging import get_logger
 from ..utils.rng import get_rng, spawn_seeds
 from ..utils.serialization import save_json
@@ -320,13 +321,13 @@ class AnnotationEngine:
         # policy — roughly half the memory traffic and faster BLAS on CPU,
         # with AUC drift <= 1e-4 on the bundled designs (pinned by tests).
         self.precision = np.dtype(precision)
-        if self.precision not in (np.dtype(np.float64), np.dtype(np.float32)):
+        if self.precision not in FLOAT_DTYPES:
             raise ValueError(
                 f"precision must be 'float64' or 'float32', got {precision!r}"
             )
-        if self.precision == np.float32:
-            self.link_model = copy.deepcopy(self.link_model).cast(np.float32)
-            self.reg_model = copy.deepcopy(self.reg_model).cast(np.float32)
+        if self.precision == FLOAT32:
+            self.link_model = copy.deepcopy(self.link_model).cast(FLOAT32)
+            self.reg_model = copy.deepcopy(self.reg_model).cast(FLOAT32)
 
     # ------------------------------------------------------------------ #
     # Input resolution

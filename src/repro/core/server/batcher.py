@@ -34,7 +34,11 @@ import asyncio
 from collections import deque
 from typing import Callable, Sequence
 
+from ...utils.logging import get_logger
+
 __all__ = ["MicroBatcherCore", "MicroBatcher"]
+
+logger = get_logger("repro.serve.batcher")
 
 
 class _Item:
@@ -232,7 +236,9 @@ class MicroBatcher:
                     f"batch runner returned {len(results)} results for "
                     f"{len(payloads)} payloads"
                 )
-        except Exception:
+        except Exception as exc:
+            logger.debug("batch of %d failed (%s: %s); retrying items "
+                         "individually", len(live), type(exc).__name__, exc)
             if self.metrics is not None:
                 self.metrics.inc("batch_retries_total")
             await self._run_items_individually(live)

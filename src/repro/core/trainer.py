@@ -32,6 +32,7 @@ from ..nn import (
     stable_sigmoid,
 )
 from ..utils.logging import MetricLogger, get_logger
+from ..nn.dtypes import FLOAT64
 from ..utils.rng import get_rng
 from .config import DataConfig, TrainConfig
 from .data import DataLoader, SubgraphDataset, as_dataset
@@ -246,8 +247,8 @@ def link_pairs_for_design(design: DesignData, config: DataConfig = DataConfig(),
     negatives = generate_negative_links(probe, ratio=ratio, rng=rng)
     links: list[Link] = positives + negatives
     pairs = np.array([[l.source, l.target] for l in links], dtype=np.int64)
-    labels = np.array([l.label for l in links], dtype=np.float64)
-    targets = np.array([normalizer.normalize(l.capacitance) for l in links], dtype=np.float64)
+    labels = np.array([l.label for l in links], dtype=FLOAT64)
+    targets = np.array([normalizer.normalize(l.capacitance) for l in links], dtype=FLOAT64)
     order = rng.permutation(len(links))
     return pairs[order], labels[order], targets[order]
 

@@ -14,6 +14,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..utils.rng import get_rng
+from ..nn.dtypes import FLOAT64
 from .sampling import Subgraph
 
 __all__ = ["SubgraphBatch", "collate", "batch_iterator"]
@@ -128,8 +129,8 @@ def collate(subgraphs: Sequence[Subgraph], stats_dim: int | None = None) -> Subg
         anchors=np.array(anchors, dtype=np.int64),
         pe=np.concatenate(pe_rows, axis=0),
         node_stats=np.concatenate(stats_rows, axis=0),
-        labels=np.array(labels, dtype=np.float64),
-        targets=np.array(targets, dtype=np.float64),
+        labels=np.array(labels, dtype=FLOAT64),
+        targets=np.array(targets, dtype=FLOAT64),
         link_types=np.array(link_types, dtype=np.int64),
     )
 

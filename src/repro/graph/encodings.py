@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..api.registries import ENCODINGS
+from ..nn.dtypes import FLOAT64
 from .csr import CSRGraph
 from .sampling import Subgraph
 
@@ -48,7 +49,7 @@ LAPPE_DIM = 4
 PE_KINDS = ("none", "stats", "drnl", "rwse", "lappe", "dspd")
 
 
-def _dense_adjacency(subgraph: Subgraph, dtype=np.float64) -> np.ndarray:
+def _dense_adjacency(subgraph: Subgraph, dtype=FLOAT64) -> np.ndarray:
     """Dense 0/1 adjacency built with one fancy-index assignment."""
     n = subgraph.num_nodes
     adjacency = np.zeros((n, n), dtype=dtype)
@@ -86,7 +87,7 @@ def _bfs_distances_dense(subgraph: Subgraph, sources: tuple[int, ...], unreachab
             break
         distances[fresh] = depth
         visited |= fresh
-        frontier = fresh.astype(np.float64)
+        frontier = fresh.astype(FLOAT64)
     return distances
 
 
@@ -307,7 +308,7 @@ def compute_pe(subgraph: Subgraph, kind: str = "dspd") -> np.ndarray:
     else:
         # Custom kinds come from the repro.api ENCODINGS registry; unknown
         # names raise a ValueError listing the registered kinds.
-        encoding = np.asarray(ENCODINGS.get(kind)(subgraph), dtype=np.float64)
+        encoding = np.asarray(ENCODINGS.get(kind)(subgraph), dtype=FLOAT64)
     subgraph.pe = encoding
     return encoding
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..utils.rng import get_rng
+from ..nn.dtypes import FLOAT64
 from .hetero import LINK_TYPE_NAMES, CircuitGraph, Link
 
 __all__ = [
@@ -459,7 +460,7 @@ def extract_node_subgraphs(graph: CircuitGraph, nodes, hops: int = 2,
         hops = len(fanouts)
     parts = _extract_many_chunked(graph, nodes, nodes, hops, max_nodes_per_hop, rng,
                                   single_anchor=True, fanouts=fanouts)
-    targets = np.zeros(nodes.size) if targets is None else np.asarray(targets, dtype=np.float64)
+    targets = np.zeros(nodes.size) if targets is None else np.asarray(targets, dtype=FLOAT64)
     return [
         Subgraph(
             node_ids=node_ids,

@@ -19,6 +19,7 @@ import numpy as np
 from ..api.registries import HEADS
 from ..nn import MLP, Embedding, Linear, Module, Tensor, concat
 from ..nn import functional as F
+from ..nn.dtypes import FLOAT64
 from ..utils.rng import get_rng
 from ..graph.hetero import NODE_DEVICE, NODE_NET, NODE_PIN
 
@@ -68,9 +69,9 @@ class CircuitStatsProjection(Module):
         pin_codes = np.clip(node_stats[:, 0].astype(np.int64), 0, self.num_pin_types - 1)
         projected_pin = self.pin_embed(pin_codes)
 
-        net_mask = Tensor((node_types == NODE_NET).astype(np.float64)[:, None])
-        device_mask = Tensor((node_types == NODE_DEVICE).astype(np.float64)[:, None])
-        pin_mask = Tensor((node_types == NODE_PIN).astype(np.float64)[:, None])
+        net_mask = Tensor((node_types == NODE_NET).astype(FLOAT64)[:, None])
+        device_mask = Tensor((node_types == NODE_DEVICE).astype(FLOAT64)[:, None])
+        pin_mask = Tensor((node_types == NODE_PIN).astype(FLOAT64)[:, None])
         return projected_net * net_mask + projected_device * device_mask + projected_pin * pin_mask
 
 

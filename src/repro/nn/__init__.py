@@ -18,7 +18,8 @@ from .backends import (
     set_backend,
     use_backend,
 )
-from .dtypes import as_float, default_dtype, set_default_dtype, use_dtype
+from .dtypes import (FLOAT32, FLOAT64, FLOAT_DTYPES, as_float,
+                     default_dtype, set_default_dtype, use_dtype)
 from .functional import SegmentInfo, segment_info
 from .layers import (
     MLP,
@@ -79,6 +80,9 @@ __all__ = [
     "set_backend",
     "use_backend",
     "as_float",
+    "FLOAT32",
+    "FLOAT64",
+    "FLOAT_DTYPES",
     "default_dtype",
     "set_default_dtype",
     "use_dtype",

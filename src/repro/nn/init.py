@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtypes import FLOAT64
+
 __all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros", "normal", "uniform"]
 
 
@@ -29,7 +31,7 @@ def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
 
 
 def zeros(shape: tuple) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=FLOAT64)
 
 
 def normal(shape: tuple, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .module import Parameter
+from .dtypes import FLOAT64
 
 __all__ = ["Optimizer", "SGD", "Adam", "AdamW", "CosineSchedule", "StepSchedule", "clip_grad_norm"]
 
@@ -43,7 +44,7 @@ class Optimizer:
     # ------------------------------------------------------------------ #
     def state_dict(self) -> dict[str, np.ndarray]:
         """Internal optimiser state (moments, step counters) as flat arrays."""
-        return {"lr": np.float64(self.lr)}
+        return {"lr": FLOAT64.type(self.lr)}
 
     def load_state_dict(self, state: dict) -> None:
         """Restore state saved by :meth:`state_dict`.
@@ -73,7 +74,7 @@ class Optimizer:
             )
         loaded = []
         for i, key in enumerate(keys):
-            value = np.asarray(state[key], dtype=np.float64)
+            value = np.asarray(state[key], dtype=FLOAT64)
             if value.shape != slots[i].shape:
                 raise ValueError(
                     f"optimizer state shape mismatch for {key}: "
@@ -264,7 +265,7 @@ class StepSchedule:
 
     def state_dict(self) -> dict[str, np.ndarray]:
         """Serialisable schedule position and current LR."""
-        return {"step": np.int64(self._step), "lr": np.float64(self.optimizer.lr)}
+        return {"step": np.int64(self._step), "lr": FLOAT64.type(self.optimizer.lr)}
 
     def load_state_dict(self, state: dict) -> None:
         """Restore the schedule position and LR."""

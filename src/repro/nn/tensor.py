@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from .backends import active_backend
-from .dtypes import as_float, default_dtype
+from .dtypes import FLOAT_DTYPES, as_float, default_dtype
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "stable_sigmoid"]
 
@@ -82,7 +82,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 
 
 def _as_array(data) -> np.ndarray:
-    if isinstance(data, np.ndarray) and data.dtype not in (np.float64, np.float32):
+    if isinstance(data, np.ndarray) and data.dtype not in FLOAT_DTYPES:
         return data.astype(default_dtype())
     return as_float(data)
 

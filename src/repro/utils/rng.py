@@ -13,7 +13,22 @@ import numpy as np
 
 __all__ = ["seed_all", "get_rng", "spawn_rng", "spawn_seeds"]
 
-_GLOBAL_RNG = np.random.default_rng(0)
+_GLOBAL_RNG: np.random.Generator | None = None
+
+
+def _global_rng() -> np.random.Generator:
+    """The process-wide generator, constructed lazily on first use (seed 0).
+
+    Deferring construction keeps ``import repro`` free of shared mutable rng
+    state — nothing is built (and no entropy is consumed) until a component
+    actually falls back to the global stream.  This accessor is the one
+    sanctioned home of the global generator; everywhere else the
+    ``no-global-rng`` lint rule requires an explicitly threaded ``rng``.
+    """
+    global _GLOBAL_RNG
+    if _GLOBAL_RNG is None:
+        _GLOBAL_RNG = np.random.default_rng(0)
+    return _GLOBAL_RNG
 
 
 def seed_all(seed: int) -> np.random.Generator:
@@ -30,7 +45,7 @@ def get_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator
     generator is built from it), or ``None`` (the global generator is used).
     """
     if rng is None:
-        return _GLOBAL_RNG
+        return _global_rng()
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     return rng

@@ -1,0 +1,11 @@
+"""Bad: raw numpy compute calls in a hot-path module."""
+
+import numpy as np
+
+
+def linear(x, w):
+    return np.matmul(x, w)
+
+
+def softplus(x):
+    return np.log(1.0 + np.exp(x))

@@ -1,0 +1,12 @@
+"""Bad: unpicklable callables crossing the process pool."""
+
+from repro.core.parallel import parallel_map
+
+
+def run(items, bias):
+    def shifted(item):
+        return item + bias
+
+    first = parallel_map(shifted, items)
+    second = parallel_map(lambda item: item * 2, items)
+    return first, second

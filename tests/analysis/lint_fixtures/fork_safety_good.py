@@ -1,0 +1,23 @@
+"""Good: module-level callables are picklable across the pool."""
+
+from repro.core.parallel import parallel_map
+
+
+def double(item):
+    return item * 2
+
+
+class Shifter:
+    """Callable object carrying its state explicitly (pickles fine)."""
+
+    def __init__(self, bias):
+        self.bias = bias
+
+    def __call__(self, item):
+        return item + self.bias
+
+
+def run(items, bias):
+    first = parallel_map(double, items)
+    second = parallel_map(Shifter(bias), items)
+    return first, second

@@ -1,0 +1,12 @@
+"""Bad: global-state draws and the pre-PR-8 additive seed idiom."""
+
+import numpy as np
+
+
+def sample(n):
+    return np.random.rand(n)
+
+
+def per_item_rngs(seed, count):
+    # The historical bug: seed+i streams collide across base seeds.
+    return [np.random.default_rng(seed + i) for i in range(count)]

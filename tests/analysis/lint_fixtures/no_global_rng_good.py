@@ -1,0 +1,13 @@
+"""Good: a threaded generator and SeedSequence-spawned per-item seeds."""
+
+import numpy as np
+
+from repro.utils.rng import spawn_seeds
+
+
+def sample(n, *, rng):
+    return rng.random(n)
+
+
+def per_item_rngs(seed, count):
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]

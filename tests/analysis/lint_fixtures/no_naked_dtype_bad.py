@@ -1,0 +1,11 @@
+"""Bad: float dtype literals outside ``repro.nn.dtypes``."""
+
+import numpy as np
+
+
+def labels(values):
+    return np.array(values, dtype=np.float64)
+
+
+def wire(values):
+    return np.asarray(values).astype(np.dtype("float32"))

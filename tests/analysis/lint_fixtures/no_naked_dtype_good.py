@@ -1,0 +1,17 @@
+"""Good: the named dtype-policy constants and coercion helpers."""
+
+import numpy as np
+
+from repro.nn.dtypes import FLOAT32, FLOAT64, as_float
+
+
+def labels(values):
+    return np.array(values, dtype=FLOAT64)
+
+
+def wire(values):
+    return np.asarray(values).astype(FLOAT32)
+
+
+def features(values):
+    return as_float(values)

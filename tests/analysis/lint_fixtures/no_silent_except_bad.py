@@ -1,0 +1,16 @@
+"""Bad: broad handlers that swallow failures without a trace."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None
+
+
+def tick(callbacks):
+    for callback in callbacks:
+        try:
+            callback()
+        except:  # noqa: E722
+            pass

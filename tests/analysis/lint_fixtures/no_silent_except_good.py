@@ -1,0 +1,28 @@
+"""Good: broad handlers log, re-raise, or stay narrow."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+
+
+def tick(callbacks):
+    for callback in callbacks:
+        try:
+            callback()
+        except Exception as exc:
+            logger.warning("callback failed: %s", exc)
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except Exception:
+        logger.exception("fn failed; propagating")
+        raise

@@ -1,0 +1,17 @@
+"""Bad: registered components shipping without docstrings."""
+
+from repro.api import HEADS, TASKS
+
+
+@HEADS.register("fixture-head")
+class FixtureHead:
+    def __call__(self, batch):
+        return batch
+
+
+def fixture_task(batch):
+    return batch
+
+
+TASKS.register("fixture-task", fixture_task)
+TASKS.register("fixture-lambda", lambda batch: batch)

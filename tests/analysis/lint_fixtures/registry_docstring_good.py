@@ -1,0 +1,19 @@
+"""Good: every registered component documents itself."""
+
+from repro.api import HEADS, TASKS
+
+
+@HEADS.register("fixture-head")
+class FixtureHead:
+    """Identity head used by the lint fixture corpus."""
+
+    def __call__(self, batch):
+        return batch
+
+
+def fixture_task(batch):
+    """Identity task used by the lint fixture corpus."""
+    return batch
+
+
+TASKS.register("fixture-task", fixture_task)

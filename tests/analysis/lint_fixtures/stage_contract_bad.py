@@ -1,0 +1,17 @@
+"""Bad: sampler stages breaking the ``(graph, seeds, *, rng)`` contract."""
+
+from repro.api import SAMPLERS
+
+
+@SAMPLERS.register("fixture-stage-positional-rng")
+class PositionalRngStage:
+    """Stage whose rng is positional (the pre-datapipe signature)."""
+
+    def apply(self, graph, seeds, rng):
+        return graph, seeds
+
+
+@SAMPLERS.register("fixture-stage-shuffled")
+def fixture_stage(graph, rng, seeds):
+    """Function stage with shuffled parameters."""
+    return graph, seeds

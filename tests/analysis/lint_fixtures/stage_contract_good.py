@@ -1,0 +1,17 @@
+"""Good: stages honouring the uniform contract, plus an exempt factory."""
+
+from repro.api import SAMPLERS
+
+
+@SAMPLERS.register("fixture-stage-good")
+class GoodStage:
+    """Stage with the uniform signature."""
+
+    def apply(self, graph, seeds, *, rng):
+        return graph, seeds
+
+
+@SAMPLERS.register("fixture-pipeline-factory")
+def fixture_pipeline(hops=2):
+    """Factory — no ``graph`` parameter, exempt from the stage contract."""
+    return GoodStage()

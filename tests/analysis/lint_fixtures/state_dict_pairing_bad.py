@@ -1,0 +1,8 @@
+"""Bad: one-sided serialisation — checkpoints that cannot be restored."""
+
+
+class MomentumState:
+    """Optimizer-like state that can be saved but never loaded back."""
+
+    def state_dict(self):
+        return {"momentum": 0.9}

@@ -1,0 +1,20 @@
+"""Good: round-trip pairs, and the Protocol exemption."""
+
+from typing import Protocol
+
+
+class MomentumState:
+    """Optimizer-like state with a full save/load round-trip."""
+
+    def state_dict(self):
+        return {"momentum": 0.9}
+
+    def load_state_dict(self, state):
+        self.momentum = state["momentum"]
+
+
+class Saveable(Protocol):
+    """Structural type — exempt from the pairing rule."""
+
+    def state_dict(self):
+        ...
